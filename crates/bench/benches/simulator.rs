@@ -1,0 +1,106 @@
+//! Criterion benches for the LAN simulator: how much simulated traffic
+//! can be pushed per wall-clock second (frame events/s), for the switch
+//! and hub forwarding paths.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use netqos_sim::app::DiscardSink;
+use netqos_sim::builder::LanBuilder;
+use netqos_sim::packet::DISCARD_PORT;
+use netqos_sim::time::SimDuration;
+use netqos_sim::traffic::CbrSource;
+use netqos_sim::PortIx;
+
+/// 4 hosts on a switch, each blasting 1 MB/s at its ring neighbour for
+/// one simulated second. Returns delivered frame count.
+fn switch_lan_one_second() -> u64 {
+    let mut b = LanBuilder::new();
+    let sw = b.add_switch("sw", None).unwrap();
+    for i in 0..4 {
+        b.add_nic(sw, &format!("p{i}"), 100_000_000).unwrap();
+    }
+    let mut hosts = Vec::new();
+    for i in 0..4 {
+        let h = b
+            .add_host(&format!("h{i}"), &format!("10.0.0.{}", i + 1))
+            .unwrap();
+        b.add_nic(h, "eth0", 100_000_000).unwrap();
+        b.connect((h, PortIx(0)), (sw, PortIx(i))).unwrap();
+        b.install_app(h, Box::new(DiscardSink::default()), Some(DISCARD_PORT))
+            .unwrap();
+        hosts.push(h);
+    }
+    for (i, &h) in hosts.iter().enumerate() {
+        let dst = format!("10.0.0.{}", (i + 1) % 4 + 1);
+        b.install_app(
+            h,
+            Box::new(CbrSource::new(
+                dst.parse().unwrap(),
+                DISCARD_PORT,
+                1_000_000,
+                1400,
+            )),
+            None,
+        )
+        .unwrap();
+    }
+    let mut lan = b.build();
+    lan.run_for(SimDuration::from_secs(1));
+    lan.stats().frames_delivered
+}
+
+/// 4 hosts on a 10 Mb/s hub, each at 100 KB/s (hub floods every frame to
+/// every port).
+fn hub_lan_one_second() -> u64 {
+    let mut b = LanBuilder::new();
+    let hub = b.add_hub("hub", 10_000_000).unwrap();
+    for i in 0..4 {
+        b.add_nic(hub, &format!("p{i}"), 10_000_000).unwrap();
+    }
+    let mut hosts = Vec::new();
+    for i in 0..4 {
+        let h = b
+            .add_host(&format!("h{i}"), &format!("10.0.0.{}", i + 1))
+            .unwrap();
+        b.add_nic(h, "eth0", 10_000_000).unwrap();
+        b.connect((h, PortIx(0)), (hub, PortIx(i))).unwrap();
+        b.install_app(h, Box::new(DiscardSink::default()), Some(DISCARD_PORT))
+            .unwrap();
+        hosts.push(h);
+    }
+    for (i, &h) in hosts.iter().enumerate() {
+        let dst = format!("10.0.0.{}", (i + 1) % 4 + 1);
+        b.install_app(
+            h,
+            Box::new(CbrSource::new(
+                dst.parse().unwrap(),
+                DISCARD_PORT,
+                100_000,
+                1400,
+            )),
+            None,
+        )
+        .unwrap();
+    }
+    let mut lan = b.build();
+    lan.run_for(SimDuration::from_secs(1));
+    lan.stats().frames_delivered
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    let frames = switch_lan_one_second();
+    group.throughput(Throughput::Elements(frames));
+    group.bench_function("switch_4hosts_1s_of_1MBps_each", |b| {
+        b.iter(switch_lan_one_second)
+    });
+    let frames = hub_lan_one_second();
+    group.throughput(Throughput::Elements(frames));
+    group.bench_function("hub_4hosts_1s_of_100KBps_each", |b| {
+        b.iter(hub_lan_one_second)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Criterion benches for the topology algorithms: path traversal and
+//! bandwidth computation on the LIRTSS testbed and on larger synthetic
+//! LANs (scaling ablation: how big a system can be evaluated per poll).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netqos_bench::LIRTSS_SPEC;
+use netqos_topology::bandwidth::{self, IfRates, MapRates};
+use netqos_topology::{path, IfIx, NetworkTopology, NodeKind};
+
+fn lirtss() -> NetworkTopology {
+    netqos_spec::parse_and_validate(LIRTSS_SPEC)
+        .unwrap()
+        .topology
+}
+
+/// A synthetic two-tier LAN: `spines` switches, each with `leaves` hosts,
+/// spines chained in a line.
+fn synthetic(spines: u32, leaves: u32) -> NetworkTopology {
+    let mut t = NetworkTopology::new();
+    let mut spine_ids = Vec::new();
+    for s in 0..spines {
+        let sw = t
+            .add_node(&format!("sw{s}"), NodeKind::Switch)
+            .unwrap();
+        for p in 0..(leaves + 2) {
+            t.add_interface(sw, &format!("p{p}"), 1_000_000_000).unwrap();
+        }
+        spine_ids.push(sw);
+    }
+    for w in spine_ids.windows(2) {
+        let a_if = t.interface_by_name(w[0], &format!("p{leaves}")).unwrap();
+        let b_if = t
+            .interface_by_name(w[1], &format!("p{}", leaves + 1))
+            .unwrap();
+        t.connect((w[0], a_if), (w[1], b_if)).unwrap();
+    }
+    for (s, &sw) in spine_ids.iter().enumerate() {
+        for l in 0..leaves {
+            let h = t
+                .add_node(&format!("h{s}x{l}"), NodeKind::Host)
+                .unwrap();
+            let h0 = t.add_interface(h, "eth0", 1_000_000_000).unwrap();
+            t.connect((h, h0), (sw, IfIx(l))).unwrap();
+        }
+    }
+    t
+}
+
+fn full_rates(t: &NetworkTopology) -> MapRates {
+    let mut rates = MapRates::new();
+    for (id, node) in t.nodes() {
+        for (i, _) in node.interfaces.iter().enumerate() {
+            rates.set(
+                id,
+                IfIx(i as u32),
+                IfRates {
+                    in_bps: 1_000_000,
+                    out_bps: 2_000_000,
+                },
+            );
+        }
+    }
+    rates
+}
+
+fn bench_lirtss_paths(c: &mut Criterion) {
+    let t = lirtss();
+    let s1 = t.node_by_name("S1").unwrap();
+    let n1 = t.node_by_name("N1").unwrap();
+    c.bench_function("find_path_lirtss_s1_n1", |b| {
+        b.iter(|| path::find_path(&t, s1, n1).unwrap())
+    });
+    c.bench_function("all_host_pairs_lirtss", |b| {
+        b.iter(|| path::all_host_pairs(&t))
+    });
+}
+
+fn bench_lirtss_bandwidth(c: &mut Criterion) {
+    let t = lirtss();
+    let rates = full_rates(&t);
+    let s1 = t.node_by_name("S1").unwrap();
+    let n1 = t.node_by_name("N1").unwrap();
+    let p = path::find_path(&t, s1, n1).unwrap();
+    c.bench_function("path_bandwidth_lirtss_hub_path", |b| {
+        b.iter(|| bandwidth::path_bandwidth(&t, &p, &rates).unwrap())
+    });
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("path_scaling");
+    for spines in [2u32, 8, 32] {
+        let t = synthetic(spines, 8);
+        let a = t.node_by_name("h0x0").unwrap();
+        let z = t.node_by_name(&format!("h{}x7", spines - 1)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("find_path_spines", spines),
+            &spines,
+            |b, _| b.iter(|| path::find_path(&t, a, z).unwrap()),
+        );
+        let rates = full_rates(&t);
+        let p = path::find_path(&t, a, z).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("path_bandwidth_spines", spines),
+            &spines,
+            |b, _| b.iter(|| bandwidth::path_bandwidth(&t, &p, &rates).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lirtss_paths, bench_lirtss_bandwidth, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. **Interval source** — the paper's sysUpTime-based poll interval vs.
+//!    the naive nominal-period assumption, under agent response jitter
+//!    (§3.1: "The time interval between two polling processes can be
+//!    found using the system uptime data").
+//! 2. **Poll period** — measurement error and SNMP overhead as the poll
+//!    period varies (the monitor's overhead is part of the paper's error
+//!    budget).
+//! 3. **Rate smoothing** — EWMA alpha sweep: spike damping vs. step
+//!    response.
+//!
+//! ```text
+//! cargo run --release -p netqos-bench --bin ablation
+//! ```
+
+use netqos_bench::experiment::{run_experiment, ExperimentConfig};
+use netqos_bench::stats::{self, StepWindow};
+use netqos_bench::testbed::{build_testbed, Load, TestbedOptions};
+use netqos_loadgen::LoadProfile;
+use netqos_monitor::monitor::{IntervalStrategy, Smoothing};
+use netqos_sim::time::SimDuration;
+
+/// Runs the standard 200 KB/s pulse experiment and returns
+/// (avg % error, max single-sample % error) on S1<->N1.
+fn run_one(
+    options: &TestbedOptions,
+    poll_period: SimDuration,
+    strategy: IntervalStrategy,
+    smoothing: Option<Smoothing>,
+) -> (f64, f64) {
+    let loads = vec![Load::new("L", "N1", LoadProfile::pulse(5, 35, 200_000))];
+    let mut tb = build_testbed(&loads, options);
+    tb.monitor.set_interval_strategy(strategy);
+    if let Some(s) = smoothing {
+        tb.monitor.set_smoothing(s);
+    }
+    let config = ExperimentConfig {
+        duration_s: 40,
+        poll_period,
+        paths: vec![("S1".into(), "N1".into())],
+    };
+    let result = run_experiment(&mut tb, &config).expect("experiment runs");
+    let series = result.recorder.get("S1<->N1").unwrap();
+    let background = stats::background_kbps(series, 1.0, 4.0);
+    let rows = stats::step_stats(
+        series,
+        &[StepWindow {
+            from_s: 8.0,
+            to_s: 34.0,
+            generated_kbps: 200.0,
+        }],
+        background,
+    );
+    (rows[0].pct_error, rows[0].max_pct_error)
+}
+
+fn main() {
+    println!("== Ablation 1: poll-interval source under agent jitter ==");
+    println!("   (200 KB/s pulse, 1 s polls; jitter = exponential agent response delay)\n");
+    println!("jitter mean   sysUpTime err/max     nominal-period err/max");
+    for jitter_ms in [0u64, 15, 60, 150] {
+        let options = TestbedOptions {
+            agent_jitter_mean: if jitter_ms == 0 {
+                None
+            } else {
+                Some(SimDuration::from_millis(jitter_ms))
+            },
+            ..TestbedOptions::default()
+        };
+        let (up_err, up_max) = run_one(
+            &options,
+            SimDuration::from_secs(1),
+            IntervalStrategy::SysUpTime,
+            None,
+        );
+        let (nom_err, nom_max) = run_one(
+            &options,
+            SimDuration::from_secs(1),
+            IntervalStrategy::NominalPeriod(100),
+            None,
+        );
+        println!(
+            "{jitter_ms:>8} ms   {up_err:>6.1}% / {up_max:>5.1}%      {nom_err:>6.1}% / {nom_max:>5.1}%"
+        );
+    }
+    println!("\n-> the paper's sysUpTime method keeps max error flat as jitter grows;");
+    println!("   the nominal-period shortcut degrades (mis-sized intervals).\n");
+
+    println!("== Ablation 2: poll period ==\n");
+    println!("period   avg err   max err");
+    for period_ms in [500u64, 1000, 2000, 5000] {
+        let options = TestbedOptions::default();
+        let (err, max) = run_one(
+            &options,
+            SimDuration::from_millis(period_ms),
+            IntervalStrategy::SysUpTime,
+            None,
+        );
+        println!("{:>5.1}s   {err:>6.1}%   {max:>6.1}%", period_ms as f64 / 1000.0);
+    }
+    println!("\n-> longer periods average away jitter (lower max error) at the cost");
+    println!("   of responsiveness; shorter periods spend more SNMP bandwidth.\n");
+
+    println!("== Ablation 3: EWMA smoothing (alpha sweep, 150 ms jitter) ==\n");
+    println!("alpha   avg err   max err");
+    let options = TestbedOptions {
+        agent_jitter_mean: Some(SimDuration::from_millis(150)),
+        ..TestbedOptions::default()
+    };
+    for alpha in [1.0f64, 0.5, 0.25] {
+        let (err, max) = run_one(
+            &options,
+            SimDuration::from_secs(1),
+            IntervalStrategy::SysUpTime,
+            Some(Smoothing { alpha }),
+        );
+        println!("{alpha:>5.2}   {err:>6.1}%   {max:>6.1}%");
+    }
+    println!("\n-> smoothing trades responsiveness for stability: lower alpha damps");
+    println!("   steady-state jitter but lags hard at load transitions (the max-error");
+    println!("   column picks up the step edges). alpha = 1.0 is the paper's raw");
+    println!("   per-interval behaviour, the right default for a violation detector.");
+}

@@ -1,0 +1,87 @@
+//! Regenerates **Figure 4** and **Table 2** of the paper: dynamically
+//! varying network load.
+//!
+//! Experiment (paper §4.3.1): traffic is generated from L to N1 as a
+//! staircase — 100 Kbytes/s starting at t=120 s, +100 Kbytes/s every
+//! 60 s up to 500 Kbytes/s, all load eliminated at t=420 s — while the
+//! monitor reports the bandwidth used on the communication path
+//! S1 → switch → hub → N1 from 1-second SNMP polls.
+//!
+//! Output: panel (a) the generated load series, panel (b) the measured
+//! series (both CSV), followed by the Table-2 statistics. Flags:
+//! `--table` prints only the table, `--csv` only the series, `--fast`
+//! runs a 1/10-scale schedule (12 s steps) for quick smoke runs.
+
+use netqos_bench::experiment::{profile_csv, run_experiment, ExperimentConfig};
+use netqos_bench::stats::{self, StepWindow};
+use netqos_bench::testbed::{build_testbed, Load, TestbedOptions};
+use netqos_loadgen::LoadProfile;
+use netqos_sim::time::SimDuration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let table_only = args.iter().any(|a| a == "--table");
+    let csv_only = args.iter().any(|a| a == "--csv");
+    let fast = args.iter().any(|a| a == "--fast");
+
+    // The paper's schedule, optionally time-compressed 10x.
+    let scale = if fast { 10 } else { 1 };
+    let start = 120 / scale;
+    let step_len = 60 / scale;
+    let duration = 480 / scale;
+    let profile = LoadProfile::staircase(start, 100_000, 100_000, step_len, 5);
+
+    eprintln!(
+        "fig4: staircase L->N1 ({}s run, poll period 1s), monitoring S1<->N1 ...",
+        duration
+    );
+
+    let loads = vec![Load::new("L", "N1", profile.clone())];
+    let mut tb = build_testbed(&loads, &TestbedOptions::default());
+    let config = ExperimentConfig {
+        duration_s: duration,
+        poll_period: SimDuration::from_secs(1),
+        paths: vec![("S1".into(), "N1".into())],
+    };
+    let result = run_experiment(&mut tb, &config).expect("experiment runs");
+    let series = result
+        .recorder
+        .get("S1<->N1")
+        .expect("monitored series exists");
+
+    if !table_only {
+        println!("# Figure 4(a): generated load (L -> N1)");
+        print!("{}", profile_csv(&profile, duration));
+        println!();
+        println!("# Figure 4(b): measured bandwidth usage (S1 <-> N1)");
+        print!("{}", result.recorder.to_csv());
+        println!();
+    }
+
+    if !csv_only {
+        // Background: idle window before the load starts (skip the first
+        // polls while deltas settle).
+        let background =
+            stats::background_kbps(series, 5.0, (start as f64 - 5.0).max(6.0));
+        // One window per staircase step, trimmed by a couple of samples
+        // on each side to avoid step-transition smearing.
+        let windows: Vec<StepWindow> = (0..5)
+            .map(|i| {
+                let s = (start + i * step_len) as f64;
+                StepWindow {
+                    from_s: s + 3.0,
+                    to_s: s + step_len as f64 - 1.0,
+                    generated_kbps: 100.0 * (i + 1) as f64,
+                }
+            })
+            .collect();
+        let rows = stats::step_stats(series, &windows, background);
+        println!("# Table 2. Statistics of Measured Traffic Load (Kbytes/second)");
+        print!("{}", stats::render_table(background, &rows));
+        println!();
+        println!(
+            "# poll rounds: {}, poll timeouts: {}",
+            result.rounds, result.timeouts
+        );
+    }
+}

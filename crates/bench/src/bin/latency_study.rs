@@ -1,0 +1,64 @@
+//! Extension experiment: **path latency vs. network load** — the paper's
+//! first future-work item ("measurement of network latency"), exercised
+//! as an experiment of its own.
+//!
+//! The monitor probes the RTT from L to S1 (pure switch path) and to N1
+//! (through the 10 Mb/s hub) while the L→N1 background load sweeps from
+//! idle to hub saturation. The switch path should stay flat; the hub path
+//! should grow sharply as the shared medium queues up.
+//!
+//! ```text
+//! cargo run --release -p netqos-bench --bin latency_study
+//! ```
+
+use netqos_bench::testbed::{build_testbed, Load, TestbedOptions};
+use netqos_loadgen::LoadProfile;
+use netqos_sim::time::SimDuration;
+
+fn main() {
+    println!("load_kBps,rtt_S1_ms,rtt_N1_ms,lost_N1");
+    for load_kbps in [0u64, 200, 400, 800, 1000, 1150, 1250] {
+        let loads = if load_kbps == 0 {
+            vec![]
+        } else {
+            vec![Load::new("L", "N1", LoadProfile::constant(load_kbps * 1000))]
+        };
+        let options = TestbedOptions {
+            agent_jitter_mean: None, // isolate queueing delay
+            ..TestbedOptions::default()
+        };
+        let mut tb = build_testbed(&loads, &options);
+
+        // Let the load reach steady state before probing.
+        let warm = tb.net.lan.now() + SimDuration::from_secs(3);
+        tb.net.run_until(warm);
+
+        let s1 = tb.monitor.topology().node_by_name("S1").unwrap();
+        let n1 = tb.monitor.topology().node_by_name("N1").unwrap();
+        let fast = tb
+            .net
+            .measure_rtt(s1, 10, 64, SimDuration::from_millis(500))
+            .expect("S1 probes");
+        let slow = tb
+            .net
+            .measure_rtt(n1, 10, 64, SimDuration::from_millis(500))
+            .unwrap_or(netqos_monitor::latency::LatencyStats {
+                samples: 0,
+                lost: 10,
+                min: SimDuration::ZERO,
+                mean: SimDuration::ZERO,
+                max: SimDuration::ZERO,
+            });
+        println!(
+            "{load_kbps},{:.3},{:.3},{}",
+            fast.mean_ms(),
+            slow.mean_ms(),
+            slow.lost
+        );
+    }
+    println!();
+    println!("# Expected shape: the switch path (S1) stays ~flat; the hub path (N1)");
+    println!("# inflates with queueing as the 10 Mb/s medium saturates (~1250 KB/s),");
+    println!("# eventually losing probes outright — the congestion signature the");
+    println!("# RM's latency extension would alarm on.");
+}

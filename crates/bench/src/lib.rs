@@ -1,0 +1,25 @@
+//! # netqos-bench
+//!
+//! The experiment harness: rebuilds the paper's LIRTSS testbed inside the
+//! simulator and regenerates **every table and figure** of the evaluation
+//! section:
+//!
+//! | Paper item | Regenerator |
+//! |---|---|
+//! | Table 1 (MIB-II objects) | `cargo run -p netqos-bench --bin table1_mib` |
+//! | Figure 3 (testbed) | [`testbed::build_testbed`] from `specs/lirtss.spec` |
+//! | Figure 4 + Table 2 (dynamic load) | `cargo run -p netqos-bench --bin fig4_dynamic_load` |
+//! | Figure 5 (hub-connected hosts) | `cargo run -p netqos-bench --bin fig5_hub` |
+//! | Figure 6 (switch-connected hosts) | `cargo run -p netqos-bench --bin fig6_switch` |
+//!
+//! Criterion performance benches (`cargo bench -p netqos-bench`) cover the
+//! building blocks: BER codec, path traversal, bandwidth computation,
+//! simulator throughput, and full poll rounds.
+
+pub mod experiment;
+pub mod stats;
+pub mod testbed;
+
+pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use stats::{render_table, step_stats, StepStat};
+pub use testbed::{build_testbed, Load, Testbed, TestbedOptions, LIRTSS_SPEC};

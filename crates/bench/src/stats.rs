@@ -1,0 +1,184 @@
+//! Table-2 statistics: per-load-step measurement accuracy.
+//!
+//! The paper computes, per generated-load level: the average measured
+//! load, the average less the background (measured at zero load), the
+//! percentage error of that average against the generated load, and the
+//! maximum single-sample percentage error.
+
+use netqos_monitor::report::Series;
+
+/// One row of the Table-2 analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepStat {
+    /// Commanded load for this step (Kbytes/s).
+    pub generated_kbps: f64,
+    /// Mean measured load over the step window (Kbytes/s).
+    pub avg_measured: f64,
+    /// Mean measured less background (Kbytes/s).
+    pub avg_less_background: f64,
+    /// `(avg_less_background − generated) / generated` in percent.
+    pub pct_error: f64,
+    /// Largest single-sample error against the generated load, percent.
+    pub max_pct_error: f64,
+}
+
+/// A measurement window for one load step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepWindow {
+    /// Window start (s).
+    pub from_s: f64,
+    /// Window end (s).
+    pub to_s: f64,
+    /// Commanded load in the window (Kbytes/s).
+    pub generated_kbps: f64,
+}
+
+/// Mean measured load (Kbytes/s) in an idle window — the paper's
+/// "background traffic" term.
+pub fn background_kbps(series: &Series, from_s: f64, to_s: f64) -> f64 {
+    series.mean_used_kbps(from_s, to_s).unwrap_or(0.0)
+}
+
+/// Computes the Table-2 row for each step window.
+pub fn step_stats(series: &Series, windows: &[StepWindow], background: f64) -> Vec<StepStat> {
+    windows
+        .iter()
+        .map(|w| {
+            let avg = series.mean_used_kbps(w.from_s, w.to_s).unwrap_or(0.0);
+            let less = avg - background;
+            let pct_error = if w.generated_kbps > 0.0 {
+                (less - w.generated_kbps) / w.generated_kbps * 100.0
+            } else {
+                0.0
+            };
+            let max_pct_error = series
+                .samples
+                .iter()
+                .filter(|s| s.t_s >= w.from_s && s.t_s < w.to_s)
+                .map(|s| {
+                    let v = s.used_kbytes_per_sec() - background;
+                    if w.generated_kbps > 0.0 {
+                        ((v - w.generated_kbps) / w.generated_kbps * 100.0).abs()
+                    } else {
+                        0.0
+                    }
+                })
+                .fold(0.0f64, f64::max);
+            StepStat {
+                generated_kbps: w.generated_kbps,
+                avg_measured: avg,
+                avg_less_background: less,
+                pct_error,
+                max_pct_error,
+            }
+        })
+        .collect()
+}
+
+/// Renders rows in the paper's Table-2 layout.
+pub fn render_table(background: f64, rows: &[StepStat]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Background traffic: {background:.3} Kbytes/second\n\n"));
+    out.push_str(
+        "Generated   Average     Average Load      %      Maximum\n\
+         Load        Measured    Less Background   Error  % Error\n\
+         ---------   ---------   ---------------   -----  -------\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<11.0} {:<11.3} {:<17.3} {:<6.1} {:<7.1}\n",
+            r.generated_kbps, r.avg_measured, r.avg_less_background, r.pct_error, r.max_pct_error
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netqos_monitor::report::PathSample;
+
+    fn series_with(samples: &[(f64, f64)]) -> Series {
+        Series {
+            name: "x".into(),
+            samples: samples
+                .iter()
+                .map(|&(t, kbps)| PathSample {
+                    t_s: t,
+                    used_bps: (kbps * 8000.0) as u64,
+                    available_bps: 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn background_is_idle_mean() {
+        let s = series_with(&[(0.0, 1.0), (1.0, 0.6), (2.0, 0.8), (10.0, 100.0)]);
+        let bg = background_kbps(&s, 0.0, 3.0);
+        assert!((bg - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_stats_compute_errors() {
+        // Background 1.0; measured ≈ 104 for generated 100 => +3% error
+        // after background subtraction.
+        let s = series_with(&[(10.0, 104.0), (11.0, 104.0), (12.0, 110.0)]);
+        let rows = step_stats(
+            &s,
+            &[StepWindow {
+                from_s: 10.0,
+                to_s: 13.0,
+                generated_kbps: 100.0,
+            }],
+            1.0,
+        );
+        let r = &rows[0];
+        assert!((r.avg_measured - 106.0).abs() < 1e-9);
+        assert!((r.avg_less_background - 105.0).abs() < 1e-9);
+        assert!((r.pct_error - 5.0).abs() < 1e-9);
+        // Max single-sample error: (110-1-100)/100 = 9%.
+        assert!((r.max_pct_error - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let rows = vec![
+            StepStat {
+                generated_kbps: 100.0,
+                avg_measured: 104.8,
+                avg_less_background: 104.0,
+                pct_error: 4.0,
+                max_pct_error: 6.4,
+            },
+            StepStat {
+                generated_kbps: 200.0,
+                avg_measured: 208.0,
+                avg_less_background: 207.2,
+                pct_error: 3.6,
+                max_pct_error: 8.4,
+            },
+        ];
+        let text = render_table(0.824, &rows);
+        assert!(text.contains("0.824"));
+        assert!(text.contains("100"));
+        assert!(text.contains("8.4"));
+        assert_eq!(text.lines().count(), 7);
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let s = series_with(&[]);
+        let rows = step_stats(
+            &s,
+            &[StepWindow {
+                from_s: 0.0,
+                to_s: 1.0,
+                generated_kbps: 100.0,
+            }],
+            0.0,
+        );
+        assert_eq!(rows[0].avg_measured, 0.0);
+        assert_eq!(rows[0].max_pct_error, 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The LIRTSS testbed (paper Figure 3), materialized from the checked-in
+//! specification file with load generators and realistic noise.
+
+use netqos_loadgen::{LoadProfile, ProfiledSource};
+use netqos_monitor::simnet::{SimNetwork, SimNetworkOptions};
+use netqos_monitor::NetworkMonitor;
+use netqos_sim::time::SimDuration;
+use netqos_sim::Ipv4Addr;
+
+/// The specification of the paper's Figure 3 testbed.
+pub const LIRTSS_SPEC: &str = include_str!("../../../specs/lirtss.spec");
+
+/// One load-generator placement: `from` sends `profile` to `to`'s DISCARD
+/// port, exactly like the paper's generator.
+#[derive(Debug, Clone)]
+pub struct Load {
+    /// Sending host name.
+    pub from: String,
+    /// Receiving host name.
+    pub to: String,
+    /// The rate schedule.
+    pub profile: LoadProfile,
+}
+
+impl Load {
+    /// Convenience constructor.
+    pub fn new(from: &str, to: &str, profile: LoadProfile) -> Self {
+        Load {
+            from: from.to_owned(),
+            to: to.to_owned(),
+            profile,
+        }
+    }
+}
+
+/// Environmental knobs for experiments.
+#[derive(Debug, Clone)]
+pub struct TestbedOptions {
+    /// Deterministic seed for noise and jitter.
+    pub seed: u64,
+    /// Mean interval of per-host background broadcasts (None = silent).
+    pub noise_mean: Option<SimDuration>,
+    /// Mean SNMP agent response jitter (None = instant agents).
+    pub agent_jitter_mean: Option<SimDuration>,
+    /// Payload bytes per generated datagram (paper used MTU-sized
+    /// packets: 1472 payload + 28 header = 1500-byte IP packets).
+    pub chunk_bytes: usize,
+}
+
+impl Default for TestbedOptions {
+    fn default() -> Self {
+        TestbedOptions {
+            seed: 42,
+            // ≈0.6 KB/s of broadcast chatter visible on every segment —
+            // the "background traffic" the paper measures and subtracts.
+            noise_mean: Some(SimDuration::from_millis(2000)),
+            // Occasional delayed agent responses: the source of the
+            // paper's isolated large single-sample errors.
+            agent_jitter_mean: Some(SimDuration::from_millis(15)),
+            chunk_bytes: 1472,
+        }
+    }
+}
+
+/// A built testbed: the simulated network plus a fresh monitor.
+pub struct Testbed {
+    /// The simulated LAN with agents and generators installed.
+    pub net: SimNetwork,
+    /// The monitoring program state.
+    pub monitor: NetworkMonitor,
+}
+
+/// Builds the LIRTSS testbed with the given loads installed.
+pub fn build_testbed(loads: &[Load], options: &TestbedOptions) -> Testbed {
+    build_testbed_from(LIRTSS_SPEC, loads, options)
+}
+
+/// Builds a testbed from any specification source.
+pub fn build_testbed_from(spec: &str, loads: &[Load], options: &TestbedOptions) -> Testbed {
+    let model = netqos_spec::parse_and_validate(spec).expect("specification must be valid");
+    let topology = model.topology.clone();
+
+    let net_options = SimNetworkOptions {
+        monitor_host: "L".to_owned(),
+        noise_mean: options.noise_mean,
+        seed: options.seed,
+        agent_jitter_mean: options.agent_jitter_mean,
+        poll_timeout: SimDuration::from_millis(800),
+    };
+
+    let loads = loads.to_vec();
+    let chunk = options.chunk_bytes;
+    let net = SimNetwork::from_model_with(model, net_options, move |builder, node_to_dev, m| {
+        for load in &loads {
+            let from = m
+                .topology
+                .node_by_name(&load.from)
+                .expect("load source exists");
+            let to = m.topology.node_by_name(&load.to).expect("load sink exists");
+            let dst_ip: Ipv4Addr = m.addresses[&to].parse().expect("sink has an address");
+            let mut src = ProfiledSource::new(dst_ip, load.profile.clone());
+            src.chunk_bytes = chunk;
+            builder
+                .install_app(node_to_dev[&from], Box::new(src), None)
+                .expect("install generator");
+        }
+    })
+    .expect("testbed must build");
+
+    Testbed {
+        net,
+        monitor: NetworkMonitor::new(topology),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lirtss_spec_is_valid_and_matches_figure3() {
+        let model = netqos_spec::parse_and_validate(LIRTSS_SPEC).unwrap();
+        // 9 hosts + switch + hub.
+        assert_eq!(model.topology.node_count(), 11);
+        // 7 switch hosts + uplink + 2 hub hosts.
+        assert_eq!(model.topology.connection_count(), 10);
+        // SNMP demons: L, N1, N2, S1, S2, switch (paper §4.1).
+        assert_eq!(model.snmp_nodes().len(), 6);
+        // The monitored qospaths of the experiments.
+        assert_eq!(model.qos_paths.len(), 4);
+    }
+
+    #[test]
+    fn testbed_builds_and_polls() {
+        let mut tb = build_testbed(&[], &TestbedOptions::default());
+        let polled = tb.net.poll_round(&mut tb.monitor).unwrap();
+        assert_eq!(polled, 6);
+    }
+
+    #[test]
+    fn path_s1_n1_crosses_hub() {
+        let tb = build_testbed(&[], &TestbedOptions::default());
+        let topo = tb.monitor.topology();
+        let s1 = topo.node_by_name("S1").unwrap();
+        let n1 = topo.node_by_name("N1").unwrap();
+        let p = tb.monitor.path(s1, n1).unwrap();
+        let names: Vec<String> = p
+            .nodes
+            .iter()
+            .map(|n| topo.node(*n).unwrap().name.clone())
+            .collect();
+        assert_eq!(names, ["S1", "switch1", "hub1", "N1"]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Rate schedules.
+//!
+//! A [`LoadProfile`] maps simulated time to an application-payload rate in
+//! bytes/second. Profiles are piecewise-constant segment lists with
+//! convenience constructors for the paper's experiment shapes:
+//!
+//! * [`LoadProfile::staircase`] — Figure 4: "Starting at 100 Kbytes/second
+//!   for 120 seconds, we increased the amount of data sent by the load
+//!   generator by 100 Kbytes/second each 60 seconds. […] The entire load
+//!   was eliminated at 420 seconds."
+//! * [`LoadProfile::pulse`] — Figures 5 and 6: fixed-rate bursts with
+//!   start/stop times.
+
+use netqos_sim::time::SimTime;
+
+/// One piece of a piecewise-constant schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Segment start (inclusive), seconds from experiment start.
+    pub start_s: u64,
+    /// Segment end (exclusive), seconds from experiment start.
+    pub end_s: u64,
+    /// Payload rate during the segment, bytes/second.
+    pub rate_bytes_per_sec: u64,
+}
+
+/// A piecewise-constant load schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LoadProfile {
+    segments: Vec<Segment>,
+}
+
+impl LoadProfile {
+    /// An always-zero profile.
+    pub fn silent() -> Self {
+        LoadProfile::default()
+    }
+
+    /// A constant rate from `start_s` to `end_s`.
+    pub fn pulse(start_s: u64, end_s: u64, rate_bytes_per_sec: u64) -> Self {
+        LoadProfile {
+            segments: vec![Segment {
+                start_s,
+                end_s,
+                rate_bytes_per_sec,
+            }],
+        }
+    }
+
+    /// A constant rate forever (well, for `u64::MAX` seconds).
+    pub fn constant(rate_bytes_per_sec: u64) -> Self {
+        Self::pulse(0, u64::MAX, rate_bytes_per_sec)
+    }
+
+    /// The paper's Figure 4(a) staircase: `initial` bytes/s starting at
+    /// `start_s`, increased by `step` every `step_len_s` seconds for
+    /// `steps` levels, then silence.
+    ///
+    /// `LoadProfile::staircase(120, 100_000, 100_000, 60, 5)` reproduces
+    /// the paper exactly: 100 KB/s at t=120 s, stepping to 500 KB/s, all
+    /// load eliminated at t=420 s.
+    pub fn staircase(start_s: u64, initial: u64, step: u64, step_len_s: u64, steps: u32) -> Self {
+        let mut segments = Vec::with_capacity(steps as usize);
+        let mut t = start_s;
+        let mut rate = initial;
+        for _ in 0..steps {
+            segments.push(Segment {
+                start_s: t,
+                end_s: t + step_len_s,
+                rate_bytes_per_sec: rate,
+            });
+            t += step_len_s;
+            rate += step;
+        }
+        LoadProfile { segments }
+    }
+
+    /// A linear ramp approximated by 1-second stairs from `from` to `to`
+    /// bytes/s across `[start_s, end_s)`.
+    pub fn ramp(start_s: u64, end_s: u64, from: u64, to: u64) -> Self {
+        let n = end_s.saturating_sub(start_s).max(1);
+        let mut segments = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let frac = i as f64 / n as f64;
+            let rate = from as f64 + (to as f64 - from as f64) * frac;
+            segments.push(Segment {
+                start_s: start_s + i,
+                end_s: start_s + i + 1,
+                rate_bytes_per_sec: rate.round() as u64,
+            });
+        }
+        LoadProfile { segments }
+    }
+
+    /// Adds the segments of another profile (rates sum where they
+    /// overlap — evaluated lazily by [`LoadProfile::rate_at`]).
+    pub fn overlay(mut self, other: &LoadProfile) -> Self {
+        self.segments.extend_from_slice(&other.segments);
+        self
+    }
+
+    /// The commanded rate at time `t` (bytes/second).
+    pub fn rate_at(&self, t: SimTime) -> u64 {
+        let secs = t.as_micros() / 1_000_000;
+        self.segments
+            .iter()
+            .filter(|s| secs >= s.start_s && secs < s.end_s)
+            .map(|s| s.rate_bytes_per_sec)
+            .sum()
+    }
+
+    /// The last instant at which the profile may be nonzero, in seconds
+    /// (`None` for an empty profile).
+    pub fn end_s(&self) -> Option<u64> {
+        self.segments.iter().map(|s| s.end_s).max()
+    }
+
+    /// The raw segments.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Total payload bytes the profile commands over its lifetime.
+    pub fn total_bytes(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|s| (s.end_s - s.start_s).saturating_mul(s.rate_bytes_per_sec))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netqos_sim::time::SimDuration;
+
+    fn at(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn paper_staircase_shape() {
+        // Fig 4a: start at 120 s with 100 KB/s, +100 KB/s every 60 s,
+        // off at 420 s.
+        let p = LoadProfile::staircase(120, 100_000, 100_000, 60, 5);
+        assert_eq!(p.rate_at(at(0)), 0);
+        assert_eq!(p.rate_at(at(119)), 0);
+        assert_eq!(p.rate_at(at(120)), 100_000);
+        assert_eq!(p.rate_at(at(179)), 100_000);
+        assert_eq!(p.rate_at(at(180)), 200_000);
+        assert_eq!(p.rate_at(at(300)), 400_000);
+        assert_eq!(p.rate_at(at(419)), 500_000);
+        assert_eq!(p.rate_at(at(420)), 0);
+        assert_eq!(p.end_s(), Some(420));
+    }
+
+    #[test]
+    fn pulse_boundaries() {
+        let p = LoadProfile::pulse(20, 80, 200_000);
+        assert_eq!(p.rate_at(at(19)), 0);
+        assert_eq!(p.rate_at(at(20)), 200_000);
+        assert_eq!(p.rate_at(at(79)), 200_000);
+        assert_eq!(p.rate_at(at(80)), 0);
+    }
+
+    #[test]
+    fn overlay_sums_rates() {
+        let p = LoadProfile::pulse(0, 10, 100).overlay(&LoadProfile::pulse(5, 15, 50));
+        assert_eq!(p.rate_at(at(2)), 100);
+        assert_eq!(p.rate_at(at(7)), 150);
+        assert_eq!(p.rate_at(at(12)), 50);
+    }
+
+    #[test]
+    fn ramp_is_monotone() {
+        let p = LoadProfile::ramp(0, 10, 0, 1000);
+        let mut prev = 0;
+        for s in 0..10 {
+            let r = p.rate_at(at(s));
+            assert!(r >= prev);
+            prev = r;
+        }
+        assert!(p.rate_at(at(9)) <= 1000);
+    }
+
+    #[test]
+    fn totals() {
+        let p = LoadProfile::pulse(0, 10, 100);
+        assert_eq!(p.total_bytes(), 1000);
+        assert_eq!(LoadProfile::silent().total_bytes(), 0);
+        assert_eq!(LoadProfile::silent().end_s(), None);
+    }
+
+    #[test]
+    fn sub_second_times_floor_to_segment() {
+        let p = LoadProfile::pulse(1, 2, 7);
+        assert_eq!(p.rate_at(SimTime::from_micros(999_999)), 0);
+        assert_eq!(p.rate_at(SimTime::from_micros(1_000_000)), 7);
+        assert_eq!(p.rate_at(SimTime::from_micros(1_999_999)), 7);
+        assert_eq!(p.rate_at(SimTime::from_micros(2_000_000)), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests for load profiles: algebraic laws that the experiment
+//! harness depends on.
+
+use netqos_loadgen::LoadProfile;
+use netqos_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn at(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+proptest! {
+    /// A staircase is monotone non-decreasing within its active window and
+    /// zero outside it.
+    #[test]
+    fn staircase_monotone_within_window(
+        start in 0u64..100,
+        initial in 1u64..1_000_000,
+        step in 0u64..1_000_000,
+        step_len in 1u64..30,
+        steps in 1u32..8,
+    ) {
+        let p = LoadProfile::staircase(start, initial, step, step_len, steps);
+        let end = start + step_len * steps as u64;
+        prop_assert_eq!(p.end_s(), Some(end));
+        if start > 0 {
+            prop_assert_eq!(p.rate_at(at(start - 1)), 0);
+        }
+        let mut prev = 0;
+        for s in start..end {
+            let r = p.rate_at(at(s));
+            prop_assert!(r >= prev, "staircase decreased at {s}");
+            prop_assert!(r >= initial);
+            prev = r;
+        }
+        prop_assert_eq!(p.rate_at(at(end)), 0);
+    }
+
+    /// Overlay is commutative and pointwise additive.
+    #[test]
+    fn overlay_commutative_and_additive(
+        a_start in 0u64..50, a_len in 1u64..50, a_rate in 0u64..1_000_000,
+        b_start in 0u64..50, b_len in 1u64..50, b_rate in 0u64..1_000_000,
+        sample in 0u64..120,
+    ) {
+        let a = LoadProfile::pulse(a_start, a_start + a_len, a_rate);
+        let b = LoadProfile::pulse(b_start, b_start + b_len, b_rate);
+        let ab = a.clone().overlay(&b);
+        let ba = b.clone().overlay(&a);
+        let t = at(sample);
+        prop_assert_eq!(ab.rate_at(t), ba.rate_at(t));
+        prop_assert_eq!(ab.rate_at(t), a.rate_at(t) + b.rate_at(t));
+    }
+
+    /// total_bytes equals the second-by-second integral of rate_at.
+    #[test]
+    fn total_bytes_is_integral_of_rate(
+        start in 0u64..20,
+        initial in 1u64..100_000,
+        step in 0u64..100_000,
+        step_len in 1u64..10,
+        steps in 1u32..5,
+    ) {
+        let p = LoadProfile::staircase(start, initial, step, step_len, steps);
+        let end = p.end_s().unwrap();
+        let integral: u64 = (0..end).map(|s| p.rate_at(at(s))).sum();
+        prop_assert_eq!(integral, p.total_bytes());
+    }
+
+    /// A ramp stays within its endpoint rates.
+    #[test]
+    fn ramp_bounded_by_endpoints(
+        start in 0u64..20,
+        len in 1u64..40,
+        from in 0u64..1_000_000,
+        to in 0u64..1_000_000,
+    ) {
+        let p = LoadProfile::ramp(start, start + len, from, to);
+        let (lo, hi) = (from.min(to), from.max(to));
+        for s in start..start + len {
+            let r = p.rate_at(at(s));
+            prop_assert!(r >= lo && r <= hi, "ramp {r} outside [{lo}, {hi}] at {s}");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Counter and uptime delta arithmetic (paper §3.1).
+//!
+//! MIB-II counters are cumulative and wrap at 2^32; `sysUpTime` is in
+//! hundredths of a second and also wraps (after ~497 days). The monitor
+//! subtracts consecutive polls of both to obtain per-interval rates:
+//!
+//! > "Because the polling results are cumulative numbers, this data has to
+//! > be polled periodically. The old value is subtracted from the new one
+//! > to determine statistics for the polling interval. The time interval
+//! > between two polling processes can be found using the system uptime
+//! > data."
+
+/// Wrap-safe difference of two Counter32 samples.
+#[inline]
+pub fn counter_delta(old: u32, new: u32) -> u32 {
+    new.wrapping_sub(old)
+}
+
+/// Wrap-safe difference of two TimeTicks samples, in ticks (10 ms units).
+#[inline]
+pub fn ticks_delta(old: u32, new: u32) -> u32 {
+    new.wrapping_sub(old)
+}
+
+/// Converts an octet delta over a tick interval into bits per second.
+/// Returns `None` when the interval is zero (two polls inside the same
+/// 10 ms tick cannot produce a rate).
+#[inline]
+pub fn rate_bps(octets_delta: u32, interval_ticks: u32) -> Option<u64> {
+    if interval_ticks == 0 {
+        return None;
+    }
+    // bits = octets * 8; seconds = ticks / 100.
+    Some((octets_delta as u64 * 8 * 100) / interval_ticks as u64)
+}
+
+/// Converts a packet-count delta over a tick interval into packets/second
+/// (rounded down).
+#[inline]
+pub fn pps(pkts_delta: u32, interval_ticks: u32) -> Option<u64> {
+    if interval_ticks == 0 {
+        return None;
+    }
+    Some((pkts_delta as u64 * 100) / interval_ticks as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_delta() {
+        assert_eq!(counter_delta(1000, 2500), 1500);
+    }
+
+    #[test]
+    fn wrap_delta() {
+        assert_eq!(counter_delta(u32::MAX - 99, 100), 200);
+        assert_eq!(ticks_delta(u32::MAX, 9), 10);
+    }
+
+    #[test]
+    fn rate_conversion() {
+        // 125_000 octets in 100 ticks (1 s) = 1 Mb/s.
+        assert_eq!(rate_bps(125_000, 100), Some(1_000_000));
+        // Same octets in 2 s = 500 kb/s.
+        assert_eq!(rate_bps(125_000, 200), Some(500_000));
+        // 10 ms interval scales up.
+        assert_eq!(rate_bps(1_250, 1), Some(1_000_000));
+    }
+
+    #[test]
+    fn zero_interval_yields_none() {
+        assert_eq!(rate_bps(1000, 0), None);
+        assert_eq!(pps(10, 0), None);
+    }
+
+    #[test]
+    fn pps_conversion() {
+        assert_eq!(pps(500, 100), Some(500));
+        assert_eq!(pps(500, 50), Some(1000));
+    }
+
+    #[test]
+    fn rate_handles_max_counter_delta() {
+        // Full 2^32-1 octet wrap in one second must not overflow u64.
+        let r = rate_bps(u32::MAX, 100).unwrap();
+        assert_eq!(r, u32::MAX as u64 * 8);
+    }
+}

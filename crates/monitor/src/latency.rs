@@ -1,0 +1,75 @@
+//! Path latency measurement — the paper's first future-work item
+//! ("measurement of network latency"), implemented as UDP echo probes
+//! through the simulated network.
+//!
+//! A probe is a timestamp-tagged datagram to the target host's ECHO port
+//! (RFC 862); the round-trip time is the simulated time between send and
+//! the echoed copy arriving back at the monitor's mailbox.
+
+use netqos_sim::time::SimDuration;
+
+/// Summary statistics over a set of RTT probes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of successful probes.
+    pub samples: usize,
+    /// Probes lost (no echo before timeout).
+    pub lost: usize,
+    /// Minimum RTT.
+    pub min: SimDuration,
+    /// Mean RTT.
+    pub mean: SimDuration,
+    /// Maximum RTT.
+    pub max: SimDuration,
+}
+
+impl LatencyStats {
+    /// Aggregates raw RTT samples; `lost` counts timed-out probes.
+    pub fn from_samples(rtts: &[SimDuration], lost: usize) -> Option<LatencyStats> {
+        if rtts.is_empty() {
+            return None;
+        }
+        let min = *rtts.iter().min().expect("non-empty");
+        let max = *rtts.iter().max().expect("non-empty");
+        let total: u64 = rtts.iter().map(|d| d.as_micros()).sum();
+        let mean = SimDuration::from_micros(total / rtts.len() as u64);
+        Some(LatencyStats {
+            samples: rtts.len(),
+            lost,
+            min,
+            mean,
+            max,
+        })
+    }
+
+    /// Mean RTT in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.mean.as_secs_f64() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let rtts = [
+            SimDuration::from_micros(100),
+            SimDuration::from_micros(300),
+            SimDuration::from_micros(200),
+        ];
+        let s = LatencyStats::from_samples(&rtts, 1).unwrap();
+        assert_eq!(s.samples, 3);
+        assert_eq!(s.lost, 1);
+        assert_eq!(s.min, SimDuration::from_micros(100));
+        assert_eq!(s.mean, SimDuration::from_micros(200));
+        assert_eq!(s.max, SimDuration::from_micros(300));
+        assert!((s.mean_ms() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_yields_none() {
+        assert!(LatencyStats::from_samples(&[], 5).is_none());
+    }
+}

@@ -1,0 +1,62 @@
+//! # netqos-monitor
+//!
+//! The network QoS monitor — the primary contribution of *Monitoring
+//! Network QoS in a Dynamic Real-Time System* (IPPS 2002).
+//!
+//! The monitor periodically polls SNMP agents on the hosts and network
+//! devices named in a DeSiDeRaTa specification file, converts cumulative
+//! MIB-II counters into per-interval traffic rates, and combines them with
+//! the specified network topology to compute the **used and available
+//! bandwidth of every real-time communication path**, which it reports to
+//! the resource-management middleware.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//!  spec file ──► topology ─────────────┐
+//!                                      ▼
+//!  SNMP agents ──► [poll::DeviceSnapshot] ──► [delta] ──► rates (bits/s)
+//!                                                            │
+//!                       topology::bandwidth (hub/switch) ◄───┘
+//!                                      │
+//!                          [report::PathSample] ──► RM middleware / CSV
+//! ```
+//!
+//! * [`poll`] — building the Table-1 OID set, parsing responses into
+//!   snapshots.
+//! * [`delta`] — wrap-safe Counter32 deltas over the `sysUpTime` interval
+//!   (paper §3.1: "The old value is subtracted from the new one […] the
+//!   time interval between two polling processes can be found using the
+//!   system uptime data").
+//! * [`monitor`] — [`monitor::NetworkMonitor`], the core state machine
+//!   mapping snapshots to per-interface rates and path bandwidth.
+//! * [`simnet`] — runs the whole system inside the `netqos-sim` LAN:
+//!   agents as simulated apps, polls as simulated SNMP/UDP traffic (so
+//!   monitoring overhead perturbs the measurement, as in the paper).
+//! * [`threaded`] — distributed monitoring over real UDP sockets (the
+//!   paper's future-work item), one poller thread per agent.
+//! * [`qos`] — violation detection against `qospath` requirements.
+//! * [`latency`] — path RTT probes (future-work item: "measurement of
+//!   network latency").
+//! * [`report`] — time-series collection and CSV rendering for the
+//!   experiment harness.
+
+pub mod delta;
+pub mod discovery;
+pub mod error;
+pub mod latency;
+pub mod monitor;
+pub mod poll;
+pub mod qos;
+pub mod report;
+pub mod service;
+pub mod simnet;
+pub mod threaded;
+
+pub use error::MonitorError;
+pub use monitor::NetworkMonitor;
+pub use poll::DeviceSnapshot;
+pub use qos::{QosEvent, QosMonitor};
+pub use report::{PathSample, SeriesRecorder};
+pub use service::{MonitoringService, ServiceConfig};
+pub use simnet::SimNetwork;

@@ -1,0 +1,200 @@
+//! Time-series recording and rendering for experiments and the RM feed.
+
+use netqos_topology::bandwidth::PathBandwidth;
+use serde::{Deserialize, Serialize};
+
+/// One sample of one monitored path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathSample {
+    /// Sample time, seconds from experiment start.
+    pub t_s: f64,
+    /// Used bandwidth at the bottleneck, bits/s.
+    pub used_bps: u64,
+    /// Available bandwidth of the path, bits/s.
+    pub available_bps: u64,
+}
+
+impl PathSample {
+    /// Builds a sample from a path-bandwidth evaluation.
+    pub fn at(t_s: f64, bw: &PathBandwidth) -> Self {
+        PathSample {
+            t_s,
+            used_bps: bw.used_bps,
+            available_bps: bw.available_bps,
+        }
+    }
+
+    /// Used bandwidth in Kbytes/second — the unit of the paper's figures.
+    pub fn used_kbytes_per_sec(&self) -> f64 {
+        self.used_bps as f64 / 8.0 / 1000.0
+    }
+}
+
+/// A named series of samples (one monitored path).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Series {
+    /// Series label, e.g. `S1<->N1`.
+    pub name: String,
+    /// The samples in time order.
+    pub samples: Vec<PathSample>,
+}
+
+impl Series {
+    /// Mean used bandwidth (Kbytes/s) over samples in `[from_s, to_s)`.
+    pub fn mean_used_kbps(&self, from_s: f64, to_s: f64) -> Option<f64> {
+        let window: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.t_s >= from_s && s.t_s < to_s)
+            .map(|s| s.used_kbytes_per_sec())
+            .collect();
+        if window.is_empty() {
+            None
+        } else {
+            Some(window.iter().sum::<f64>() / window.len() as f64)
+        }
+    }
+
+    /// Maximum used bandwidth (Kbytes/s) over samples in `[from_s, to_s)`.
+    pub fn max_used_kbps(&self, from_s: f64, to_s: f64) -> Option<f64> {
+        self.samples
+            .iter()
+            .filter(|s| s.t_s >= from_s && s.t_s < to_s)
+            .map(|s| s.used_kbytes_per_sec())
+            .max_by(|a, b| a.total_cmp(b))
+    }
+}
+
+/// Collects several named series and renders them as CSV.
+#[derive(Debug, Clone, Default)]
+pub struct SeriesRecorder {
+    series: Vec<Series>,
+}
+
+impl SeriesRecorder {
+    /// Creates a recorder with the given series names.
+    pub fn new(names: &[&str]) -> Self {
+        SeriesRecorder {
+            series: names
+                .iter()
+                .map(|n| Series {
+                    name: (*n).to_owned(),
+                    samples: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Appends a sample to the named series (creating it if new).
+    pub fn push(&mut self, name: &str, sample: PathSample) {
+        match self.series.iter_mut().find(|s| s.name == name) {
+            Some(s) => s.samples.push(sample),
+            None => self.series.push(Series {
+                name: name.to_owned(),
+                samples: vec![sample],
+            }),
+        }
+    }
+
+    /// The recorded series.
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// A series by name.
+    pub fn get(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name)
+    }
+
+    /// Renders all series as CSV: `t_s,<name1>_used_kBps,<name2>_used_kBps,…`,
+    /// sampling on the union of time points (blank when a series lacks a
+    /// point).
+    pub fn to_csv(&self) -> String {
+        let mut header = String::from("t_s");
+        for s in &self.series {
+            header.push_str(&format!(",{}_used_kBps", s.name));
+        }
+        header.push('\n');
+
+        let mut times: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.samples.iter().map(|p| p.t_s))
+            .collect();
+        times.sort_by(|a, b| a.total_cmp(b));
+        times.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+        let mut out = header;
+        for t in times {
+            out.push_str(&format!("{t:.2}"));
+            for s in &self.series {
+                match s
+                    .samples
+                    .iter()
+                    .find(|p| (p.t_s - t).abs() < 1e-9)
+                {
+                    Some(p) => out.push_str(&format!(",{:.3}", p.used_kbytes_per_sec())),
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, used_kbps: f64) -> PathSample {
+        PathSample {
+            t_s: t,
+            used_bps: (used_kbps * 8000.0) as u64,
+            available_bps: 0,
+        }
+    }
+
+    #[test]
+    fn unit_conversion() {
+        let s = sample(0.0, 100.0);
+        assert!((s.used_kbytes_per_sec() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_and_max_windows() {
+        let mut series = Series {
+            name: "x".into(),
+            samples: vec![],
+        };
+        for t in 0..10 {
+            series.samples.push(sample(t as f64, t as f64 * 10.0));
+        }
+        let mean = series.mean_used_kbps(2.0, 5.0).unwrap(); // 20,30,40
+        assert!((mean - 30.0).abs() < 1e-9);
+        let max = series.max_used_kbps(2.0, 5.0).unwrap();
+        assert!((max - 40.0).abs() < 1e-9);
+        assert!(series.mean_used_kbps(100.0, 200.0).is_none());
+    }
+
+    #[test]
+    fn csv_renders_all_series() {
+        let mut rec = SeriesRecorder::new(&["a", "b"]);
+        rec.push("a", sample(0.0, 1.0));
+        rec.push("b", sample(0.0, 2.0));
+        rec.push("a", sample(1.0, 3.0));
+        let csv = rec.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_s,a_used_kBps,b_used_kBps");
+        assert_eq!(lines[1], "0.00,1.000,2.000");
+        assert_eq!(lines[2], "1.00,3.000,"); // b missing at t=1
+    }
+
+    #[test]
+    fn push_creates_unknown_series() {
+        let mut rec = SeriesRecorder::default();
+        rec.push("new", sample(0.0, 1.0));
+        assert!(rec.get("new").is_some());
+        assert_eq!(rec.series().len(), 1);
+    }
+}

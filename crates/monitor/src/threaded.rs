@@ -1,0 +1,292 @@
+//! Distributed monitoring over real UDP — the paper's future-work item
+//! "distributed network monitoring", built on the sans-IO SNMP client.
+//!
+//! One poller thread per agent sends the Table-1 GetRequest every
+//! `period`, pushing parsed snapshots into a crossbeam channel; the
+//! consumer (usually the RM process) drains the channel into a
+//! [`NetworkMonitor`](crate::monitor::NetworkMonitor). Agent failures are reported in-band so the RM can
+//! treat an unresponsive host as a failure-detection signal.
+
+use crate::error::MonitorError;
+use crate::poll::{self, DeviceSnapshot};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use netqos_snmp::client::SnmpClient;
+use netqos_snmp::transport::UdpTransport;
+use netqos_topology::NodeId;
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One agent to poll.
+#[derive(Debug, Clone)]
+pub struct AgentTarget {
+    /// The topology node this agent represents.
+    pub node: NodeId,
+    /// UDP address of the agent.
+    pub addr: SocketAddr,
+    /// Community string.
+    pub community: String,
+    /// Number of interfaces to poll.
+    pub if_count: u32,
+}
+
+/// A message from a poller thread.
+#[derive(Debug)]
+pub enum PollMessage {
+    /// A successful poll.
+    Snapshot {
+        /// Which node.
+        node: NodeId,
+        /// The snapshot.
+        snapshot: DeviceSnapshot,
+    },
+    /// A failed poll (timeout or protocol error).
+    Failure {
+        /// Which node.
+        node: NodeId,
+        /// Why.
+        error: MonitorError,
+    },
+}
+
+/// Handle to a running distributed poller.
+pub struct DistributedPoller {
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    rx: Receiver<PollMessage>,
+    stats: Arc<Mutex<PollerStats>>,
+}
+
+/// Aggregate poller statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PollerStats {
+    /// Successful polls across all agents.
+    pub successes: u64,
+    /// Failed polls across all agents.
+    pub failures: u64,
+}
+
+impl DistributedPoller {
+    /// Spawns one polling thread per target.
+    pub fn spawn(targets: Vec<AgentTarget>, period: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(Mutex::new(PollerStats::default()));
+        let (tx, rx): (Sender<PollMessage>, Receiver<PollMessage>) = unbounded();
+        let mut threads = Vec::with_capacity(targets.len());
+        for target in targets {
+            let stop = stop.clone();
+            let tx = tx.clone();
+            let stats = stats.clone();
+            threads.push(std::thread::spawn(move || {
+                poll_loop(target, period, stop, tx, stats)
+            }));
+        }
+        DistributedPoller {
+            stop,
+            threads,
+            rx,
+            stats,
+        }
+    }
+
+    /// The message channel to drain.
+    pub fn messages(&self) -> &Receiver<PollMessage> {
+        &self.rx
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> PollerStats {
+        *self.stats.lock()
+    }
+
+    /// Stops all threads and joins them.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Drains pending messages into a monitor; failures are returned.
+    pub fn drain_into(
+        &self,
+        monitor: &mut crate::monitor::NetworkMonitor,
+    ) -> Vec<(NodeId, MonitorError)> {
+        let mut failures = Vec::new();
+        while let Ok(msg) = self.rx.try_recv() {
+            match msg {
+                PollMessage::Snapshot { node, snapshot } => {
+                    if let Err(e) = monitor.ingest(node, snapshot) {
+                        failures.push((node, e));
+                    }
+                }
+                PollMessage::Failure { node, error } => failures.push((node, error)),
+            }
+        }
+        failures
+    }
+}
+
+impl Drop for DistributedPoller {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn poll_loop(
+    target: AgentTarget,
+    period: Duration,
+    stop: Arc<AtomicBool>,
+    tx: Sender<PollMessage>,
+    stats: Arc<Mutex<PollerStats>>,
+) {
+    let oids = poll::poll_oids(target.if_count);
+    let transport = match UdpTransport::connect(target.addr) {
+        Ok(mut t) => {
+            t.set_timeout(period.min(Duration::from_millis(500)));
+            t.set_retries(1);
+            t
+        }
+        Err(e) => {
+            let _ = tx.send(PollMessage::Failure {
+                node: target.node,
+                error: MonitorError::Snmp(e.to_string()),
+            });
+            return;
+        }
+    };
+    let mut client = SnmpClient::new(transport, &target.community);
+    while !stop.load(Ordering::Relaxed) {
+        let result = client
+            .get_many(&oids)
+            .map_err(MonitorError::from)
+            .and_then(|bindings| poll::parse_snapshot(&bindings, target.if_count));
+        let msg = match result {
+            Ok(snapshot) => {
+                stats.lock().successes += 1;
+                PollMessage::Snapshot {
+                    node: target.node,
+                    snapshot,
+                }
+            }
+            Err(error) => {
+                stats.lock().failures += 1;
+                PollMessage::Failure {
+                    node: target.node,
+                    error,
+                }
+            }
+        };
+        if tx.send(msg).is_err() {
+            return; // consumer gone
+        }
+        // Sleep in small slices so stop is responsive.
+        let mut remaining = period;
+        while !stop.load(Ordering::Relaxed) && remaining > Duration::ZERO {
+            let slice = remaining.min(Duration::from_millis(20));
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::NetworkMonitor;
+    use netqos_snmp::mib::ScalarMib;
+    use netqos_snmp::mib2::{self, IfEntry, SystemInfo};
+    use netqos_snmp::transport::UdpAgentServer;
+    use netqos_topology::{IfIx, NetworkTopology, NodeKind};
+    use std::sync::atomic::AtomicU32;
+
+    /// An agent whose counters advance by a fixed amount per request —
+    /// easy to predict rates from.
+    fn spawn_growing_agent(
+        octets_per_poll: u32,
+        ticks_per_poll: u32,
+    ) -> netqos_snmp::transport::UdpAgentHandle {
+        let polls = Arc::new(AtomicU32::new(0));
+        UdpAgentServer::spawn("127.0.0.1:0", "public", move || {
+            let k = polls.fetch_add(1, Ordering::Relaxed) + 1;
+            let mut mib = ScalarMib::new();
+            mib2::system::install(&mut mib, &SystemInfo::new("T"), k * ticks_per_poll);
+            let mut e = IfEntry::ethernet(1, "eth0", 100_000_000, [2, 0, 0, 0, 0, 9]);
+            e.in_octets = k.wrapping_mul(octets_per_poll);
+            mib2::interfaces::install(&mut mib, &[e]);
+            mib
+        })
+        .expect("spawn agent")
+    }
+
+    fn one_node_topology() -> (NetworkTopology, NodeId) {
+        let mut t = NetworkTopology::new();
+        let a = t.add_node("T", NodeKind::Host).unwrap();
+        t.add_interface(a, "eth0", 100_000_000).unwrap();
+        t.set_snmp(a, "public").unwrap();
+        // A peer so paths exist if needed.
+        let b = t.add_node("B", NodeKind::Host).unwrap();
+        t.add_interface(b, "eth0", 100_000_000).unwrap();
+        t.connect((a, IfIx(0)), (b, IfIx(0))).unwrap();
+        (t, a)
+    }
+
+    #[test]
+    fn distributed_poller_produces_rates() {
+        // 125000 octets per poll, 100 ticks (1 s of agent uptime) per
+        // poll -> exactly 1 Mb/s regardless of wall-clock pacing.
+        let server = spawn_growing_agent(125_000, 100);
+        let (topo, node) = one_node_topology();
+        let poller = DistributedPoller::spawn(
+            vec![AgentTarget {
+                node,
+                addr: server.local_addr(),
+                community: "public".into(),
+                if_count: 1,
+            }],
+            Duration::from_millis(50),
+        );
+        let mut monitor = NetworkMonitor::new(topo);
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while monitor.if_rates(node, IfIx(0)).is_none() {
+            assert!(std::time::Instant::now() < deadline, "no rates in time");
+            poller.drain_into(&mut monitor);
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let r = monitor.if_rates(node, IfIx(0)).unwrap();
+        assert_eq!(r.in_bps, 1_000_000);
+        assert!(poller.stats().successes >= 2);
+        poller.stop();
+        server.stop();
+    }
+
+    #[test]
+    fn unreachable_agent_reports_failures() {
+        let (topo, node) = one_node_topology();
+        let poller = DistributedPoller::spawn(
+            vec![AgentTarget {
+                node,
+                addr: "127.0.0.1:1".parse().unwrap(),
+                community: "public".into(),
+                if_count: 1,
+            }],
+            Duration::from_millis(50),
+        );
+        let mut monitor = NetworkMonitor::new(topo);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut failures = Vec::new();
+        while failures.is_empty() {
+            assert!(std::time::Instant::now() < deadline, "no failure in time");
+            failures = poller.drain_into(&mut monitor);
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(matches!(failures[0].1, MonitorError::Snmp(_)));
+        poller.stop();
+    }
+}

@@ -1,0 +1,133 @@
+//! Layer-2 and layer-3 addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Deterministic locally-administered unicast MAC derived from a seed
+    /// (used by the builder to assign unique NIC addresses).
+    pub fn from_seed(seed: u64) -> MacAddr {
+        let b = seed.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(self) -> bool {
+        self == MacAddr::BROADCAST
+    }
+
+    /// Raw octets.
+    pub fn octets(self) -> [u8; 6] {
+        self.0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+/// An IPv4 address (the simulator's only network-layer protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4Addr(pub [u8; 4]);
+
+impl Ipv4Addr {
+    /// Builds from octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr([a, b, c, d])
+    }
+
+    /// Raw octets.
+    pub fn octets(self) -> [u8; 4] {
+        self.0
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+/// Error parsing an IPv4 address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIpError(pub String);
+
+impl fmt::Display for ParseIpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 address `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseIpError {}
+
+impl FromStr for Ipv4Addr {
+    type Err = ParseIpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut octets = [0u8; 4];
+        let mut n = 0;
+        for part in s.split('.') {
+            if n == 4 {
+                return Err(ParseIpError(s.to_owned()));
+            }
+            octets[n] = part.parse().map_err(|_| ParseIpError(s.to_owned()))?;
+            n += 1;
+        }
+        if n != 4 {
+            return Err(ParseIpError(s.to_owned()));
+        }
+        Ok(Ipv4Addr(octets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_from_seed_unique_and_unicast() {
+        let a = MacAddr::from_seed(1);
+        let b = MacAddr::from_seed(2);
+        assert_ne!(a, b);
+        assert!(!a.is_broadcast());
+        assert_eq!(a.octets()[0], 0x02);
+    }
+
+    #[test]
+    fn mac_display() {
+        assert_eq!(MacAddr::BROADCAST.to_string(), "ff:ff:ff:ff:ff:ff");
+        assert_eq!(
+            MacAddr([0x02, 0, 0, 0, 0, 0x2a]).to_string(),
+            "02:00:00:00:00:2a"
+        );
+    }
+
+    #[test]
+    fn ip_parse_and_display() {
+        let ip: Ipv4Addr = "10.0.0.42".parse().unwrap();
+        assert_eq!(ip, Ipv4Addr::new(10, 0, 0, 42));
+        assert_eq!(ip.to_string(), "10.0.0.42");
+    }
+
+    #[test]
+    fn ip_parse_rejects_garbage() {
+        assert!("10.0.0".parse::<Ipv4Addr>().is_err());
+        assert!("10.0.0.0.1".parse::<Ipv4Addr>().is_err());
+        assert!("10.0.0.256".parse::<Ipv4Addr>().is_err());
+        assert!("a.b.c.d".parse::<Ipv4Addr>().is_err());
+    }
+}

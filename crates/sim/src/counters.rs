@@ -1,0 +1,93 @@
+//! Wrapping 32-bit counters with MIB-II semantics.
+//!
+//! RFC 1155 Counters increase monotonically and wrap modulo 2^32. The
+//! simulator tracks true 64-bit totals as well, so tests can verify that
+//! the monitor's wrap-aware delta logic recovers the truth.
+
+/// A Counter32 with a shadow 64-bit total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter32 {
+    total: u64,
+}
+
+impl Counter32 {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter32 { total: 0 }
+    }
+
+    /// A counter pre-loaded near the wrap point (for tests).
+    pub fn with_value(v: u32) -> Self {
+        Counter32 { total: v as u64 }
+    }
+
+    /// Adds `n` (saturating only at u64, which is unreachable in practice).
+    pub fn add(&mut self, n: u64) {
+        self.total = self.total.wrapping_add(n);
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// The MIB-visible 32-bit value (wrapped).
+    pub fn value(&self) -> u32 {
+        (self.total % (1u64 << 32)) as u32
+    }
+
+    /// The true total (not exposed via SNMP; for ground-truth checks).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// The wrap-aware difference `new − old (mod 2^32)` — what a monitor must
+/// compute between two polls of a Counter32 (paper §3.1: "The old value is
+/// subtracted from the new one").
+pub fn counter_delta(old: u32, new: u32) -> u32 {
+    new.wrapping_sub(old)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_value() {
+        let mut c = Counter32::new();
+        c.add(1000);
+        c.inc();
+        assert_eq!(c.value(), 1001);
+        assert_eq!(c.total(), 1001);
+    }
+
+    #[test]
+    fn wraps_at_2_32() {
+        let mut c = Counter32::with_value(u32::MAX);
+        c.add(3);
+        assert_eq!(c.value(), 2);
+        assert_eq!(c.total(), u32::MAX as u64 + 3);
+    }
+
+    #[test]
+    fn delta_without_wrap() {
+        assert_eq!(counter_delta(100, 250), 150);
+        assert_eq!(counter_delta(0, 0), 0);
+    }
+
+    #[test]
+    fn delta_across_wrap() {
+        assert_eq!(counter_delta(u32::MAX - 10, 5), 16);
+        assert_eq!(counter_delta(u32::MAX, 0), 1);
+    }
+
+    #[test]
+    fn delta_recovers_simulated_growth() {
+        let mut c = Counter32::with_value(u32::MAX - 500);
+        let before = c.value();
+        c.add(12_345);
+        let after = c.value();
+        assert_eq!(counter_delta(before, after), 12_345);
+    }
+}

@@ -1,0 +1,67 @@
+//! Simulator error type.
+
+use crate::addr::Ipv4Addr;
+use crate::events::{DeviceId, PortIx};
+use std::fmt;
+
+/// Errors from building or driving a [`Lan`](crate::world::Lan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Device id out of range.
+    NoSuchDevice(DeviceId),
+    /// Device name already taken.
+    DuplicateName(String),
+    /// IP address already assigned.
+    DuplicateIp(Ipv4Addr),
+    /// Port index out of range for the device.
+    NoSuchPort(DeviceId, PortIx),
+    /// Port already cabled to another port.
+    PortAlreadyLinked(DeviceId, PortIx),
+    /// Attempted to cable a port to itself.
+    SelfLink(DeviceId, PortIx),
+    /// The operation needs a host, but the device is a switch/hub.
+    NotAHost(DeviceId),
+    /// No NIC from which to transmit.
+    NoNic(DeviceId),
+    /// No ARP entry for the destination IP.
+    NoArpEntry(Ipv4Addr),
+    /// The UDP port is already bound by another app.
+    UdpPortTaken(DeviceId, u16),
+    /// App id out of range.
+    NoSuchApp(DeviceId, u32),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoSuchDevice(d) => write!(f, "no such device {d:?}"),
+            SimError::DuplicateName(n) => write!(f, "duplicate device name `{n}`"),
+            SimError::DuplicateIp(ip) => write!(f, "duplicate IP address {ip}"),
+            SimError::NoSuchPort(d, p) => write!(f, "device {d:?} has no port {p:?}"),
+            SimError::PortAlreadyLinked(d, p) => {
+                write!(f, "port {p:?} on {d:?} is already cabled")
+            }
+            SimError::SelfLink(d, p) => write!(f, "cannot cable {d:?}:{p:?} to itself"),
+            SimError::NotAHost(d) => write!(f, "device {d:?} is not a host"),
+            SimError::NoNic(d) => write!(f, "device {d:?} has no NIC"),
+            SimError::NoArpEntry(ip) => write!(f, "no ARP entry for {ip}"),
+            SimError::UdpPortTaken(d, p) => write!(f, "UDP port {p} already bound on {d:?}"),
+            SimError::NoSuchApp(d, a) => write!(f, "device {d:?} has no app {a}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = SimError::NoArpEntry(Ipv4Addr::new(10, 0, 0, 9));
+        assert!(e.to_string().contains("10.0.0.9"));
+        let e = SimError::UdpPortTaken(DeviceId(1), 161);
+        assert!(e.to_string().contains("161"));
+    }
+}

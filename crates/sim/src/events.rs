@@ -1,0 +1,214 @@
+//! Identifiers and the event queue of the discrete-event engine.
+
+use crate::packet::Frame;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifier of a device (host, switch, or hub) in a [`Lan`].
+///
+/// [`Lan`]: crate::world::Lan
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub u32);
+
+/// Port (NIC) index within a device; `ifIndex == PortIx.0 + 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortIx(pub u32);
+
+/// Identifier of an application installed on a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AppId(pub u32);
+
+/// Identifier of a link (cable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub u32);
+
+impl DeviceId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PortIx {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The 1-based MIB-II ifIndex of this port.
+    pub fn if_index(self) -> u32 {
+        self.0 + 1
+    }
+}
+
+impl AppId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Something that happens at an instant.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A frame finishes arriving at a device port.
+    FrameArrive {
+        /// Receiving device.
+        dev: DeviceId,
+        /// Receiving port.
+        port: PortIx,
+        /// The frame.
+        frame: Frame,
+    },
+    /// An application timer fires.
+    Timer {
+        /// Owning device.
+        dev: DeviceId,
+        /// Owning app.
+        app: AppId,
+        /// App-chosen token to distinguish timers.
+        token: u64,
+    },
+}
+
+/// An event scheduled at a time; `seq` breaks ties FIFO so simultaneous
+/// events process in scheduling order (determinism).
+#[derive(Debug, Clone)]
+pub struct Scheduled {
+    /// Fire time.
+    pub at: SimTime,
+    /// Tie-break sequence number.
+    pub seq: u64,
+    /// The event.
+    pub event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap; we want earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The pending-event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at `at`.
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// The time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Removes and returns the earliest pending event.
+    pub fn pop(&mut self) -> Option<Scheduled> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn timer(tok: u64) -> Event {
+        Event::Timer {
+            dev: DeviceId(0),
+            app: AppId(0),
+            token: tok,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        let t0 = SimTime::ZERO;
+        q.push(t0 + SimDuration::from_micros(30), timer(3));
+        q.push(t0 + SimDuration::from_micros(10), timer(1));
+        q.push(t0 + SimDuration::from_micros(20), timer(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|s| match s.event {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for tok in 0..10 {
+            q.push(t, timer(tok));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|s| match s.event {
+                Event::Timer { token, .. } => token,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(42), timer(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(42)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+}

@@ -1,0 +1,158 @@
+//! Network interfaces: per-port state and MIB-visible counters.
+
+use crate::addr::MacAddr;
+use crate::counters::Counter32;
+use crate::events::LinkId;
+use crate::packet::Frame;
+use crate::time::{SimDuration, SimTime};
+
+/// The MIB-II counter set of one interface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NicCounters {
+    /// `ifInOctets`.
+    pub in_octets: Counter32,
+    /// `ifInUcastPkts`.
+    pub in_ucast_pkts: Counter32,
+    /// `ifInNUcastPkts`.
+    pub in_nucast_pkts: Counter32,
+    /// `ifInDiscards`.
+    pub in_discards: Counter32,
+    /// `ifInErrors`.
+    pub in_errors: Counter32,
+    /// `ifOutOctets`.
+    pub out_octets: Counter32,
+    /// `ifOutUcastPkts`.
+    pub out_ucast_pkts: Counter32,
+    /// `ifOutNUcastPkts`.
+    pub out_nucast_pkts: Counter32,
+    /// `ifOutDiscards`.
+    pub out_discards: Counter32,
+    /// `ifOutErrors`.
+    pub out_errors: Counter32,
+}
+
+impl NicCounters {
+    /// Records a received frame.
+    pub fn record_rx(&mut self, frame: &Frame) {
+        self.in_octets.add(frame.wire_len() as u64);
+        if frame.is_broadcast() {
+            self.in_nucast_pkts.inc();
+        } else {
+            self.in_ucast_pkts.inc();
+        }
+    }
+
+    /// Records a transmitted frame.
+    pub fn record_tx(&mut self, frame: &Frame) {
+        self.out_octets.add(frame.wire_len() as u64);
+        if frame.is_broadcast() {
+            self.out_nucast_pkts.inc();
+        } else {
+            self.out_ucast_pkts.inc();
+        }
+    }
+}
+
+/// One NIC / switch port / hub port.
+#[derive(Debug, Clone)]
+pub struct Nic {
+    /// Hardware address.
+    pub mac: MacAddr,
+    /// Interface description (`ifDescr`), matching the specification
+    /// file's interface local name so the monitor can correlate.
+    pub descr: String,
+    /// Static bandwidth in bits/s (`ifSpeed`).
+    pub speed_bps: u64,
+    /// Counters.
+    pub counters: NicCounters,
+    /// Attached link, once cabled.
+    pub link: Option<LinkId>,
+    /// Time at which the transmitter finishes its current backlog.
+    pub tx_free_at: SimTime,
+    /// Maximum transmit backlog before tail drop (time depth of the
+    /// output queue).
+    pub queue_limit: SimDuration,
+}
+
+impl Nic {
+    /// Creates an unlinked NIC.
+    pub fn new(mac: MacAddr, descr: &str, speed_bps: u64) -> Self {
+        Nic {
+            mac,
+            descr: descr.to_owned(),
+            speed_bps,
+            counters: NicCounters::default(),
+            link: None,
+            tx_free_at: SimTime::ZERO,
+            queue_limit: SimDuration::from_millis(200),
+        }
+    }
+}
+
+/// A read-only snapshot of a NIC, handed to SNMP agents and probes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NicSnapshot {
+    /// 1-based MIB-II ifIndex.
+    pub if_index: u32,
+    /// `ifDescr`.
+    pub descr: String,
+    /// `ifSpeed` in bits/s.
+    pub speed_bps: u64,
+    /// MAC address.
+    pub mac: MacAddr,
+    /// Counters at snapshot time.
+    pub counters: NicCounters,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ipv4Addr;
+    use crate::packet::{FramePayload, UdpDatagram};
+    use bytes::Bytes;
+
+    fn unicast_frame(len: usize) -> Frame {
+        Frame {
+            src: MacAddr::from_seed(1),
+            dst: MacAddr::from_seed(2),
+            payload: FramePayload::Udp(UdpDatagram {
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+                src_port: 1,
+                dst_port: 9,
+                payload: Bytes::from(vec![0u8; len]),
+            }),
+        }
+    }
+
+    #[test]
+    fn rx_tx_update_matching_counters() {
+        let mut c = NicCounters::default();
+        let f = unicast_frame(1000);
+        c.record_rx(&f);
+        c.record_tx(&f);
+        assert_eq!(c.in_octets.value() as usize, f.wire_len());
+        assert_eq!(c.out_octets.value() as usize, f.wire_len());
+        assert_eq!(c.in_ucast_pkts.value(), 1);
+        assert_eq!(c.out_ucast_pkts.value(), 1);
+        assert_eq!(c.in_nucast_pkts.value(), 0);
+    }
+
+    #[test]
+    fn broadcast_counts_as_nucast() {
+        let mut c = NicCounters::default();
+        let f = Frame::raw(MacAddr::from_seed(1), MacAddr::BROADCAST, 60);
+        c.record_rx(&f);
+        assert_eq!(c.in_nucast_pkts.value(), 1);
+        assert_eq!(c.in_ucast_pkts.value(), 0);
+    }
+
+    #[test]
+    fn nic_defaults() {
+        let n = Nic::new(MacAddr::from_seed(9), "eth0", 100_000_000);
+        assert_eq!(n.descr, "eth0");
+        assert!(n.link.is_none());
+        assert_eq!(n.tx_free_at, SimTime::ZERO);
+        assert!(n.queue_limit > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,224 @@
+//! Built-in traffic sources.
+//!
+//! [`CbrSource`] is a fixed-rate UDP sender (the full profile-driven load
+//! generator of the paper lives in `netqos-loadgen`); [`NoiseSource`] is
+//! the stochastic background chatter that gives experiments the small
+//! "background traffic" floor the paper measures and subtracts.
+
+use crate::app::{AppCtx, UdpApp};
+use crate::addr::Ipv4Addr;
+use crate::time::SimDuration;
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A constant-bit-rate UDP sender: emits `chunk_bytes` of payload every
+/// `chunk_bytes / rate` seconds toward a destination port.
+pub struct CbrSource {
+    /// Destination IP.
+    pub dst_ip: Ipv4Addr,
+    /// Destination UDP port.
+    pub dst_port: u16,
+    /// Source UDP port.
+    pub src_port: u16,
+    /// Application payload rate in bytes/second.
+    pub rate_bytes_per_sec: u64,
+    /// Payload bytes per send (fragmented to MTU by the stack if larger).
+    pub chunk_bytes: usize,
+    /// Stop after this much simulated time (None = forever).
+    pub stop_after: Option<SimDuration>,
+    elapsed: SimDuration,
+}
+
+impl CbrSource {
+    /// Creates a CBR source.
+    pub fn new(
+        dst_ip: Ipv4Addr,
+        dst_port: u16,
+        rate_bytes_per_sec: u64,
+        chunk_bytes: usize,
+    ) -> Self {
+        CbrSource {
+            dst_ip,
+            dst_port,
+            src_port: 30000,
+            rate_bytes_per_sec,
+            chunk_bytes: chunk_bytes.max(1),
+            stop_after: None,
+            elapsed: SimDuration::ZERO,
+        }
+    }
+
+    fn interval(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.chunk_bytes as f64 / self.rate_bytes_per_sec as f64)
+    }
+}
+
+impl UdpApp for CbrSource {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        if self.rate_bytes_per_sec > 0 {
+            ctx.schedule(self.interval(), 0);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut AppCtx<'_>, _token: u64) {
+        let iv = self.interval();
+        self.elapsed = self.elapsed + iv;
+        if let Some(stop) = self.stop_after {
+            if self.elapsed > stop {
+                return;
+            }
+        }
+        ctx.send_udp(
+            self.src_port,
+            self.dst_ip,
+            self.dst_port,
+            Bytes::from(vec![0u8; self.chunk_bytes]),
+        );
+        ctx.schedule(iv, 0);
+    }
+}
+
+/// Stochastic background broadcast chatter: small frames at exponentially
+/// distributed intervals, seeded for reproducibility.
+pub struct NoiseSource {
+    rng: StdRng,
+    /// Mean interval between frames.
+    pub mean_interval: SimDuration,
+    /// IP-length range of emitted frames.
+    pub len_range: (usize, usize),
+}
+
+impl NoiseSource {
+    /// Creates a noise source with the given seed and mean rate.
+    pub fn new(seed: u64, mean_interval: SimDuration) -> Self {
+        NoiseSource {
+            rng: StdRng::seed_from_u64(seed),
+            mean_interval,
+            len_range: (46, 300),
+        }
+    }
+
+    fn next_interval(&mut self) -> SimDuration {
+        // Exponential via inverse CDF; clamp away from zero.
+        let u: f64 = self.rng.gen_range(1e-6..1.0);
+        let secs = -u.ln() * self.mean_interval.as_secs_f64();
+        SimDuration::from_secs_f64(secs.max(1e-6))
+    }
+}
+
+impl UdpApp for NoiseSource {
+    fn on_start(&mut self, ctx: &mut AppCtx<'_>) {
+        let iv = self.next_interval();
+        ctx.schedule(iv, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut AppCtx<'_>, _token: u64) {
+        let len = self.rng.gen_range(self.len_range.0..=self.len_range.1);
+        ctx.send_raw_broadcast(len, None);
+        let iv = self.next_interval();
+        ctx.schedule(iv, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::DiscardSink;
+    use crate::builder::LanBuilder;
+    use crate::events::PortIx;
+    use crate::packet::DISCARD_PORT;
+    use crate::time::SimTime;
+
+    #[test]
+    fn cbr_rate_is_accurate() {
+        let mut b = LanBuilder::new();
+        let a = b.add_host("A", "10.0.0.1").unwrap();
+        b.add_nic(a, "eth0", 100_000_000).unwrap();
+        let d = b.add_host("B", "10.0.0.2").unwrap();
+        b.add_nic(d, "eth0", 100_000_000).unwrap();
+        b.connect((a, PortIx(0)), (d, PortIx(0))).unwrap();
+        let (sink, handle) = DiscardSink::with_handle();
+        b.install_app(d, Box::new(sink), Some(DISCARD_PORT)).unwrap();
+        // 100 KB/s in 1 KB chunks.
+        b.install_app(
+            a,
+            Box::new(CbrSource::new("10.0.0.2".parse().unwrap(), DISCARD_PORT, 100_000, 1000)),
+            None,
+        )
+        .unwrap();
+        let mut lan = b.build();
+        lan.run_until(SimTime::ZERO + SimDuration::from_secs(10));
+        let got = handle.borrow().payload_bytes as f64;
+        let expect = 100_000.0 * 10.0;
+        let err = (got - expect).abs() / expect;
+        assert!(err < 0.02, "got {got}, expected {expect} (err {err})");
+    }
+
+    #[test]
+    fn cbr_stop_after_halts_traffic() {
+        let mut b = LanBuilder::new();
+        let a = b.add_host("A", "10.0.0.1").unwrap();
+        b.add_nic(a, "eth0", 100_000_000).unwrap();
+        let d = b.add_host("B", "10.0.0.2").unwrap();
+        b.add_nic(d, "eth0", 100_000_000).unwrap();
+        b.connect((a, PortIx(0)), (d, PortIx(0))).unwrap();
+        let (sink, handle) = DiscardSink::with_handle();
+        b.install_app(d, Box::new(sink), Some(DISCARD_PORT)).unwrap();
+        let mut src = CbrSource::new("10.0.0.2".parse().unwrap(), DISCARD_PORT, 100_000, 1000);
+        src.stop_after = Some(SimDuration::from_secs(2));
+        b.install_app(a, Box::new(src), None).unwrap();
+        let mut lan = b.build();
+        lan.run_for(SimDuration::from_secs(10));
+        let got = handle.borrow().payload_bytes as f64;
+        // ~2 seconds of traffic only.
+        assert!(got <= 210_000.0, "got {got}");
+        assert!(got >= 180_000.0, "got {got}");
+    }
+
+    #[test]
+    fn noise_is_reproducible_across_runs() {
+        let run = || {
+            let mut b = LanBuilder::new();
+            let a = b.add_host("A", "10.0.0.1").unwrap();
+            b.add_nic(a, "eth0", 10_000_000).unwrap();
+            let d = b.add_host("B", "10.0.0.2").unwrap();
+            b.add_nic(d, "eth0", 10_000_000).unwrap();
+            b.connect((a, PortIx(0)), (d, PortIx(0))).unwrap();
+            b.install_app(
+                a,
+                Box::new(NoiseSource::new(42, SimDuration::from_millis(50))),
+                None,
+            )
+            .unwrap();
+            let mut lan = b.build();
+            lan.run_for(SimDuration::from_secs(5));
+            lan.nic_counters(d, PortIx(0)).unwrap().in_octets.value()
+        };
+        let x = run();
+        let y = run();
+        assert!(x > 0);
+        assert_eq!(x, y, "same seed must give identical traffic");
+    }
+
+    #[test]
+    fn noise_counts_as_nucast_on_receivers() {
+        let mut b = LanBuilder::new();
+        let a = b.add_host("A", "10.0.0.1").unwrap();
+        b.add_nic(a, "eth0", 10_000_000).unwrap();
+        let d = b.add_host("B", "10.0.0.2").unwrap();
+        b.add_nic(d, "eth0", 10_000_000).unwrap();
+        b.connect((a, PortIx(0)), (d, PortIx(0))).unwrap();
+        b.install_app(
+            a,
+            Box::new(NoiseSource::new(7, SimDuration::from_millis(20))),
+            None,
+        )
+        .unwrap();
+        let mut lan = b.build();
+        lan.run_for(SimDuration::from_secs(2));
+        let c = lan.nic_counters(d, PortIx(0)).unwrap();
+        assert!(c.in_nucast_pkts.value() > 10);
+        assert_eq!(c.in_ucast_pkts.value(), 0);
+    }
+}

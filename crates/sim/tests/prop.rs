@@ -1,0 +1,107 @@
+//! Property tests for the simulator: byte conservation, counter
+//! consistency, and determinism under random workloads.
+
+use bytes::Bytes;
+use netqos_sim::app::DiscardSink;
+use netqos_sim::builder::LanBuilder;
+use netqos_sim::packet::DISCARD_PORT;
+use netqos_sim::time::SimDuration;
+use netqos_sim::{DeviceId, Lan, PortIx};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn two_hosts() -> (Lan, DeviceId, DeviceId, Rc<RefCell<netqos_sim::app::DiscardStats>>) {
+    let mut b = LanBuilder::new();
+    let a = b.add_host("A", "10.0.0.1").unwrap();
+    b.add_nic(a, "eth0", 100_000_000).unwrap();
+    let d = b.add_host("B", "10.0.0.2").unwrap();
+    b.add_nic(d, "eth0", 100_000_000).unwrap();
+    b.connect((a, PortIx(0)), (d, PortIx(0))).unwrap();
+    let (sink, handle) = DiscardSink::with_handle();
+    b.install_app(d, Box::new(sink), Some(DISCARD_PORT)).unwrap();
+    (b.build(), a, d, handle)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On a loss-free point-to-point link, every octet transmitted by A
+    /// is received by B, and the payload arrives complete.
+    #[test]
+    fn octet_conservation_on_direct_link(
+        sizes in prop::collection::vec(1usize..20_000, 1..20),
+    ) {
+        let (mut lan, a, d, handle) = two_hosts();
+        let total: usize = sizes.iter().sum();
+        for size in &sizes {
+            lan.post_udp(a, 5000, "10.0.0.2".parse().unwrap(), DISCARD_PORT,
+                         Bytes::from(vec![0u8; *size])).unwrap();
+        }
+        // Enough time for everything to drain (100 Mb/s link).
+        lan.run_for(SimDuration::from_secs(60));
+        let tx = lan.nic_counters(a, PortIx(0)).unwrap();
+        let rx = lan.nic_counters(d, PortIx(0)).unwrap();
+        prop_assert_eq!(tx.out_discards.value(), 0, "no drops expected");
+        prop_assert_eq!(tx.out_octets.value(), rx.in_octets.value());
+        prop_assert_eq!(handle.borrow().payload_bytes as usize, total);
+        // Wire octets strictly exceed payload (headers + padding).
+        prop_assert!(tx.out_octets.total() as usize > total);
+    }
+
+    /// Packet counters match: unicast frames out == unicast frames in.
+    #[test]
+    fn packet_count_conservation(
+        n_datagrams in 1usize..40,
+        size in 1usize..1400,
+    ) {
+        let (mut lan, a, d, _) = two_hosts();
+        for _ in 0..n_datagrams {
+            lan.post_udp(a, 5000, "10.0.0.2".parse().unwrap(), DISCARD_PORT,
+                         Bytes::from(vec![0u8; size])).unwrap();
+        }
+        lan.run_for(SimDuration::from_secs(10));
+        let tx = lan.nic_counters(a, PortIx(0)).unwrap();
+        let rx = lan.nic_counters(d, PortIx(0)).unwrap();
+        prop_assert_eq!(tx.out_ucast_pkts.value(), n_datagrams as u32);
+        prop_assert_eq!(rx.in_ucast_pkts.value(), n_datagrams as u32);
+    }
+
+    /// The engine is deterministic: identical stimulus sequences produce
+    /// identical counters and statistics.
+    #[test]
+    fn determinism_under_random_workload(
+        sizes in prop::collection::vec(1usize..5_000, 1..15),
+    ) {
+        let run = |sizes: &[usize]| {
+            let (mut lan, a, d, _) = two_hosts();
+            for (k, size) in sizes.iter().enumerate() {
+                lan.post_udp(a, 5000 + (k as u16 % 100), "10.0.0.2".parse().unwrap(),
+                             DISCARD_PORT, Bytes::from(vec![0u8; *size])).unwrap();
+            }
+            lan.run_for(SimDuration::from_secs(5));
+            (
+                lan.nic_counters(a, PortIx(0)).unwrap(),
+                lan.nic_counters(d, PortIx(0)).unwrap(),
+                lan.stats(),
+            )
+        };
+        prop_assert_eq!(run(&sizes), run(&sizes));
+    }
+
+    /// Counters wrap like real Counter32s: with a preloaded near-wrap
+    /// value, the 32-bit view wraps while the shadow total keeps growing.
+    #[test]
+    fn preloaded_counters_wrap(extra in 1usize..50_000) {
+        let (mut lan, a, _, _) = two_hosts();
+        // 40 octets of headroom: even a minimum-size (64-octet) frame
+        // crosses the wrap point.
+        lan.preload_octet_counters(a, PortIx(0), 0, u32::MAX - 40).unwrap();
+        lan.post_udp(a, 5000, "10.0.0.2".parse().unwrap(), DISCARD_PORT,
+                     Bytes::from(vec![0u8; extra])).unwrap();
+        lan.run_for(SimDuration::from_secs(10));
+        let tx = lan.nic_counters(a, PortIx(0)).unwrap();
+        prop_assert!(tx.out_octets.total() > u32::MAX as u64);
+        prop_assert!(tx.out_octets.value() < u32::MAX - 40);
+    }
+}

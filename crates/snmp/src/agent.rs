@@ -1,0 +1,496 @@
+//! The SNMP agent: request handling against a [`MibView`].
+//!
+//! The agent is transport-free: [`SnmpAgent::handle`] maps request bytes to
+//! optional response bytes. SNMPv1 semantics implemented:
+//!
+//! * community mismatch → silently drop the request (and count it);
+//! * `GetRequest` with any unknown name → `noSuchName` with the 1-based
+//!   index of the first offender, bindings echoed;
+//! * `GetNextRequest` past the end of the MIB → `noSuchName`;
+//! * `SetRequest` → `readOnly` (this agent never writes);
+//! * responses/traps received by an agent are ignored.
+
+use crate::error::SnmpError;
+use crate::message::{MessageBody, SnmpMessage};
+use crate::mib::MibView;
+use crate::pdu::{ErrorStatus, Pdu, PduType, VarBind};
+
+/// Counters describing an agent's life so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgentStats {
+    /// Requests successfully parsed and answered (including error
+    /// responses).
+    pub answered: u64,
+    /// Messages dropped for a community mismatch.
+    pub bad_community: u64,
+    /// Messages dropped as undecodable.
+    pub malformed: u64,
+    /// Error responses among `answered`.
+    pub error_responses: u64,
+}
+
+/// A read-only SNMPv1 agent.
+#[derive(Debug, Clone)]
+pub struct SnmpAgent {
+    community: Vec<u8>,
+    stats: AgentStats,
+    max_response_bytes: usize,
+}
+
+impl SnmpAgent {
+    /// Creates an agent that accepts the given community string.
+    ///
+    /// The default maximum response size is 64 KiB (the UDP datagram
+    /// limit); use [`SnmpAgent::set_max_response_bytes`] to model agents
+    /// with smaller buffers, which answer oversized requests with the
+    /// `tooBig` error (RFC 1157 §4.1.2).
+    pub fn new(community: &str) -> Self {
+        SnmpAgent {
+            community: community.as_bytes().to_vec(),
+            stats: AgentStats::default(),
+            max_response_bytes: 65_507,
+        }
+    }
+
+    /// Limits the encoded response size; larger replies become `tooBig`
+    /// errors.
+    pub fn set_max_response_bytes(&mut self, limit: usize) {
+        self.max_response_bytes = limit;
+    }
+
+    /// The agent's life-time statistics.
+    pub fn stats(&self) -> AgentStats {
+        self.stats
+    }
+
+    /// Handles one request datagram against `view`. Returns the response
+    /// datagram, or `None` when SNMPv1 prescribes silence (bad community,
+    /// unparseable message, or a non-request PDU).
+    pub fn handle(&mut self, request: &[u8], view: &dyn MibView) -> Option<Vec<u8>> {
+        let msg = match SnmpMessage::decode(request) {
+            Ok(m) => m,
+            Err(_) => {
+                self.stats.malformed += 1;
+                return None;
+            }
+        };
+        if msg.community != self.community {
+            self.stats.bad_community += 1;
+            return None;
+        }
+        let pdu = match msg.body {
+            MessageBody::Pdu(p) => p,
+            MessageBody::Bulk(bulk) => {
+                // GetBulk exists only in v2c; a v1 message carrying it is
+                // a protocol violation and is dropped.
+                if msg.version != crate::message::SnmpVersion::V2c {
+                    self.stats.malformed += 1;
+                    return None;
+                }
+                let response = self.do_get_bulk(&bulk, view);
+                self.stats.answered += 1;
+                let out = SnmpMessage {
+                    version: msg.version,
+                    community: msg.community,
+                    body: MessageBody::Pdu(response),
+                };
+                let encoded = out.encode().ok()?;
+                if encoded.len() > self.max_response_bytes {
+                    // Shrink by halving repetitions is the RFC's advice;
+                    // we answer tooBig and let the manager adapt.
+                    let too_big = Pdu {
+                        pdu_type: PduType::GetResponse,
+                        request_id: bulk.request_id,
+                        error_status: ErrorStatus::TooBig,
+                        error_index: 0,
+                        bindings: Vec::new(),
+                    };
+                    self.stats.error_responses += 1;
+                    return SnmpMessage {
+                        version: crate::message::SnmpVersion::V2c,
+                        community: self.community.clone(),
+                        body: MessageBody::Pdu(too_big),
+                    }
+                    .encode()
+                    .ok();
+                }
+                return Some(encoded);
+            }
+            MessageBody::Trap(_) => return None,
+        };
+        let mut response = match pdu.pdu_type {
+            PduType::GetRequest => self.do_get(&pdu, view),
+            PduType::GetNextRequest => self.do_get_next(&pdu, view),
+            PduType::SetRequest => pdu.error_response(ErrorStatus::ReadOnly, 1),
+            PduType::GetResponse => return None, // agents do not answer responses
+        };
+        let mut out = SnmpMessage {
+            version: msg.version,
+            community: msg.community,
+            body: MessageBody::Pdu(response.clone()),
+        };
+        // RFC 1157 §4.1.2: if the reply would exceed a local limitation,
+        // respond tooBig with empty-ish bindings instead.
+        let mut encoded = out.encode().ok()?;
+        if encoded.len() > self.max_response_bytes {
+            response = pdu.error_response(ErrorStatus::TooBig, 0);
+            response.bindings.clear();
+            out.body = MessageBody::Pdu(response.clone());
+            encoded = out.encode().ok()?;
+        }
+        self.stats.answered += 1;
+        if !response.error_status.is_ok() {
+            self.stats.error_responses += 1;
+        }
+        Some(encoded)
+    }
+
+    fn do_get(&self, pdu: &Pdu, view: &dyn MibView) -> Pdu {
+        let mut bindings = Vec::with_capacity(pdu.bindings.len());
+        for (i, vb) in pdu.bindings.iter().enumerate() {
+            match view.get(&vb.oid) {
+                Some(value) => bindings.push(VarBind::new(vb.oid.clone(), value)),
+                None => return pdu.error_response(ErrorStatus::NoSuchName, (i + 1) as u32),
+            }
+        }
+        pdu.response(bindings)
+    }
+
+    /// RFC 1905 §4.2.3 GetBulk semantics: `non_repeaters` leading names
+    /// get one successor each; every remaining name is stepped up to
+    /// `max_repetitions` times; walks past the MIB yield `endOfMibView`
+    /// values (never an error).
+    fn do_get_bulk(&self, bulk: &crate::pdu::BulkPdu, view: &dyn MibView) -> Pdu {
+        let mut bindings = Vec::new();
+        let nr = (bulk.non_repeaters as usize).min(bulk.bindings.len());
+        for vb in &bulk.bindings[..nr] {
+            match view.next_after(&vb.oid) {
+                Some((oid, value)) => bindings.push(VarBind::new(oid, value)),
+                None => bindings.push(VarBind::new(
+                    vb.oid.clone(),
+                    crate::value::SnmpValue::EndOfMibView,
+                )),
+            }
+        }
+        let repeaters: Vec<_> = bulk.bindings[nr..].to_vec();
+        let mut cursors: Vec<_> = repeaters.iter().map(|vb| vb.oid.clone()).collect();
+        let mut done: Vec<bool> = vec![false; cursors.len()];
+        for _ in 0..bulk.max_repetitions {
+            if done.iter().all(|&d| d) {
+                break;
+            }
+            for (i, cursor) in cursors.iter_mut().enumerate() {
+                if done[i] {
+                    continue;
+                }
+                match view.next_after(cursor) {
+                    Some((oid, value)) => {
+                        *cursor = oid.clone();
+                        bindings.push(VarBind::new(oid, value));
+                    }
+                    None => {
+                        done[i] = true;
+                        bindings.push(VarBind::new(
+                            cursor.clone(),
+                            crate::value::SnmpValue::EndOfMibView,
+                        ));
+                    }
+                }
+            }
+        }
+        Pdu {
+            pdu_type: PduType::GetResponse,
+            request_id: bulk.request_id,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            bindings,
+        }
+    }
+
+    fn do_get_next(&self, pdu: &Pdu, view: &dyn MibView) -> Pdu {
+        let mut bindings = Vec::with_capacity(pdu.bindings.len());
+        for (i, vb) in pdu.bindings.iter().enumerate() {
+            match view.next_after(&vb.oid) {
+                Some((oid, value)) => bindings.push(VarBind::new(oid, value)),
+                None => return pdu.error_response(ErrorStatus::NoSuchName, (i + 1) as u32),
+            }
+        }
+        pdu.response(bindings)
+    }
+}
+
+/// Convenience for tests and simple deployments: decode a response message
+/// and extract its PDU, verifying it is a `GetResponse`.
+pub fn decode_response(bytes: &[u8]) -> Result<Pdu, SnmpError> {
+    let msg = SnmpMessage::decode(bytes)?;
+    match msg.body {
+        MessageBody::Pdu(p) if p.pdu_type == PduType::GetResponse => Ok(p),
+        _ => Err(SnmpError::NotAResponse),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mib::ScalarMib;
+    use crate::mib2::{self, interfaces::IfEntry, SystemInfo};
+    use crate::oid::Oid;
+    use crate::value::SnmpValue;
+
+    fn oid(s: &str) -> Oid {
+        s.parse().unwrap()
+    }
+
+    fn demo_mib() -> ScalarMib {
+        let mut mib = ScalarMib::new();
+        mib2::system::install(&mut mib, &SystemInfo::new("L"), 1000);
+        mib2::interfaces::install(
+            &mut mib,
+            &[IfEntry::ethernet(1, "eth0", 100_000_000, [2, 0, 0, 0, 0, 1])],
+        );
+        mib
+    }
+
+    fn get_req(community: &str, id: i32, oids: &[Oid]) -> Vec<u8> {
+        SnmpMessage::v1(community, Pdu::request(PduType::GetRequest, id, oids))
+            .encode()
+            .unwrap()
+    }
+
+    #[test]
+    fn get_returns_values() {
+        let mib = demo_mib();
+        let mut agent = SnmpAgent::new("public");
+        let req = get_req(
+            "public",
+            5,
+            &[
+                mib2::system::sys_uptime_instance(),
+                mib2::interfaces::instance_oid(mib2::interfaces::column::IF_SPEED, 1),
+            ],
+        );
+        let resp = agent.handle(&req, &mib).unwrap();
+        let pdu = decode_response(&resp).unwrap();
+        assert_eq!(pdu.request_id, 5);
+        assert!(pdu.error_status.is_ok());
+        assert_eq!(pdu.bindings[0].value, SnmpValue::TimeTicks(1000));
+        assert_eq!(pdu.bindings[1].value, SnmpValue::Gauge32(100_000_000));
+        assert_eq!(agent.stats().answered, 1);
+    }
+
+    #[test]
+    fn get_unknown_name_errors_with_index() {
+        let mib = demo_mib();
+        let mut agent = SnmpAgent::new("public");
+        let req = get_req(
+            "public",
+            6,
+            &[mib2::system::sys_uptime_instance(), oid("1.3.9.9.9.0")],
+        );
+        let resp = agent.handle(&req, &mib).unwrap();
+        let pdu = decode_response(&resp).unwrap();
+        assert_eq!(pdu.error_status, ErrorStatus::NoSuchName);
+        assert_eq!(pdu.error_index, 2);
+        // v1 echoes the request bindings.
+        assert_eq!(pdu.bindings[1].value, SnmpValue::Null);
+        assert_eq!(agent.stats().error_responses, 1);
+    }
+
+    #[test]
+    fn get_next_walks() {
+        let mib = demo_mib();
+        let mut agent = SnmpAgent::new("public");
+        // Start a walk at the interfaces table root.
+        let req = SnmpMessage::v1(
+            "public",
+            Pdu::request(PduType::GetNextRequest, 7, &[oid("1.3.6.1.2.1.2")]),
+        )
+        .encode()
+        .unwrap();
+        let resp = agent.handle(&req, &mib).unwrap();
+        let pdu = decode_response(&resp).unwrap();
+        assert_eq!(pdu.bindings[0].oid, mib2::interfaces::if_number_instance());
+        assert_eq!(pdu.bindings[0].value, SnmpValue::Integer(1));
+    }
+
+    #[test]
+    fn get_next_at_end_of_mib_errors() {
+        let mib = demo_mib();
+        let mut agent = SnmpAgent::new("public");
+        let req = SnmpMessage::v1(
+            "public",
+            Pdu::request(PduType::GetNextRequest, 8, &[oid("2.99.9")]),
+        )
+        .encode()
+        .unwrap();
+        let resp = agent.handle(&req, &mib).unwrap();
+        let pdu = decode_response(&resp).unwrap();
+        assert_eq!(pdu.error_status, ErrorStatus::NoSuchName);
+    }
+
+    #[test]
+    fn bad_community_dropped_silently() {
+        let mib = demo_mib();
+        let mut agent = SnmpAgent::new("secret");
+        let req = get_req("public", 9, &[mib2::system::sys_uptime_instance()]);
+        assert!(agent.handle(&req, &mib).is_none());
+        assert_eq!(agent.stats().bad_community, 1);
+        assert_eq!(agent.stats().answered, 0);
+    }
+
+    #[test]
+    fn malformed_dropped_silently() {
+        let mib = demo_mib();
+        let mut agent = SnmpAgent::new("public");
+        assert!(agent.handle(&[0x30, 0x05, 0x01], &mib).is_none());
+        assert_eq!(agent.stats().malformed, 1);
+    }
+
+    #[test]
+    fn set_rejected_read_only() {
+        let mib = demo_mib();
+        let mut agent = SnmpAgent::new("public");
+        let req = SnmpMessage::v1(
+            "public",
+            Pdu {
+                pdu_type: PduType::SetRequest,
+                request_id: 10,
+                error_status: ErrorStatus::NoError,
+                error_index: 0,
+                bindings: vec![VarBind::new(
+                    mib2::system::sys_name_instance(),
+                    SnmpValue::text("evil"),
+                )],
+            },
+        )
+        .encode()
+        .unwrap();
+        let resp = agent.handle(&req, &mib).unwrap();
+        let pdu = decode_response(&resp).unwrap();
+        assert_eq!(pdu.error_status, ErrorStatus::ReadOnly);
+    }
+
+    #[test]
+    fn response_pdu_ignored() {
+        let mib = demo_mib();
+        let mut agent = SnmpAgent::new("public");
+        let req = SnmpMessage::v1(
+            "public",
+            Pdu::request(PduType::GetRequest, 1, &[]).response(vec![]),
+        )
+        .encode()
+        .unwrap();
+        assert!(agent.handle(&req, &mib).is_none());
+    }
+
+    #[test]
+    fn get_bulk_semantics() {
+        use crate::pdu::BulkPdu;
+        let mib = demo_mib();
+        let mut agent = SnmpAgent::new("public");
+        // One non-repeater (sysUpTime area) + one repeater over the
+        // interfaces table, 3 repetitions.
+        let bulk = BulkPdu::request(
+            77,
+            1,
+            3,
+            &[oid("1.3.6.1.2.1.1.3"), oid("1.3.6.1.2.1.2.2.1.10")],
+        );
+        let req = SnmpMessage::v2c_bulk("public", bulk).encode().unwrap();
+        let resp = agent.handle(&req, &mib).unwrap();
+        let pdu = decode_response(&resp).unwrap();
+        assert!(pdu.error_status.is_ok());
+        // 1 non-repeater + 3 repetitions of the single repeater.
+        assert_eq!(pdu.bindings.len(), 4);
+        assert_eq!(pdu.bindings[0].oid, mib2::system::sys_uptime_instance());
+        assert_eq!(
+            pdu.bindings[1].oid,
+            mib2::interfaces::instance_oid(mib2::interfaces::column::IF_IN_OCTETS, 1)
+        );
+    }
+
+    #[test]
+    fn get_bulk_reports_end_of_mib_view() {
+        use crate::pdu::BulkPdu;
+        let mib = demo_mib();
+        let mut agent = SnmpAgent::new("public");
+        // Start past everything.
+        let bulk = BulkPdu::request(78, 0, 5, &[oid("2.99")]);
+        let req = SnmpMessage::v2c_bulk("public", bulk).encode().unwrap();
+        let resp = agent.handle(&req, &mib).unwrap();
+        let pdu = decode_response(&resp).unwrap();
+        assert!(pdu.error_status.is_ok());
+        assert_eq!(pdu.bindings.len(), 1);
+        assert_eq!(pdu.bindings[0].value, SnmpValue::EndOfMibView);
+    }
+
+    #[test]
+    fn get_bulk_in_v1_message_dropped() {
+        use crate::message::{MessageBody, SnmpVersion};
+        use crate::pdu::BulkPdu;
+        let mib = demo_mib();
+        let mut agent = SnmpAgent::new("public");
+        let msg = SnmpMessage {
+            version: SnmpVersion::V1,
+            community: b"public".to_vec(),
+            body: MessageBody::Bulk(BulkPdu::request(1, 0, 5, &[oid("1.3")])),
+        };
+        assert!(agent.handle(&msg.encode().unwrap(), &mib).is_none());
+        assert_eq!(agent.stats().malformed, 1);
+    }
+
+    #[test]
+    fn oversized_response_becomes_too_big() {
+        let mib = demo_mib();
+        let mut agent = SnmpAgent::new("public");
+        agent.set_max_response_bytes(64);
+        // Request enough objects that the reply cannot fit 64 bytes.
+        let req = get_req(
+            "public",
+            11,
+            &[
+                mib2::system::sys_descr_instance(),
+                mib2::system::sys_contact_instance(),
+                mib2::system::sys_location_instance(),
+            ],
+        );
+        let resp = agent.handle(&req, &mib).unwrap();
+        assert!(resp.len() <= 64, "tooBig reply must itself be small");
+        let pdu = decode_response(&resp).unwrap();
+        assert_eq!(pdu.error_status, ErrorStatus::TooBig);
+        assert!(pdu.bindings.is_empty());
+        assert_eq!(agent.stats().error_responses, 1);
+
+        // A small request still succeeds under the same limit.
+        let req = get_req("public", 12, &[mib2::system::sys_uptime_instance()]);
+        let resp = agent.handle(&req, &mib).unwrap();
+        let pdu = decode_response(&resp).unwrap();
+        assert!(pdu.error_status.is_ok());
+    }
+
+    #[test]
+    fn full_walk_terminates_and_covers_mib() {
+        let mib = demo_mib();
+        let mut agent = SnmpAgent::new("public");
+        let mut cur = Oid::from([0, 0]);
+        let mut count = 0;
+        loop {
+            let req = SnmpMessage::v1(
+                "public",
+                Pdu::request(PduType::GetNextRequest, count, &[cur.clone()]),
+            )
+            .encode()
+            .unwrap();
+            let resp = agent.handle(&req, &mib).unwrap();
+            let pdu = decode_response(&resp).unwrap();
+            if !pdu.error_status.is_ok() {
+                break;
+            }
+            cur = pdu.bindings[0].oid.clone();
+            count += 1;
+            assert!(count < 1000, "walk did not terminate");
+        }
+        // 7 system scalars + ifNumber + 21 table cells.
+        assert_eq!(count, 29);
+    }
+}

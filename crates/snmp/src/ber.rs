@@ -1,0 +1,676 @@
+//! ASN.1 Basic Encoding Rules — the subset used by SNMPv1 (RFC 1157 §3.2.2
+//! restricts SNMP to definite-length, primitive-where-possible BER).
+//!
+//! The encoder produces canonical encodings (minimal-length integers and
+//! lengths); the decoder is liberal within the SNMP subset but rejects
+//! indefinite lengths, truncated elements, and oversized quantities.
+//!
+//! ## Wire vectors
+//!
+//! A few worked examples, verifiable by hand against RFC 1157 appendix
+//! examples (also asserted in the tests below):
+//!
+//! ```text
+//! INTEGER 5          => 02 01 05
+//! INTEGER -1         => 02 01 FF
+//! INTEGER 256        => 02 02 01 00
+//! OCTET STRING "ab"  => 04 02 61 62
+//! NULL               => 05 00
+//! OID 1.3.6.1.2.1    => 06 05 2B 06 01 02 01
+//! Counter32 0xFFFFFFFF => 41 05 00 FF FF FF FF
+//! ```
+
+use crate::error::BerError;
+use crate::oid::Oid;
+use crate::value::SnmpValue;
+
+/// BER tag constants used by SNMPv1.
+pub mod tag {
+    /// Universal INTEGER.
+    pub const INTEGER: u8 = 0x02;
+    /// Universal OCTET STRING.
+    pub const OCTET_STRING: u8 = 0x04;
+    /// Universal NULL.
+    pub const NULL: u8 = 0x05;
+    /// Universal OBJECT IDENTIFIER.
+    pub const OID: u8 = 0x06;
+    /// Universal constructed SEQUENCE (OF).
+    pub const SEQUENCE: u8 = 0x30;
+    /// Application 0: IpAddress.
+    pub const IP_ADDRESS: u8 = 0x40;
+    /// Application 1: Counter.
+    pub const COUNTER32: u8 = 0x41;
+    /// Application 2: Gauge.
+    pub const GAUGE32: u8 = 0x42;
+    /// Application 3: TimeTicks.
+    pub const TIME_TICKS: u8 = 0x43;
+    /// Application 4: Opaque.
+    pub const OPAQUE: u8 = 0x44;
+    /// Context-constructed 0: GetRequest-PDU.
+    pub const GET_REQUEST: u8 = 0xA0;
+    /// Context-constructed 1: GetNextRequest-PDU.
+    pub const GET_NEXT_REQUEST: u8 = 0xA1;
+    /// Context-constructed 2: GetResponse-PDU.
+    pub const GET_RESPONSE: u8 = 0xA2;
+    /// Context-constructed 3: SetRequest-PDU.
+    pub const SET_REQUEST: u8 = 0xA3;
+    /// Context-constructed 4: Trap-PDU.
+    pub const TRAP: u8 = 0xA4;
+    /// Context-constructed 5: GetBulkRequest-PDU (SNMPv2c).
+    pub const GET_BULK_REQUEST: u8 = 0xA5;
+    /// Context primitive 0 inside a varbind value: noSuchObject (v2c).
+    pub const NO_SUCH_OBJECT: u8 = 0x80;
+    /// Context primitive 1 inside a varbind value: noSuchInstance (v2c).
+    pub const NO_SUCH_INSTANCE: u8 = 0x81;
+    /// Context primitive 2 inside a varbind value: endOfMibView (v2c).
+    pub const END_OF_MIB_VIEW: u8 = 0x82;
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Appends a BER definite length to `out`.
+pub fn push_length(out: &mut Vec<u8>, len: usize) {
+    if len < 0x80 {
+        out.push(len as u8);
+    } else {
+        let bytes = len.to_be_bytes();
+        let skip = bytes.iter().take_while(|&&b| b == 0).count();
+        let sig = &bytes[skip..];
+        out.push(0x80 | sig.len() as u8);
+        out.extend_from_slice(sig);
+    }
+}
+
+/// Appends a complete TLV element to `out`.
+pub fn push_tlv(out: &mut Vec<u8>, tag_byte: u8, content: &[u8]) {
+    out.push(tag_byte);
+    push_length(out, content.len());
+    out.extend_from_slice(content);
+}
+
+/// Encodes a signed INTEGER (minimal two's complement content).
+pub fn encode_integer(value: i64) -> Vec<u8> {
+    let mut content = value.to_be_bytes().to_vec();
+    // Strip redundant leading bytes while the sign is preserved.
+    while content.len() > 1 {
+        let first = content[0];
+        let second_msb = content[1] & 0x80;
+        if (first == 0x00 && second_msb == 0) || (first == 0xFF && second_msb != 0) {
+            content.remove(0);
+        } else {
+            break;
+        }
+    }
+    let mut out = Vec::with_capacity(content.len() + 2);
+    push_tlv(&mut out, tag::INTEGER, &content);
+    out
+}
+
+/// Encodes an unsigned 32-bit quantity under an application tag
+/// (Counter32 / Gauge32 / TimeTicks). Values with the high bit set gain a
+/// leading zero octet so they are not read back as negative.
+pub fn encode_unsigned(tag_byte: u8, value: u32) -> Vec<u8> {
+    let mut content = value.to_be_bytes().to_vec();
+    while content.len() > 1 && content[0] == 0 && content[1] & 0x80 == 0 {
+        content.remove(0);
+    }
+    if content[0] & 0x80 != 0 {
+        content.insert(0, 0);
+    }
+    // Minimal form: single zero byte for value 0.
+    if value == 0 {
+        content = vec![0];
+    }
+    let mut out = Vec::with_capacity(content.len() + 2);
+    push_tlv(&mut out, tag_byte, &content);
+    out
+}
+
+/// Encodes an OBJECT IDENTIFIER.
+pub fn encode_oid(oid: &Oid) -> Result<Vec<u8>, BerError> {
+    if !oid.is_encodable() {
+        return Err(BerError::UnencodableOid);
+    }
+    let arcs = oid.arcs();
+    let mut content = Vec::with_capacity(arcs.len() + 1);
+    // First two arcs combine into one subidentifier: X*40 + Y.
+    let first = arcs[0] * 40 + arcs[1];
+    push_base128(&mut content, first);
+    for &arc in &arcs[2..] {
+        push_base128(&mut content, arc);
+    }
+    let mut out = Vec::with_capacity(content.len() + 2);
+    push_tlv(&mut out, tag::OID, &content);
+    Ok(out)
+}
+
+fn push_base128(out: &mut Vec<u8>, mut v: u32) {
+    let mut stack = [0u8; 5];
+    let mut n = 0;
+    loop {
+        stack[n] = (v & 0x7F) as u8;
+        n += 1;
+        v >>= 7;
+        if v == 0 {
+            break;
+        }
+    }
+    for i in (0..n).rev() {
+        let byte = stack[i] | if i > 0 { 0x80 } else { 0 };
+        out.push(byte);
+    }
+}
+
+/// Encodes any [`SnmpValue`].
+pub fn encode_value(value: &SnmpValue) -> Result<Vec<u8>, BerError> {
+    Ok(match value {
+        SnmpValue::Integer(v) => encode_integer(*v),
+        SnmpValue::OctetString(b) => {
+            let mut out = Vec::with_capacity(b.len() + 4);
+            push_tlv(&mut out, tag::OCTET_STRING, b);
+            out
+        }
+        SnmpValue::Null => vec![tag::NULL, 0x00],
+        SnmpValue::Oid(oid) => encode_oid(oid)?,
+        SnmpValue::IpAddress(a) => {
+            let mut out = Vec::with_capacity(6);
+            push_tlv(&mut out, tag::IP_ADDRESS, a);
+            out
+        }
+        SnmpValue::Counter32(v) => encode_unsigned(tag::COUNTER32, *v),
+        SnmpValue::Gauge32(v) => encode_unsigned(tag::GAUGE32, *v),
+        SnmpValue::TimeTicks(v) => encode_unsigned(tag::TIME_TICKS, *v),
+        SnmpValue::Opaque(b) => {
+            let mut out = Vec::with_capacity(b.len() + 4);
+            push_tlv(&mut out, tag::OPAQUE, b);
+            out
+        }
+        SnmpValue::NoSuchObject => vec![tag::NO_SUCH_OBJECT, 0x00],
+        SnmpValue::NoSuchInstance => vec![tag::NO_SUCH_INSTANCE, 0x00],
+        SnmpValue::EndOfMibView => vec![tag::END_OF_MIB_VIEW, 0x00],
+    })
+}
+
+/// Wraps already-encoded elements in a SEQUENCE.
+pub fn encode_sequence(parts: &[&[u8]]) -> Vec<u8> {
+    let content_len: usize = parts.iter().map(|p| p.len()).sum();
+    let mut content = Vec::with_capacity(content_len);
+    for p in parts {
+        content.extend_from_slice(p);
+    }
+    let mut out = Vec::with_capacity(content_len + 4);
+    push_tlv(&mut out, tag::SEQUENCE, &content);
+    out
+}
+
+/// Wraps already-encoded elements under an arbitrary constructed tag
+/// (used for the PDU context tags).
+pub fn encode_constructed(tag_byte: u8, parts: &[&[u8]]) -> Vec<u8> {
+    let content_len: usize = parts.iter().map(|p| p.len()).sum();
+    let mut content = Vec::with_capacity(content_len);
+    for p in parts {
+        content.extend_from_slice(p);
+    }
+    let mut out = Vec::with_capacity(content_len + 4);
+    push_tlv(&mut out, tag_byte, &content);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A cursor over BER input.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when all input has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], BerError> {
+        if self.remaining() < n {
+            return Err(BerError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn byte(&mut self) -> Result<u8, BerError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Peeks at the next tag without consuming it.
+    pub fn peek_tag(&self) -> Result<u8, BerError> {
+        self.data
+            .get(self.pos)
+            .copied()
+            .ok_or(BerError::Truncated)
+    }
+
+    /// Reads a tag byte and definite length.
+    pub fn read_header(&mut self) -> Result<(u8, usize), BerError> {
+        let t = self.byte()?;
+        let len = self.read_length()?;
+        Ok((t, len))
+    }
+
+    fn read_length(&mut self) -> Result<usize, BerError> {
+        let first = self.byte()?;
+        if first < 0x80 {
+            return Ok(first as usize);
+        }
+        let n = (first & 0x7F) as usize;
+        if n == 0 {
+            return Err(BerError::IndefiniteLength);
+        }
+        if n > std::mem::size_of::<usize>() {
+            return Err(BerError::BadLength);
+        }
+        let bytes = self.take(n)?;
+        let mut len = 0usize;
+        for &b in bytes {
+            len = (len << 8) | b as usize;
+        }
+        Ok(len)
+    }
+
+    /// Reads the next element: returns its tag and a sub-reader over its
+    /// content.
+    pub fn read_element(&mut self) -> Result<(u8, Reader<'a>), BerError> {
+        let (t, len) = self.read_header()?;
+        let content = self.take(len)?;
+        Ok((t, Reader::new(content)))
+    }
+
+    /// Reads an element and checks its tag.
+    pub fn expect_element(&mut self, expected: u8) -> Result<Reader<'a>, BerError> {
+        let (t, r) = self.read_element()?;
+        if t != expected {
+            return Err(BerError::UnexpectedTag { expected, got: t });
+        }
+        Ok(r)
+    }
+
+    /// Reads a full INTEGER element.
+    pub fn read_integer(&mut self) -> Result<i64, BerError> {
+        let content = self.expect_element(tag::INTEGER)?;
+        decode_integer_content(content.rest())
+    }
+
+    /// Reads a full unsigned element under the given application tag.
+    pub fn read_unsigned(&mut self, tag_byte: u8) -> Result<u32, BerError> {
+        let content = self.expect_element(tag_byte)?;
+        decode_unsigned_content(content.rest())
+    }
+
+    /// Reads a full OCTET STRING element.
+    pub fn read_octet_string(&mut self) -> Result<Vec<u8>, BerError> {
+        let content = self.expect_element(tag::OCTET_STRING)?;
+        Ok(content.rest().to_vec())
+    }
+
+    /// Reads a full OBJECT IDENTIFIER element.
+    pub fn read_oid(&mut self) -> Result<Oid, BerError> {
+        let content = self.expect_element(tag::OID)?;
+        decode_oid_content(content.rest())
+    }
+
+    /// Reads any SNMP value element.
+    pub fn read_value(&mut self) -> Result<SnmpValue, BerError> {
+        let (t, content) = self.read_element()?;
+        let bytes = content.rest();
+        Ok(match t {
+            tag::INTEGER => SnmpValue::Integer(decode_integer_content(bytes)?),
+            tag::OCTET_STRING => SnmpValue::OctetString(bytes.to_vec()),
+            tag::NULL => SnmpValue::Null,
+            tag::OID => SnmpValue::Oid(decode_oid_content(bytes)?),
+            tag::IP_ADDRESS => {
+                let arr: [u8; 4] = bytes.try_into().map_err(|_| BerError::BadIpAddress)?;
+                SnmpValue::IpAddress(arr)
+            }
+            tag::COUNTER32 => SnmpValue::Counter32(decode_unsigned_content(bytes)?),
+            tag::GAUGE32 => SnmpValue::Gauge32(decode_unsigned_content(bytes)?),
+            tag::TIME_TICKS => SnmpValue::TimeTicks(decode_unsigned_content(bytes)?),
+            tag::OPAQUE => SnmpValue::Opaque(bytes.to_vec()),
+            tag::NO_SUCH_OBJECT => SnmpValue::NoSuchObject,
+            tag::NO_SUCH_INSTANCE => SnmpValue::NoSuchInstance,
+            tag::END_OF_MIB_VIEW => SnmpValue::EndOfMibView,
+            other => return Err(BerError::UnknownTag(other)),
+        })
+    }
+
+    /// The unconsumed input.
+    pub fn rest(&self) -> &'a [u8] {
+        &self.data[self.pos..]
+    }
+
+    /// Fails with [`BerError::TrailingBytes`] unless fully consumed.
+    pub fn finish(&self) -> Result<(), BerError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(BerError::TrailingBytes(self.remaining()))
+        }
+    }
+}
+
+fn decode_integer_content(bytes: &[u8]) -> Result<i64, BerError> {
+    if bytes.is_empty() || bytes.len() > 8 {
+        return Err(BerError::BadInteger);
+    }
+    let mut v: i64 = if bytes[0] & 0x80 != 0 { -1 } else { 0 };
+    for &b in bytes {
+        v = (v << 8) | i64::from(b);
+    }
+    Ok(v)
+}
+
+fn decode_unsigned_content(bytes: &[u8]) -> Result<u32, BerError> {
+    if bytes.is_empty() {
+        return Err(BerError::BadInteger);
+    }
+    // A 5-byte encoding is legal only with a leading zero octet.
+    let sig = if bytes.len() == 5 {
+        if bytes[0] != 0 {
+            return Err(BerError::UnsignedOverflow);
+        }
+        &bytes[1..]
+    } else if bytes.len() > 5 {
+        return Err(BerError::UnsignedOverflow);
+    } else {
+        bytes
+    };
+    let mut v: u32 = 0;
+    for &b in sig {
+        v = (v << 8) | u32::from(b);
+    }
+    Ok(v)
+}
+
+fn decode_oid_content(bytes: &[u8]) -> Result<Oid, BerError> {
+    if bytes.is_empty() {
+        return Err(BerError::BadOid);
+    }
+    let mut arcs = Vec::with_capacity(bytes.len() + 1);
+    let mut iter = bytes.iter().peekable();
+    let mut first = true;
+    while iter.peek().is_some() {
+        let mut v: u32 = 0;
+        loop {
+            let &b = iter.next().ok_or(BerError::BadOid)?;
+            if v > (u32::MAX >> 7) {
+                return Err(BerError::BadOid);
+            }
+            v = (v << 7) | u32::from(b & 0x7F);
+            if b & 0x80 == 0 {
+                break;
+            }
+            if iter.peek().is_none() {
+                return Err(BerError::BadOid); // continuation bit on last byte
+            }
+        }
+        if first {
+            // Split the combined first subidentifier.
+            let (a, b) = if v < 40 {
+                (0, v)
+            } else if v < 80 {
+                (1, v - 40)
+            } else {
+                (2, v - 80)
+            };
+            arcs.push(a);
+            arcs.push(b);
+            first = false;
+        } else {
+            arcs.push(v);
+        }
+    }
+    Ok(Oid::new(arcs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(s: &str) -> Oid {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn integer_wire_vectors() {
+        assert_eq!(encode_integer(5), [0x02, 0x01, 0x05]);
+        assert_eq!(encode_integer(0), [0x02, 0x01, 0x00]);
+        assert_eq!(encode_integer(-1), [0x02, 0x01, 0xFF]);
+        assert_eq!(encode_integer(127), [0x02, 0x01, 0x7F]);
+        assert_eq!(encode_integer(128), [0x02, 0x02, 0x00, 0x80]);
+        assert_eq!(encode_integer(256), [0x02, 0x02, 0x01, 0x00]);
+        assert_eq!(encode_integer(-129), [0x02, 0x02, 0xFF, 0x7F]);
+    }
+
+    #[test]
+    fn integer_decode_round_trip() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            127,
+            128,
+            -128,
+            -129,
+            255,
+            256,
+            i64::from(i32::MAX),
+            i64::from(i32::MIN),
+            i64::MAX,
+            i64::MIN,
+        ] {
+            let enc = encode_integer(v);
+            let mut r = Reader::new(&enc);
+            assert_eq!(r.read_integer().unwrap(), v, "value {v}");
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn unsigned_wire_vectors() {
+        // High-bit values need a leading zero octet.
+        assert_eq!(
+            encode_unsigned(tag::COUNTER32, 0xFFFF_FFFF),
+            [0x41, 0x05, 0x00, 0xFF, 0xFF, 0xFF, 0xFF]
+        );
+        assert_eq!(encode_unsigned(tag::GAUGE32, 0), [0x42, 0x01, 0x00]);
+        assert_eq!(encode_unsigned(tag::TIME_TICKS, 0x80), [0x43, 0x02, 0x00, 0x80]);
+    }
+
+    #[test]
+    fn unsigned_round_trip() {
+        for v in [0u32, 1, 127, 128, 255, 256, 0x7FFF_FFFF, 0x8000_0000, u32::MAX] {
+            let enc = encode_unsigned(tag::COUNTER32, v);
+            let mut r = Reader::new(&enc);
+            assert_eq!(r.read_unsigned(tag::COUNTER32).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn unsigned_overflow_rejected() {
+        // Six content octets can never be a valid 32-bit unsigned.
+        let bad = [0x41, 0x06, 0x01, 0, 0, 0, 0, 0];
+        let mut r = Reader::new(&bad);
+        assert_eq!(
+            r.read_unsigned(tag::COUNTER32),
+            Err(BerError::UnsignedOverflow)
+        );
+        // Five octets with nonzero leading byte overflow too.
+        let bad = [0x41, 0x05, 0x01, 0, 0, 0, 0];
+        let mut r = Reader::new(&bad);
+        assert_eq!(
+            r.read_unsigned(tag::COUNTER32),
+            Err(BerError::UnsignedOverflow)
+        );
+    }
+
+    #[test]
+    fn oid_wire_vector() {
+        let enc = encode_oid(&oid("1.3.6.1.2.1")).unwrap();
+        assert_eq!(enc, [0x06, 0x05, 0x2B, 0x06, 0x01, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn oid_multibyte_arcs() {
+        // 1.3.6.1.4.1.311 — 311 needs two base-128 bytes (0x82 0x37).
+        let enc = encode_oid(&oid("1.3.6.1.4.1.311")).unwrap();
+        assert_eq!(enc, [0x06, 0x07, 0x2B, 0x06, 0x01, 0x04, 0x01, 0x82, 0x37]);
+        let mut r = Reader::new(&enc);
+        assert_eq!(r.read_oid().unwrap(), oid("1.3.6.1.4.1.311"));
+    }
+
+    #[test]
+    fn oid_first_arc_two() {
+        let o = oid("2.100.3");
+        let enc = encode_oid(&o).unwrap();
+        let mut r = Reader::new(&enc);
+        assert_eq!(r.read_oid().unwrap(), o);
+    }
+
+    #[test]
+    fn oid_max_arc_round_trip() {
+        let o = Oid::new(vec![1, 3, u32::MAX]);
+        let enc = encode_oid(&o).unwrap();
+        let mut r = Reader::new(&enc);
+        assert_eq!(r.read_oid().unwrap(), o);
+    }
+
+    #[test]
+    fn oid_unencodable_rejected() {
+        assert_eq!(encode_oid(&Oid::empty()), Err(BerError::UnencodableOid));
+        assert_eq!(
+            encode_oid(&Oid::from([1])),
+            Err(BerError::UnencodableOid)
+        );
+        assert_eq!(
+            encode_oid(&Oid::from([1, 40])),
+            Err(BerError::UnencodableOid)
+        );
+    }
+
+    #[test]
+    fn oid_truncated_continuation_rejected() {
+        // Subidentifier with continuation bit set on the final byte.
+        let bad = [0x06, 0x02, 0x2B, 0x86];
+        let mut r = Reader::new(&bad);
+        assert_eq!(r.read_oid(), Err(BerError::BadOid));
+    }
+
+    #[test]
+    fn long_form_length_round_trip() {
+        let content = vec![0xAB; 300];
+        let mut enc = Vec::new();
+        push_tlv(&mut enc, tag::OCTET_STRING, &content);
+        // 300 > 255 requires two length octets: 0x82 0x01 0x2C.
+        assert_eq!(&enc[..4], &[0x04, 0x82, 0x01, 0x2C]);
+        let mut r = Reader::new(&enc);
+        assert_eq!(r.read_octet_string().unwrap(), content);
+    }
+
+    #[test]
+    fn indefinite_length_rejected() {
+        let bad = [0x30, 0x80, 0x00, 0x00];
+        let mut r = Reader::new(&bad);
+        assert_eq!(r.read_element().err(), Some(BerError::IndefiniteLength));
+    }
+
+    #[test]
+    fn truncated_content_rejected() {
+        let bad = [0x04, 0x05, 0x61, 0x62]; // claims 5 bytes, has 2
+        let mut r = Reader::new(&bad);
+        assert_eq!(r.read_octet_string(), Err(BerError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let enc = [0x05, 0x00, 0xFF];
+        let mut r = Reader::new(&enc);
+        r.read_value().unwrap();
+        assert_eq!(r.finish(), Err(BerError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn value_round_trip_all_types() {
+        let values = vec![
+            SnmpValue::Integer(-42),
+            SnmpValue::OctetString(b"hello".to_vec()),
+            SnmpValue::Null,
+            SnmpValue::Oid(oid("1.3.6.1.2.1.1.3.0")),
+            SnmpValue::IpAddress([192, 168, 1, 1]),
+            SnmpValue::Counter32(3_000_000_000),
+            SnmpValue::Gauge32(100_000_000),
+            SnmpValue::TimeTicks(8_640_000),
+            SnmpValue::Opaque(vec![1, 2, 3]),
+        ];
+        for v in values {
+            let enc = encode_value(&v).unwrap();
+            let mut r = Reader::new(&enc);
+            assert_eq!(r.read_value().unwrap(), v);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn sequence_nesting() {
+        let a = encode_integer(1);
+        let b = encode_value(&SnmpValue::text("x")).unwrap();
+        let seq = encode_sequence(&[&a, &b]);
+        let mut r = Reader::new(&seq);
+        let mut inner = r.expect_element(tag::SEQUENCE).unwrap();
+        assert_eq!(inner.read_integer().unwrap(), 1);
+        assert_eq!(inner.read_value().unwrap(), SnmpValue::text("x"));
+        inner.finish().unwrap();
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn unexpected_tag_reports_both() {
+        let enc = encode_integer(1);
+        let mut r = Reader::new(&enc);
+        assert_eq!(
+            r.expect_element(tag::SEQUENCE).err(),
+            Some(BerError::UnexpectedTag {
+                expected: 0x30,
+                got: 0x02
+            })
+        );
+    }
+
+    #[test]
+    fn ip_address_wrong_size_rejected() {
+        let bad = [0x40, 0x03, 1, 2, 3];
+        let mut r = Reader::new(&bad);
+        assert_eq!(r.read_value(), Err(BerError::BadIpAddress));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let bad = [0x1F, 0x01, 0x00];
+        let mut r = Reader::new(&bad);
+        assert_eq!(r.read_value(), Err(BerError::UnknownTag(0x1F)));
+    }
+}

@@ -1,0 +1,220 @@
+//! ASN.1 object identifiers.
+//!
+//! An [`Oid`] is a sequence of non-negative integer arcs, e.g.
+//! `1.3.6.1.2.1.2.2.1.10.3` (`ifInOctets` of interface 3). OIDs order
+//! lexicographically by arc, which is exactly the order `GetNextRequest`
+//! walks a MIB.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An object identifier: a sequence of arcs.
+///
+/// The natural `Ord` implementation (lexicographic over arcs) matches MIB
+/// ordering, so `Oid` works directly as a `BTreeMap` key for `GetNext`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Oid {
+    arcs: Vec<u32>,
+}
+
+impl Oid {
+    /// Creates an OID from arcs.
+    pub fn new(arcs: impl Into<Vec<u32>>) -> Self {
+        Oid { arcs: arcs.into() }
+    }
+
+    /// The empty OID (zero arcs). Valid as a `GetNext` starting point but
+    /// not encodable on the wire (BER requires at least two arcs).
+    pub fn empty() -> Self {
+        Oid { arcs: Vec::new() }
+    }
+
+    /// The arcs of this OID.
+    #[inline]
+    pub fn arcs(&self) -> &[u32] {
+        &self.arcs
+    }
+
+    /// Number of arcs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// True when the OID has no arcs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.arcs.is_empty()
+    }
+
+    /// Returns a new OID with `arc` appended.
+    pub fn child(&self, arc: u32) -> Oid {
+        let mut arcs = Vec::with_capacity(self.arcs.len() + 1);
+        arcs.extend_from_slice(&self.arcs);
+        arcs.push(arc);
+        Oid { arcs }
+    }
+
+    /// Returns a new OID with all of `suffix` appended.
+    pub fn extend(&self, suffix: &[u32]) -> Oid {
+        let mut arcs = Vec::with_capacity(self.arcs.len() + suffix.len());
+        arcs.extend_from_slice(&self.arcs);
+        arcs.extend_from_slice(suffix);
+        Oid { arcs }
+    }
+
+    /// Appends an arc in place.
+    pub fn push(&mut self, arc: u32) {
+        self.arcs.push(arc);
+    }
+
+    /// True if `self` starts with `prefix` (a MIB subtree test).
+    pub fn starts_with(&self, prefix: &Oid) -> bool {
+        self.arcs.len() >= prefix.arcs.len() && self.arcs[..prefix.arcs.len()] == prefix.arcs[..]
+    }
+
+    /// The arcs after `prefix`, or `None` if `self` is not inside that
+    /// subtree. Useful for decoding table indices.
+    pub fn suffix_of(&self, prefix: &Oid) -> Option<&[u32]> {
+        if self.starts_with(prefix) {
+            Some(&self.arcs[prefix.arcs.len()..])
+        } else {
+            None
+        }
+    }
+
+    /// True if the OID can be BER-encoded: at least two arcs, first arc in
+    /// `0..=2`, and second arc `< 40` when the first is 0 or 1.
+    pub fn is_encodable(&self) -> bool {
+        match self.arcs.as_slice() {
+            [first, second, ..] => *first <= 2 && (*first == 2 || *second < 40),
+            _ => false,
+        }
+    }
+}
+
+impl From<&[u32]> for Oid {
+    fn from(arcs: &[u32]) -> Self {
+        Oid::new(arcs.to_vec())
+    }
+}
+
+impl<const N: usize> From<[u32; N]> for Oid {
+    fn from(arcs: [u32; N]) -> Self {
+        Oid::new(arcs.to_vec())
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for arc in &self.arcs {
+            if !first {
+                f.write_str(".")?;
+            }
+            write!(f, "{arc}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing an OID from its dotted-decimal form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOidError(pub String);
+
+impl fmt::Display for ParseOidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid OID `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseOidError {}
+
+impl FromStr for Oid {
+    type Err = ParseOidError;
+
+    /// Parses dotted-decimal notation, tolerating one leading dot
+    /// (`.1.3.6.1` as printed by many SNMP tools).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s.strip_prefix('.').unwrap_or(s);
+        if body.is_empty() {
+            return Err(ParseOidError(s.to_owned()));
+        }
+        let mut arcs = Vec::new();
+        for part in body.split('.') {
+            let arc: u32 = part.parse().map_err(|_| ParseOidError(s.to_owned()))?;
+            arcs.push(arc);
+        }
+        Ok(Oid { arcs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let s = "1.3.6.1.2.1.2.2.1.10.3";
+        let oid: Oid = s.parse().unwrap();
+        assert_eq!(oid.to_string(), s);
+        assert_eq!(oid.len(), 11);
+    }
+
+    #[test]
+    fn leading_dot_tolerated() {
+        let oid: Oid = ".1.3.6".parse().unwrap();
+        assert_eq!(oid, Oid::from([1, 3, 6]));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Oid>().is_err());
+        assert!("1..3".parse::<Oid>().is_err());
+        assert!("1.x.3".parse::<Oid>().is_err());
+        assert!("-1.3".parse::<Oid>().is_err());
+    }
+
+    #[test]
+    fn ordering_is_mib_order() {
+        let a: Oid = "1.3.6.1.2.1.1.3.0".parse().unwrap();
+        let b: Oid = "1.3.6.1.2.1.2.1.0".parse().unwrap();
+        let c: Oid = "1.3.6.1.2.1.2.2.1.1.1".parse().unwrap();
+        assert!(a < b && b < c);
+        // A prefix sorts before any of its children.
+        let p: Oid = "1.3.6".parse().unwrap();
+        assert!(p < a);
+    }
+
+    #[test]
+    fn subtree_tests() {
+        let table: Oid = "1.3.6.1.2.1.2.2".parse().unwrap();
+        let cell: Oid = "1.3.6.1.2.1.2.2.1.10.3".parse().unwrap();
+        assert!(cell.starts_with(&table));
+        assert!(!table.starts_with(&cell));
+        assert_eq!(cell.suffix_of(&table), Some(&[1, 10, 3][..]));
+        assert_eq!(table.suffix_of(&cell), None);
+    }
+
+    #[test]
+    fn child_and_extend() {
+        let base: Oid = "1.3".parse().unwrap();
+        assert_eq!(base.child(6), "1.3.6".parse().unwrap());
+        assert_eq!(base.extend(&[6, 1]), "1.3.6.1".parse().unwrap());
+        let mut o = base.clone();
+        o.push(9);
+        assert_eq!(o, "1.3.9".parse().unwrap());
+    }
+
+    #[test]
+    fn encodability() {
+        assert!(Oid::from([1, 3, 6]).is_encodable());
+        assert!(Oid::from([0, 39]).is_encodable());
+        assert!(Oid::from([2, 999]).is_encodable());
+        assert!(!Oid::from([1, 40]).is_encodable());
+        assert!(!Oid::from([3, 1]).is_encodable());
+        assert!(!Oid::from([1]).is_encodable());
+        assert!(!Oid::empty().is_encodable());
+    }
+}

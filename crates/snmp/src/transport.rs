@@ -1,0 +1,348 @@
+//! Request/response transports for the synchronous manager.
+//!
+//! * [`LoopbackTransport`] — an in-process agent; zero configuration, used
+//!   by tests and by single-host deployments.
+//! * [`UdpTransport`] — real sockets on port 161 (or any port), with
+//!   timeout and retry; used by the threaded "distributed monitoring"
+//!   runtime.
+//!
+//! The event-driven simulator transport lives in `netqos-monitor` (it needs
+//! the simulator types); it bypasses this trait entirely because the sim is
+//! not blocking.
+
+use crate::agent::SnmpAgent;
+use crate::error::SnmpError;
+use crate::mib::{MibView, ScalarMib};
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::time::Duration;
+
+/// A blocking request/response exchange with one agent.
+pub trait Transport {
+    /// Sends `request` and returns the next response datagram.
+    fn exchange(&mut self, request: &[u8]) -> Result<Vec<u8>, SnmpError>;
+}
+
+/// In-process transport: requests are handled immediately by an owned
+/// agent over an owned MIB.
+pub struct LoopbackTransport {
+    agent: SnmpAgent,
+    mib: ScalarMib,
+}
+
+impl LoopbackTransport {
+    /// Creates a loopback transport.
+    pub fn new(agent: SnmpAgent, mib: ScalarMib) -> Self {
+        LoopbackTransport { agent, mib }
+    }
+
+    /// Mutable access to the MIB, so tests can change counters between
+    /// polls.
+    pub fn mib_mut(&mut self) -> &mut ScalarMib {
+        &mut self.mib
+    }
+
+    /// The agent's statistics.
+    pub fn agent_stats(&self) -> crate::agent::AgentStats {
+        self.agent.stats()
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn exchange(&mut self, request: &[u8]) -> Result<Vec<u8>, SnmpError> {
+        self.agent
+            .handle(request, &self.mib)
+            .ok_or_else(|| SnmpError::Transport("agent dropped the request".to_owned()))
+    }
+}
+
+/// A closure-backed transport for fault-injection tests: the handler may
+/// drop (return `None`), delay, corrupt, or duplicate responses.
+pub struct FnTransport<F>(pub F);
+
+impl<F> Transport for FnTransport<F>
+where
+    F: FnMut(&[u8]) -> Option<Vec<u8>>,
+{
+    fn exchange(&mut self, request: &[u8]) -> Result<Vec<u8>, SnmpError> {
+        (self.0)(request).ok_or_else(|| SnmpError::Transport("handler dropped request".to_owned()))
+    }
+}
+
+/// UDP transport with timeout and retransmission.
+pub struct UdpTransport {
+    socket: UdpSocket,
+    peer: SocketAddr,
+    timeout: Duration,
+    retries: u32,
+}
+
+impl UdpTransport {
+    /// Connects a fresh ephemeral socket to `peer` (e.g.
+    /// `"127.0.0.1:10161"`). Default timeout 1 s, 2 retransmissions.
+    pub fn connect(peer: impl ToSocketAddrs) -> Result<Self, SnmpError> {
+        let peer = peer
+            .to_socket_addrs()
+            .map_err(|e| SnmpError::Transport(e.to_string()))?
+            .next()
+            .ok_or_else(|| SnmpError::Transport("peer address resolved to nothing".into()))?;
+        let bind_addr = if peer.is_ipv4() { "0.0.0.0:0" } else { "[::]:0" };
+        let socket =
+            UdpSocket::bind(bind_addr).map_err(|e| SnmpError::Transport(e.to_string()))?;
+        socket
+            .connect(peer)
+            .map_err(|e| SnmpError::Transport(e.to_string()))?;
+        Ok(UdpTransport {
+            socket,
+            peer,
+            timeout: Duration::from_secs(1),
+            retries: 2,
+        })
+    }
+
+    /// Sets the per-attempt receive timeout.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Sets how many times a request is retransmitted after a timeout.
+    pub fn set_retries(&mut self, retries: u32) {
+        self.retries = retries;
+    }
+
+    /// The agent address this transport talks to.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+}
+
+impl Transport for UdpTransport {
+    fn exchange(&mut self, request: &[u8]) -> Result<Vec<u8>, SnmpError> {
+        self.socket
+            .set_read_timeout(Some(self.timeout))
+            .map_err(|e| SnmpError::Transport(e.to_string()))?;
+        let mut buf = vec![0u8; 65_535];
+        let mut last_err = String::from("no attempt made");
+        for _attempt in 0..=self.retries {
+            self.socket
+                .send(request)
+                .map_err(|e| SnmpError::Transport(e.to_string()))?;
+            match self.socket.recv(&mut buf) {
+                Ok(n) => return Ok(buf[..n].to_vec()),
+                Err(e) => {
+                    last_err = e.to_string();
+                }
+            }
+        }
+        Err(SnmpError::Transport(format!(
+            "no response from {} after {} attempts: {last_err}",
+            self.peer,
+            self.retries + 1
+        )))
+    }
+}
+
+/// A minimal blocking UDP agent server: binds a socket and answers
+/// requests against MIB snapshots produced by `view_fn`. Runs until the
+/// returned [`UdpAgentHandle`] is stopped.
+///
+/// This is the building block of the "distributed network monitoring"
+/// extension: each managed host runs one of these.
+pub struct UdpAgentServer;
+
+/// Handle controlling a background [`UdpAgentServer`].
+pub struct UdpAgentHandle {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    local_addr: SocketAddr,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl UdpAgentHandle {
+    /// The bound address of the agent socket.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops the server and joins its thread.
+    pub fn stop(mut self) {
+        self.stop
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for UdpAgentHandle {
+    fn drop(&mut self) {
+        self.stop
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl UdpAgentServer {
+    /// Spawns an agent thread bound to `addr` (use port 0 for ephemeral).
+    /// `view_fn` is called per request to produce the current MIB.
+    pub fn spawn<F>(
+        addr: impl ToSocketAddrs,
+        community: &str,
+        mut view_fn: F,
+    ) -> Result<UdpAgentHandle, SnmpError>
+    where
+        F: FnMut() -> ScalarMib + Send + 'static,
+    {
+        let socket = UdpSocket::bind(addr).map_err(|e| SnmpError::Transport(e.to_string()))?;
+        let local_addr = socket
+            .local_addr()
+            .map_err(|e| SnmpError::Transport(e.to_string()))?;
+        socket
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .map_err(|e| SnmpError::Transport(e.to_string()))?;
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let mut agent = SnmpAgent::new(community);
+        let thread = std::thread::spawn(move || {
+            let mut buf = vec![0u8; 65_535];
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                match socket.recv_from(&mut buf) {
+                    Ok((n, from)) => {
+                        let view = view_fn();
+                        if let Some(resp) = agent.handle(&buf[..n], &view) {
+                            let _ = socket.send_to(&resp, from);
+                        }
+                    }
+                    Err(_) => continue, // timeout tick: check stop flag
+                }
+            }
+        });
+        Ok(UdpAgentHandle {
+            stop,
+            local_addr,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Convenience: a transport whose view of the MIB is refreshed by the
+/// caller; used by deployments embedding both manager and agent.
+pub struct SharedMibTransport {
+    agent: SnmpAgent,
+    mib: std::sync::Arc<std::sync::Mutex<ScalarMib>>,
+}
+
+impl SharedMibTransport {
+    /// Creates a transport over a shared MIB.
+    pub fn new(community: &str, mib: std::sync::Arc<std::sync::Mutex<ScalarMib>>) -> Self {
+        SharedMibTransport {
+            agent: SnmpAgent::new(community),
+            mib,
+        }
+    }
+}
+
+impl Transport for SharedMibTransport {
+    fn exchange(&mut self, request: &[u8]) -> Result<Vec<u8>, SnmpError> {
+        let mib = self
+            .mib
+            .lock()
+            .map_err(|_| SnmpError::Transport("poisoned MIB lock".into()))?;
+        self.agent
+            .handle(request, &*mib as &dyn MibView)
+            .ok_or_else(|| SnmpError::Transport("agent dropped the request".to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::SnmpClient;
+    use crate::mib2::{self, SystemInfo};
+
+    fn mib_with_uptime(ticks: u32) -> ScalarMib {
+        let mut mib = ScalarMib::new();
+        mib2::system::install(&mut mib, &SystemInfo::new("udp-test"), ticks);
+        mib
+    }
+
+    #[test]
+    fn udp_end_to_end() {
+        let server = UdpAgentServer::spawn("127.0.0.1:0", "public", || mib_with_uptime(31337))
+            .expect("spawn agent");
+        let t = UdpTransport::connect(server.local_addr()).unwrap();
+        let mut client = SnmpClient::new(t, "public");
+        let v = client
+            .get_one(&mib2::system::sys_uptime_instance())
+            .unwrap();
+        assert_eq!(v, crate::value::SnmpValue::TimeTicks(31337));
+        server.stop();
+    }
+
+    #[test]
+    fn udp_timeout_and_retry_reported() {
+        // Nothing listening here.
+        let mut t = UdpTransport::connect("127.0.0.1:1").unwrap();
+        t.set_timeout(Duration::from_millis(30));
+        t.set_retries(1);
+        let mut client = SnmpClient::new(t, "public");
+        let err = client
+            .get_one(&mib2::system::sys_uptime_instance())
+            .unwrap_err();
+        match err {
+            SnmpError::Transport(msg) => assert!(msg.contains("2 attempts"), "{msg}"),
+            other => panic!("expected transport error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn udp_wrong_community_gets_no_answer() {
+        let server = UdpAgentServer::spawn("127.0.0.1:0", "secret", || mib_with_uptime(1))
+            .expect("spawn agent");
+        let mut t = UdpTransport::connect(server.local_addr()).unwrap();
+        t.set_timeout(Duration::from_millis(30));
+        t.set_retries(0);
+        let mut client = SnmpClient::new(t, "public");
+        assert!(client
+            .get_one(&mib2::system::sys_uptime_instance())
+            .is_err());
+        server.stop();
+    }
+
+    #[test]
+    fn shared_mib_transport_sees_updates() {
+        let shared = std::sync::Arc::new(std::sync::Mutex::new(mib_with_uptime(1)));
+        let t = SharedMibTransport::new("public", shared.clone());
+        let mut client = SnmpClient::new(t, "public");
+        assert_eq!(
+            client.get_one(&mib2::system::sys_uptime_instance()).unwrap(),
+            crate::value::SnmpValue::TimeTicks(1)
+        );
+        *shared.lock().unwrap() = mib_with_uptime(2);
+        assert_eq!(
+            client.get_one(&mib2::system::sys_uptime_instance()).unwrap(),
+            crate::value::SnmpValue::TimeTicks(2)
+        );
+    }
+
+    #[test]
+    fn fn_transport_fault_injection() {
+        // Drop the first request, answer the second.
+        let mut agent = SnmpAgent::new("public");
+        let mib = mib_with_uptime(9);
+        let mut calls = 0;
+        let t = FnTransport(move |req: &[u8]| {
+            calls += 1;
+            if calls == 1 {
+                None
+            } else {
+                agent.handle(req, &mib)
+            }
+        });
+        let mut client = SnmpClient::new(t, "public");
+        // First get fails (drop)...
+        assert!(client.get_one(&mib2::system::sys_uptime_instance()).is_err());
+        // ...second succeeds.
+        assert!(client.get_one(&mib2::system::sys_uptime_instance()).is_ok());
+    }
+}

@@ -1,0 +1,182 @@
+//! The SNMP value union.
+//!
+//! SNMPv1 variable bindings carry one of the ASN.1 universal types
+//! (INTEGER, OCTET STRING, NULL, OBJECT IDENTIFIER) or one of the
+//! application-wide types defined by RFC 1155 (IpAddress, Counter,
+//! Gauge, TimeTicks, Opaque).
+
+use crate::oid::Oid;
+use std::fmt;
+
+/// A value carried in a variable binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnmpValue {
+    /// ASN.1 INTEGER (signed, up to 64 bits here; SNMPv1 uses 32).
+    Integer(i64),
+    /// ASN.1 OCTET STRING — arbitrary bytes (often ASCII text).
+    OctetString(Vec<u8>),
+    /// ASN.1 NULL — the placeholder value in requests.
+    Null,
+    /// ASN.1 OBJECT IDENTIFIER.
+    Oid(Oid),
+    /// RFC 1155 IpAddress: 4 octets, network byte order.
+    IpAddress([u8; 4]),
+    /// RFC 1155 Counter: wraps modulo 2^32 (e.g. `ifInOctets`).
+    Counter32(u32),
+    /// RFC 1155 Gauge: clamps at 2^32−1 (e.g. `ifSpeed`).
+    Gauge32(u32),
+    /// RFC 1155 TimeTicks: hundredths of a second (e.g. `sysUpTime`).
+    TimeTicks(u32),
+    /// RFC 1155 Opaque: uninterpreted BER-wrapped bytes.
+    Opaque(Vec<u8>),
+    /// SNMPv2c exception: the object does not exist (context tag 0).
+    NoSuchObject,
+    /// SNMPv2c exception: the instance does not exist (context tag 1).
+    NoSuchInstance,
+    /// SNMPv2c exception: a GetBulk/GetNext ran past the MIB (context
+    /// tag 2).
+    EndOfMibView,
+}
+
+impl SnmpValue {
+    /// Builds an `OctetString` from text.
+    pub fn text(s: &str) -> Self {
+        SnmpValue::OctetString(s.as_bytes().to_vec())
+    }
+
+    /// The value as an unsigned 32-bit quantity, if it is one of the
+    /// counter-like types (Counter32 / Gauge32 / TimeTicks) or a
+    /// non-negative Integer that fits.
+    pub fn as_u32(&self) -> Option<u32> {
+        match self {
+            SnmpValue::Counter32(v) | SnmpValue::Gauge32(v) | SnmpValue::TimeTicks(v) => Some(*v),
+            SnmpValue::Integer(v) => u32::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            SnmpValue::Integer(v) => Some(*v),
+            SnmpValue::Counter32(v) | SnmpValue::Gauge32(v) | SnmpValue::TimeTicks(v) => {
+                Some(i64::from(*v))
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as UTF-8 text, if it is an octet string holding valid
+    /// UTF-8.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            SnmpValue::OctetString(b) => std::str::from_utf8(b).ok(),
+            _ => None,
+        }
+    }
+
+    /// Short type name, useful in diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            SnmpValue::Integer(_) => "INTEGER",
+            SnmpValue::OctetString(_) => "OCTET STRING",
+            SnmpValue::Null => "NULL",
+            SnmpValue::Oid(_) => "OBJECT IDENTIFIER",
+            SnmpValue::IpAddress(_) => "IpAddress",
+            SnmpValue::Counter32(_) => "Counter32",
+            SnmpValue::Gauge32(_) => "Gauge32",
+            SnmpValue::TimeTicks(_) => "TimeTicks",
+            SnmpValue::Opaque(_) => "Opaque",
+            SnmpValue::NoSuchObject => "noSuchObject",
+            SnmpValue::NoSuchInstance => "noSuchInstance",
+            SnmpValue::EndOfMibView => "endOfMibView",
+        }
+    }
+
+    /// True for the SNMPv2c exception markers.
+    pub fn is_exception(&self) -> bool {
+        matches!(
+            self,
+            SnmpValue::NoSuchObject | SnmpValue::NoSuchInstance | SnmpValue::EndOfMibView
+        )
+    }
+}
+
+impl fmt::Display for SnmpValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnmpValue::Integer(v) => write!(f, "{v}"),
+            SnmpValue::OctetString(b) => match std::str::from_utf8(b) {
+                Ok(s) => write!(f, "{s:?}"),
+                Err(_) => {
+                    write!(f, "0x")?;
+                    for byte in b {
+                        write!(f, "{byte:02x}")?;
+                    }
+                    Ok(())
+                }
+            },
+            SnmpValue::Null => f.write_str("NULL"),
+            SnmpValue::Oid(oid) => write!(f, "{oid}"),
+            SnmpValue::IpAddress(a) => write!(f, "{}.{}.{}.{}", a[0], a[1], a[2], a[3]),
+            SnmpValue::Counter32(v) => write!(f, "Counter32({v})"),
+            SnmpValue::Gauge32(v) => write!(f, "Gauge32({v})"),
+            SnmpValue::TimeTicks(v) => {
+                // Render like net-snmp: ticks plus a human duration.
+                let total_cs = *v as u64;
+                let days = total_cs / (100 * 60 * 60 * 24);
+                let hours = (total_cs / (100 * 60 * 60)) % 24;
+                let mins = (total_cs / (100 * 60)) % 60;
+                let secs = (total_cs / 100) % 60;
+                let cs = total_cs % 100;
+                write!(f, "TimeTicks({v}) {days}d {hours:02}:{mins:02}:{secs:02}.{cs:02}")
+            }
+            SnmpValue::Opaque(b) => write!(f, "Opaque[{} bytes]", b.len()),
+            SnmpValue::NoSuchObject => f.write_str("noSuchObject"),
+            SnmpValue::NoSuchInstance => f.write_str("noSuchInstance"),
+            SnmpValue::EndOfMibView => f.write_str("endOfMibView"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_u32_conversions() {
+        assert_eq!(SnmpValue::Counter32(7).as_u32(), Some(7));
+        assert_eq!(SnmpValue::Gauge32(8).as_u32(), Some(8));
+        assert_eq!(SnmpValue::TimeTicks(9).as_u32(), Some(9));
+        assert_eq!(SnmpValue::Integer(10).as_u32(), Some(10));
+        assert_eq!(SnmpValue::Integer(-1).as_u32(), None);
+        assert_eq!(SnmpValue::Integer(1 << 40).as_u32(), None);
+        assert_eq!(SnmpValue::Null.as_u32(), None);
+    }
+
+    #[test]
+    fn as_text() {
+        assert_eq!(SnmpValue::text("eth0").as_text(), Some("eth0"));
+        assert_eq!(SnmpValue::OctetString(vec![0xff, 0xfe]).as_text(), None);
+        assert_eq!(SnmpValue::Integer(1).as_text(), None);
+    }
+
+    #[test]
+    fn display_time_ticks() {
+        // 1 day, 2 hours, 3 minutes, 4.56 seconds.
+        let ticks = ((24 * 3600 + 2 * 3600 + 3 * 60 + 4) * 100 + 56) as u32;
+        let s = SnmpValue::TimeTicks(ticks).to_string();
+        assert!(s.contains("1d 02:03:04.56"), "{s}");
+    }
+
+    #[test]
+    fn display_binary_octets_as_hex() {
+        let s = SnmpValue::OctetString(vec![0xff, 0xfe]).to_string();
+        assert_eq!(s, "0xfffe");
+    }
+
+    #[test]
+    fn display_ip() {
+        assert_eq!(SnmpValue::IpAddress([10, 0, 0, 1]).to_string(), "10.0.0.1");
+    }
+}

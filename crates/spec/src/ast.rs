@@ -1,0 +1,153 @@
+//! The abstract syntax tree — the Rust rendering of the paper's Figure 2
+//! data structures (`Host`, `Interface`, `HostPairConnection`,
+//! `NetworkTopology`), extended with QoS-path requirements.
+
+use crate::error::Span;
+use netqos_topology::NodeKind;
+
+/// A parsed specification file.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpecFile {
+    /// Host and device declarations.
+    pub nodes: Vec<NodeDecl>,
+    /// Connection declarations.
+    pub connections: Vec<ConnectionDecl>,
+    /// Real-time application declarations.
+    pub applications: Vec<AppDecl>,
+    /// QoS path requirements.
+    pub qos_paths: Vec<QosPathDecl>,
+}
+
+/// One `application NAME on HOST;` declaration — the software side of the
+/// DeSiDeRaTa specification: a real-time application endpoint the resource
+/// manager may relocate (unless `pinned`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppDecl {
+    /// Application name (unique).
+    pub name: String,
+    /// Host the application initially runs on.
+    pub host: String,
+    /// `pinned;` — the RM must not move it.
+    pub pinned: bool,
+    /// Source position.
+    pub span: Span,
+}
+
+/// One `host` or `device` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeDecl {
+    /// Node name (system-wide unique).
+    pub name: String,
+    /// Node kind (`host`, or the kind keyword after a `device` name).
+    pub kind: NodeKind,
+    /// `os "..."` — informational.
+    pub os: Option<String>,
+    /// `address a.b.c.d` — management/host IP.
+    pub address: Option<String>,
+    /// `snmp community "..."` — present iff the node runs an SNMP agent.
+    pub snmp_community: Option<String>,
+    /// `speed ...` — default interface speed.
+    pub default_speed: Option<u64>,
+    /// Interface declarations.
+    pub interfaces: Vec<InterfaceDecl>,
+    /// Source position of the declaration.
+    pub span: Span,
+}
+
+impl NodeDecl {
+    /// A bare node declaration with the given name and kind.
+    pub fn new(name: &str, kind: NodeKind) -> Self {
+        NodeDecl {
+            name: name.to_owned(),
+            kind,
+            os: None,
+            address: None,
+            snmp_community: None,
+            default_speed: None,
+            interfaces: Vec::new(),
+            span: Span::default(),
+        }
+    }
+}
+
+/// One `interface` declaration inside a node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterfaceDecl {
+    /// Local interface name, unique within the node.
+    pub local_name: String,
+    /// `speed ...` — overrides the node default.
+    pub speed_bps: Option<u64>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// One endpoint of a connection: `node.interface`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointRef {
+    /// Node name.
+    pub node: String,
+    /// Interface local name.
+    pub interface: String,
+}
+
+impl std::fmt::Display for EndpointRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.node, self.interface)
+    }
+}
+
+/// One `connection A.if <-> B.if;` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectionDecl {
+    /// First endpoint.
+    pub a: EndpointRef,
+    /// Second endpoint.
+    pub b: EndpointRef,
+    /// Source position.
+    pub span: Span,
+}
+
+/// One `qospath` declaration: a real-time communication path with
+/// bandwidth requirements for the resource manager.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosPathDecl {
+    /// Path name.
+    pub name: String,
+    /// Source host.
+    pub from: String,
+    /// Destination host.
+    pub to: String,
+    /// `min_available ...` — violation when path available bandwidth drops
+    /// below this.
+    pub min_available_bps: Option<u64>,
+    /// `max_utilization N%` — violation when any path connection exceeds
+    /// this utilisation fraction.
+    pub max_utilization: Option<f64>,
+    /// `application NAME;` — which declared application implements this
+    /// path's movable endpoint (enables reallocation advice).
+    pub application: Option<String>,
+    /// Source position.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_display() {
+        let e = EndpointRef {
+            node: "L".into(),
+            interface: "eth0".into(),
+        };
+        assert_eq!(e.to_string(), "L.eth0");
+    }
+
+    #[test]
+    fn node_decl_defaults() {
+        let n = NodeDecl::new("L", NodeKind::Host);
+        assert_eq!(n.name, "L");
+        assert!(n.interfaces.is_empty());
+        assert!(n.snmp_community.is_none());
+    }
+}

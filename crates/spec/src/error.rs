@@ -1,0 +1,170 @@
+//! Spec-language errors with source positions.
+
+use std::fmt;
+
+/// A position range in the source text (1-based line and column of the
+/// start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Builds a span.
+    pub fn new(line: u32, col: u32) -> Self {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Errors from lexing, parsing, or validating a specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A character the lexer does not understand.
+    UnexpectedChar { span: Span, ch: char },
+    /// A string literal missing its closing quote.
+    UnterminatedString { span: Span },
+    /// A number that does not fit or has a malformed suffix.
+    BadNumber { span: Span, text: String },
+    /// An unknown bandwidth unit suffix.
+    UnknownUnit { span: Span, unit: String },
+    /// The parser expected something else.
+    Expected {
+        span: Span,
+        expected: &'static str,
+        found: String,
+    },
+    /// A declaration property appears twice.
+    DuplicateProperty { span: Span, name: String },
+    /// Unknown node kind in a `device` declaration.
+    UnknownKind { span: Span, kind: String },
+    /// Validation: duplicate node name.
+    DuplicateNode { span: Span, name: String },
+    /// Validation: duplicate interface on a node.
+    DuplicateInterface { span: Span, node: String, interface: String },
+    /// Validation: an endpoint references an unknown node or interface.
+    UnknownEndpoint { span: Span, endpoint: String },
+    /// Validation: an interface has no speed (neither its own nor a node
+    /// default).
+    MissingSpeed { span: Span, node: String, interface: String },
+    /// Validation: an interface appears in more than one connection.
+    InterfaceReused { span: Span, endpoint: String },
+    /// Validation: a qospath endpoint is not a declared host.
+    QosEndpointNotHost { span: Span, name: String },
+    /// Validation failure propagated from the topology builder.
+    Topology(String),
+}
+
+impl SpecError {
+    /// The source position of the error, when known.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            SpecError::UnexpectedChar { span, .. }
+            | SpecError::UnterminatedString { span }
+            | SpecError::BadNumber { span, .. }
+            | SpecError::UnknownUnit { span, .. }
+            | SpecError::Expected { span, .. }
+            | SpecError::DuplicateProperty { span, .. }
+            | SpecError::UnknownKind { span, .. }
+            | SpecError::DuplicateNode { span, .. }
+            | SpecError::DuplicateInterface { span, .. }
+            | SpecError::UnknownEndpoint { span, .. }
+            | SpecError::MissingSpeed { span, .. }
+            | SpecError::InterfaceReused { span, .. }
+            | SpecError::QosEndpointNotHost { span, .. } => Some(*span),
+            SpecError::Topology(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SpecError::UnexpectedChar { span, ch } => {
+                    write!(f, "{span}: unexpected character `{ch}`")
+                }
+                SpecError::UnterminatedString { span } => {
+                    write!(f, "{span}: unterminated string literal")
+                }
+                SpecError::BadNumber { span, text } => {
+                    write!(f, "{span}: malformed number `{text}`")
+                }
+                SpecError::UnknownUnit { span, unit } => {
+                    write!(
+                        f,
+                        "{span}: unknown bandwidth unit `{unit}` \
+                         (expected bps, Kbps, Mbps, Gbps, Bps, KBps, or MBps)"
+                    )
+                }
+                SpecError::Expected {
+                    span,
+                    expected,
+                    found,
+                } => write!(f, "{span}: expected {expected}, found {found}"),
+                SpecError::DuplicateProperty { span, name } => {
+                    write!(f, "{span}: property `{name}` given twice")
+                }
+                SpecError::UnknownKind { span, kind } => {
+                    write!(f, "{span}: unknown device kind `{kind}`")
+                }
+                SpecError::DuplicateNode { span, name } => {
+                    write!(f, "{span}: node `{name}` declared twice")
+                }
+                SpecError::DuplicateInterface {
+                    span,
+                    node,
+                    interface,
+                } => write!(f, "{span}: interface `{interface}` declared twice on `{node}`"),
+                SpecError::UnknownEndpoint { span, endpoint } => {
+                    write!(f, "{span}: unknown endpoint `{endpoint}`")
+                }
+                SpecError::MissingSpeed {
+                    span,
+                    node,
+                    interface,
+                } => write!(
+                    f,
+                    "{span}: interface `{node}.{interface}` has no speed and its node has no default"
+                ),
+                SpecError::InterfaceReused { span, endpoint } => write!(
+                    f,
+                    "{span}: interface `{endpoint}` used by more than one connection \
+                     (connections must be 1-to-1)"
+                ),
+                SpecError::QosEndpointNotHost { span, name } => {
+                    write!(f, "{span}: qospath endpoint `{name}` is not a declared host")
+                }
+                SpecError::Topology(msg) => write!(f, "topology validation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_render_as_line_col() {
+        let e = SpecError::UnexpectedChar {
+            span: Span::new(3, 14),
+            ch: '%',
+        };
+        assert!(e.to_string().starts_with("3:14:"));
+        assert_eq!(e.span(), Some(Span::new(3, 14)));
+    }
+
+    #[test]
+    fn topology_errors_have_no_span() {
+        assert_eq!(SpecError::Topology("x".into()).span(), None);
+    }
+}

@@ -1,0 +1,377 @@
+//! The tokenizer.
+//!
+//! Token kinds: identifiers (including dotted endpoint refs handled by the
+//! parser), string literals, bandwidth quantities (`100Mbps`), bare
+//! integers, percentages (`80%`), and punctuation (`{ } ; . <->`).
+//! `#` starts a comment running to end of line.
+
+use crate::error::{Span, SpecError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Double-quoted string (contents, unescaped).
+    Str(String),
+    /// A bare integer.
+    Int(u64),
+    /// A bandwidth quantity resolved to bits/second.
+    Bandwidth(u64),
+    /// A percentage resolved to a fraction in `[0, +∞)`.
+    Percent(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `<->`
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("identifier `{s}`"),
+            Token::Str(s) => format!("string {s:?}"),
+            Token::Int(n) => format!("number `{n}`"),
+            Token::Bandwidth(b) => format!("bandwidth `{b}bps`"),
+            Token::Percent(p) => format!("percentage `{}%`", p * 100.0),
+            Token::LBrace => "`{`".to_owned(),
+            Token::RBrace => "`}`".to_owned(),
+            Token::Semi => "`;`".to_owned(),
+            Token::Dot => "`.`".to_owned(),
+            Token::Arrow => "`<->`".to_owned(),
+            Token::Eof => "end of input".to_owned(),
+        }
+    }
+}
+
+/// A token plus its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Where it starts.
+    pub span: Span,
+}
+
+/// Converts a unit suffix to a bits-per-second multiplier.
+fn unit_multiplier(unit: &str) -> Option<u64> {
+    Some(match unit {
+        "bps" => 1,
+        "Kbps" | "kbps" => 1_000,
+        "Mbps" | "mbps" => 1_000_000,
+        "Gbps" | "gbps" => 1_000_000_000,
+        "Bps" => 8,
+        "KBps" | "kBps" => 8_000,
+        "MBps" | "mBps" => 8_000_000,
+        _ => return None,
+    })
+}
+
+/// Tokenizes the whole input.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, SpecError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if let Some(c) = c {
+                if c == '\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            c
+        }};
+    }
+
+    loop {
+        // Skip whitespace and comments.
+        loop {
+            match chars.peek() {
+                Some(c) if c.is_whitespace() => {
+                    bump!();
+                }
+                Some('#') => {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                }
+                _ => break,
+            }
+        }
+
+        let span = Span::new(line, col);
+        let Some(&c) = chars.peek() else {
+            out.push(Spanned {
+                token: Token::Eof,
+                span,
+            });
+            return Ok(out);
+        };
+
+        let token = if c.is_ascii_alphabetic() || c == '_' {
+            let mut s = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                    s.push(c);
+                    bump!();
+                } else {
+                    break;
+                }
+            }
+            Token::Ident(s)
+        } else if c.is_ascii_digit() {
+            let mut digits = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_digit() {
+                    digits.push(c);
+                    bump!();
+                } else {
+                    break;
+                }
+            }
+            // A dot may begin a fractional quantity (`1.5Mbps`) or an IP
+            // address / endpoint separator (`10.0.0.1`). Tentatively scan
+            // a fraction and backtrack unless a unit letter follows.
+            if chars.peek() == Some(&'.') {
+                let save = (chars.clone(), line, col);
+                bump!();
+                let mut frac = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        frac.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let unit_follows =
+                    !frac.is_empty() && matches!(chars.peek(), Some(c) if c.is_ascii_alphabetic());
+                if unit_follows {
+                    digits.push('.');
+                    digits.push_str(&frac);
+                } else {
+                    (chars, line, col) = save;
+                }
+            }
+            // Optional unit suffix or percent sign.
+            let mut unit = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_ascii_alphabetic() {
+                    unit.push(c);
+                    bump!();
+                } else {
+                    break;
+                }
+            }
+            if unit.is_empty() && chars.peek() == Some(&'%') {
+                bump!();
+                let v: f64 = digits.parse().map_err(|_| SpecError::BadNumber {
+                    span,
+                    text: digits.clone(),
+                })?;
+                Token::Percent(v / 100.0)
+            } else if unit.is_empty() {
+                // Dotted numbers without a unit are ambiguous with
+                // endpoint refs; only integers are allowed bare.
+                let v: u64 = digits.parse().map_err(|_| SpecError::BadNumber {
+                    span,
+                    text: digits.clone(),
+                })?;
+                Token::Int(v)
+            } else {
+                let mult = unit_multiplier(&unit).ok_or_else(|| SpecError::UnknownUnit {
+                    span,
+                    unit: unit.clone(),
+                })?;
+                let v: f64 = digits.parse().map_err(|_| SpecError::BadNumber {
+                    span,
+                    text: digits.clone(),
+                })?;
+                Token::Bandwidth((v * mult as f64).round() as u64)
+            }
+        } else if c == '"' {
+            bump!();
+            let mut s = String::new();
+            loop {
+                match bump!() {
+                    Some('"') => break,
+                    Some('\n') | None => return Err(SpecError::UnterminatedString { span }),
+                    Some(c) => s.push(c),
+                }
+            }
+            Token::Str(s)
+        } else if c == '<' {
+            bump!();
+            if chars.peek() == Some(&'-') {
+                bump!();
+                if chars.peek() == Some(&'>') {
+                    bump!();
+                    Token::Arrow
+                } else {
+                    return Err(SpecError::UnexpectedChar { span, ch: '-' });
+                }
+            } else {
+                return Err(SpecError::UnexpectedChar { span, ch: '<' });
+            }
+        } else {
+            bump!();
+            match c {
+                '{' => Token::LBrace,
+                '}' => Token::RBrace,
+                ';' => Token::Semi,
+                '.' => Token::Dot,
+                other => return Err(SpecError::UnexpectedChar { span, ch: other }),
+            }
+        };
+        out.push(Spanned { token, span });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(
+            tokens("host L { }"),
+            vec![
+                Token::Ident("host".into()),
+                Token::Ident("L".into()),
+                Token::LBrace,
+                Token::RBrace,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bandwidth_units() {
+        assert_eq!(tokens("100Mbps")[0], Token::Bandwidth(100_000_000));
+        assert_eq!(tokens("10Kbps")[0], Token::Bandwidth(10_000));
+        assert_eq!(tokens("1Gbps")[0], Token::Bandwidth(1_000_000_000));
+        assert_eq!(tokens("500KBps")[0], Token::Bandwidth(4_000_000));
+        assert_eq!(tokens("1.5Mbps")[0], Token::Bandwidth(1_500_000));
+        assert_eq!(tokens("42")[0], Token::Int(42));
+        assert_eq!(tokens("42bps")[0], Token::Bandwidth(42));
+    }
+
+    #[test]
+    fn percentages() {
+        assert_eq!(tokens("80%")[0], Token::Percent(0.8));
+    }
+
+    #[test]
+    fn strings_and_comments() {
+        let toks = tokens("os \"Windows NT\"; # trailing comment\nhost");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("os".into()),
+                Token::Str("Windows NT".into()),
+                Token::Semi,
+                Token::Ident("host".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_and_dot() {
+        assert_eq!(
+            tokens("L.eth0 <-> sw.p1"),
+            vec![
+                Token::Ident("L".into()),
+                Token::Dot,
+                Token::Ident("eth0".into()),
+                Token::Arrow,
+                Token::Ident("sw".into()),
+                Token::Dot,
+                Token::Ident("p1".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_cols() {
+        let spanned = lex("host\n  L").unwrap();
+        assert_eq!(spanned[0].span, Span::new(1, 1));
+        assert_eq!(spanned[1].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(
+            lex("$"),
+            Err(SpecError::UnexpectedChar { ch: '$', .. })
+        ));
+        assert!(matches!(
+            lex("\"abc"),
+            Err(SpecError::UnterminatedString { .. })
+        ));
+        assert!(matches!(
+            lex("10Zbps"),
+            Err(SpecError::UnknownUnit { .. })
+        ));
+        assert!(matches!(lex("< x"), Err(SpecError::UnexpectedChar { .. })));
+    }
+
+    #[test]
+    fn dotted_integers_lex_as_ip_parts() {
+        // IPs must come through as INT . INT . INT . INT for the parser.
+        assert_eq!(
+            tokens("10.0.0.1"),
+            vec![
+                Token::Int(10),
+                Token::Dot,
+                Token::Int(0),
+                Token::Dot,
+                Token::Int(0),
+                Token::Dot,
+                Token::Int(1),
+                Token::Eof
+            ]
+        );
+        // But a fraction directly followed by a unit is one quantity.
+        assert_eq!(tokens("2.5Mbps")[0], Token::Bandwidth(2_500_000));
+        // Trailing dot without digits stays a separate Dot token.
+        assert_eq!(
+            tokens("1.x"),
+            vec![
+                Token::Int(1),
+                Token::Dot,
+                Token::Ident("x".into()),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn ident_with_digits_and_dashes() {
+        assert_eq!(tokens("S1 eth-0")[0], Token::Ident("S1".into()));
+        assert_eq!(tokens("S1 eth-0")[1], Token::Ident("eth-0".into()));
+    }
+}

@@ -1,0 +1,72 @@
+//! # netqos-spec
+//!
+//! The DeSiDeRaTa specification-language extension for network resources —
+//! the concrete syntax behind the paper's §3.2 and its companion paper
+//! \[12\] (*Specification and Modeling of Network Resources in Dynamic,
+//! Distributed Real-time Systems*, PDCS 2001).
+//!
+//! The resource-management middleware "has to know exactly what resources
+//! are under its control"; rather than discovering the network, the
+//! monitor reads it from specification files. This crate provides the
+//! lexer, recursive-descent parser, pretty-printer, and the conversion to
+//! a validated [`netqos_topology::NetworkTopology`].
+//!
+//! ## Language
+//!
+//! ```text
+//! # The LIRTSS testbed (paper Figure 3), abridged
+//! host L {
+//!     os "Linux";
+//!     address 10.0.0.1;
+//!     snmp community "public";
+//!     interface eth0 { speed 100Mbps; }
+//! }
+//! device sw switch {
+//!     address 10.0.0.100;
+//!     snmp community "public";
+//!     speed 100Mbps;          # default for all interfaces
+//!     interface p1;
+//!     interface p2;
+//! }
+//! device hub1 hub {
+//!     speed 10Mbps;
+//!     interface h1; interface h2; interface h3;
+//! }
+//! connection L.eth0 <-> sw.p1;
+//! connection sw.p2 <-> hub1.h1;
+//!
+//! qospath track from L to N1 {
+//!     min_available 500KBps;
+//!     max_utilization 80%;
+//! }
+//! ```
+//!
+//! Bandwidth quantities accept `bps`, `Kbps`, `Mbps`, `Gbps` (bits) and
+//! `Bps`, `KBps`, `MBps` (bytes, ×8); a bare number is bits per second.
+//! `#` starts a line comment.
+//!
+//! ## Example
+//!
+//! ```
+//! let src = r#"
+//!     host A { address 10.0.0.1; interface eth0 { speed 100Mbps; } }
+//!     host B { address 10.0.0.2; interface eth0 { speed 100Mbps; } }
+//!     connection A.eth0 <-> B.eth0;
+//! "#;
+//! let model = netqos_spec::parse_and_validate(src).unwrap();
+//! assert_eq!(model.topology.node_count(), 2);
+//! assert_eq!(model.topology.connection_count(), 1);
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod model;
+pub mod parser;
+pub mod writer;
+
+pub use ast::SpecFile;
+pub use error::{SpecError, Span};
+pub use model::{parse_and_validate, QosPathSpec, SpecModel};
+pub use parser::parse;
+pub use writer::write_spec;

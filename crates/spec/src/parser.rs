@@ -1,0 +1,548 @@
+//! Recursive-descent parser for the specification language.
+//!
+//! Grammar (EBNF, `#`-comments and whitespace insignificant):
+//!
+//! ```text
+//! file        := decl* EOF
+//! decl        := host | device | connection | qospath
+//! host        := "host" IDENT "{" node-item* "}"
+//! device      := "device" IDENT KIND "{" node-item* "}"     KIND := switch|hub|router
+//! node-item   := "os" STR ";" | "address" ip ";" | "snmp" "community" STR ";"
+//!              | "speed" BW ";" | interface
+//! interface   := "interface" IDENT (";" | "{" if-item* "}")
+//! if-item     := "speed" BW ";"
+//! connection  := "connection" endpoint "<->" endpoint ";"
+//! endpoint    := IDENT "." IDENT
+//! qospath     := "qospath" IDENT "from" IDENT "to" IDENT "{" qos-item* "}"
+//! qos-item    := "min_available" BW ";" | "max_utilization" PCT ";"
+//! ip          := INT "." INT "." INT "." INT
+//! ```
+
+use crate::ast::*;
+use crate::error::{Span, SpecError};
+use crate::lexer::{lex, Spanned, Token};
+use netqos_topology::NodeKind;
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Spanned {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Spanned {
+        let t = self.peek().clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expected(&self, what: &'static str) -> SpecError {
+        SpecError::Expected {
+            span: self.peek().span,
+            expected: what,
+            found: self.peek().token.describe(),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), SpecError> {
+        match &self.peek().token {
+            Token::Ident(_) => {
+                let t = self.bump();
+                match t.token {
+                    Token::Ident(s) => Ok((s, t.span)),
+                    _ => unreachable!(),
+                }
+            }
+            _ => Err(self.expected("an identifier")),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &'static str) -> Result<Span, SpecError> {
+        match &self.peek().token {
+            Token::Ident(s) if s == kw => Ok(self.bump().span),
+            _ => Err(SpecError::Expected {
+                span: self.peek().span,
+                expected: kw,
+                found: self.peek().token.describe(),
+            }),
+        }
+    }
+
+    fn expect(&mut self, t: Token, what: &'static str) -> Result<Span, SpecError> {
+        if self.peek().token == t {
+            Ok(self.bump().span)
+        } else {
+            Err(self.expected(what))
+        }
+    }
+
+    fn expect_string(&mut self) -> Result<String, SpecError> {
+        match &self.peek().token {
+            Token::Str(_) => {
+                let t = self.bump();
+                match t.token {
+                    Token::Str(s) => Ok(s),
+                    _ => unreachable!(),
+                }
+            }
+            _ => Err(self.expected("a string literal")),
+        }
+    }
+
+    fn expect_bandwidth(&mut self) -> Result<u64, SpecError> {
+        match self.peek().token {
+            Token::Bandwidth(b) => {
+                self.bump();
+                Ok(b)
+            }
+            Token::Int(n) => {
+                self.bump();
+                Ok(n) // bare numbers are bits/second
+            }
+            _ => Err(self.expected("a bandwidth (e.g. 100Mbps)")),
+        }
+    }
+
+    /// An IPv4 address: INT . INT . INT . INT (validated structurally; the
+    /// simulator validates ranges).
+    fn expect_ip(&mut self) -> Result<String, SpecError> {
+        let mut parts = Vec::with_capacity(4);
+        for i in 0..4 {
+            match self.peek().token {
+                Token::Int(n) => {
+                    self.bump();
+                    parts.push(n.to_string());
+                }
+                _ => return Err(self.expected("an IPv4 address")),
+            }
+            if i < 3 {
+                self.expect(Token::Dot, "`.` in IPv4 address")?;
+            }
+        }
+        Ok(parts.join("."))
+    }
+
+    fn parse_file(&mut self) -> Result<SpecFile, SpecError> {
+        let mut file = SpecFile::default();
+        loop {
+            match &self.peek().token {
+                Token::Eof => return Ok(file),
+                Token::Ident(kw) => match kw.as_str() {
+                    "host" => {
+                        let span = self.bump().span;
+                        file.nodes.push(self.parse_node(NodeKind::Host, span)?);
+                    }
+                    "device" => {
+                        let span = self.bump().span;
+                        let (_name_peek, _) = (self.peek().token.clone(), ());
+                        // device NAME KIND { ... }
+                        let (name, _) = self.expect_ident()?;
+                        let (kind_word, kind_span) = self.expect_ident()?;
+                        let kind: NodeKind =
+                            kind_word.parse().map_err(|_| SpecError::UnknownKind {
+                                span: kind_span,
+                                kind: kind_word.clone(),
+                            })?;
+                        let mut node = self.parse_node_body(name, kind, span)?;
+                        node.span = span;
+                        file.nodes.push(node);
+                    }
+                    "connection" => {
+                        let span = self.bump().span;
+                        let a = self.parse_endpoint()?;
+                        self.expect(Token::Arrow, "`<->`")?;
+                        let b = self.parse_endpoint()?;
+                        self.expect(Token::Semi, "`;`")?;
+                        file.connections.push(ConnectionDecl { a, b, span });
+                    }
+                    "qospath" => {
+                        let span = self.bump().span;
+                        file.qos_paths.push(self.parse_qospath(span)?);
+                    }
+                    "application" => {
+                        let span = self.bump().span;
+                        file.applications.push(self.parse_application(span)?);
+                    }
+                    _ => {
+                        return Err(self.expected(
+                            "`host`, `device`, `connection`, `application`, or `qospath`",
+                        ))
+                    }
+                },
+                _ => return Err(self.expected("a declaration")),
+            }
+        }
+    }
+
+    fn parse_node(&mut self, kind: NodeKind, span: Span) -> Result<NodeDecl, SpecError> {
+        let (name, _) = self.expect_ident()?;
+        self.parse_node_body(name, kind, span)
+    }
+
+    fn parse_node_body(
+        &mut self,
+        name: String,
+        kind: NodeKind,
+        span: Span,
+    ) -> Result<NodeDecl, SpecError> {
+        let mut node = NodeDecl::new(&name, kind);
+        node.span = span;
+        self.expect(Token::LBrace, "`{`")?;
+        loop {
+            match &self.peek().token {
+                Token::RBrace => {
+                    self.bump();
+                    return Ok(node);
+                }
+                Token::Ident(kw) => {
+                    let kw = kw.clone();
+                    let kw_span = self.peek().span;
+                    match kw.as_str() {
+                        "os" => {
+                            self.bump();
+                            let v = self.expect_string()?;
+                            if node.os.replace(v).is_some() {
+                                return Err(SpecError::DuplicateProperty {
+                                    span: kw_span,
+                                    name: "os".into(),
+                                });
+                            }
+                            self.expect(Token::Semi, "`;`")?;
+                        }
+                        "address" => {
+                            self.bump();
+                            let v = self.expect_ip()?;
+                            if node.address.replace(v).is_some() {
+                                return Err(SpecError::DuplicateProperty {
+                                    span: kw_span,
+                                    name: "address".into(),
+                                });
+                            }
+                            self.expect(Token::Semi, "`;`")?;
+                        }
+                        "snmp" => {
+                            self.bump();
+                            self.expect_keyword("community")?;
+                            let v = self.expect_string()?;
+                            if node.snmp_community.replace(v).is_some() {
+                                return Err(SpecError::DuplicateProperty {
+                                    span: kw_span,
+                                    name: "snmp community".into(),
+                                });
+                            }
+                            self.expect(Token::Semi, "`;`")?;
+                        }
+                        "speed" => {
+                            self.bump();
+                            let v = self.expect_bandwidth()?;
+                            if node.default_speed.replace(v).is_some() {
+                                return Err(SpecError::DuplicateProperty {
+                                    span: kw_span,
+                                    name: "speed".into(),
+                                });
+                            }
+                            self.expect(Token::Semi, "`;`")?;
+                        }
+                        "interface" => {
+                            self.bump();
+                            node.interfaces.push(self.parse_interface(kw_span)?);
+                        }
+                        _ => {
+                            return Err(self.expected(
+                                "`os`, `address`, `snmp`, `speed`, `interface`, or `}`",
+                            ))
+                        }
+                    }
+                }
+                _ => return Err(self.expected("a node property or `}`")),
+            }
+        }
+    }
+
+    fn parse_interface(&mut self, span: Span) -> Result<InterfaceDecl, SpecError> {
+        let (local_name, _) = self.expect_ident()?;
+        let mut decl = InterfaceDecl {
+            local_name,
+            speed_bps: None,
+            span,
+        };
+        match self.peek().token {
+            Token::Semi => {
+                self.bump();
+                Ok(decl)
+            }
+            Token::LBrace => {
+                self.bump();
+                loop {
+                    match &self.peek().token {
+                        Token::RBrace => {
+                            self.bump();
+                            return Ok(decl);
+                        }
+                        Token::Ident(kw) if kw == "speed" => {
+                            let kw_span = self.peek().span;
+                            self.bump();
+                            let v = self.expect_bandwidth()?;
+                            if decl.speed_bps.replace(v).is_some() {
+                                return Err(SpecError::DuplicateProperty {
+                                    span: kw_span,
+                                    name: "speed".into(),
+                                });
+                            }
+                            self.expect(Token::Semi, "`;`")?;
+                        }
+                        _ => return Err(self.expected("`speed` or `}`")),
+                    }
+                }
+            }
+            _ => Err(self.expected("`;` or `{`")),
+        }
+    }
+
+    /// `application NAME on HOST ( ";" | "{" ("pinned" ";")* "}" )`
+    fn parse_application(&mut self, span: Span) -> Result<AppDecl, SpecError> {
+        let (name, _) = self.expect_ident()?;
+        self.expect_keyword("on")?;
+        let (host, _) = self.expect_ident()?;
+        let mut decl = AppDecl {
+            name,
+            host,
+            pinned: false,
+            span,
+        };
+        match self.peek().token {
+            Token::Semi => {
+                self.bump();
+                Ok(decl)
+            }
+            Token::LBrace => {
+                self.bump();
+                loop {
+                    match &self.peek().token {
+                        Token::RBrace => {
+                            self.bump();
+                            return Ok(decl);
+                        }
+                        Token::Ident(kw) if kw == "pinned" => {
+                            self.bump();
+                            decl.pinned = true;
+                            self.expect(Token::Semi, "`;`")?;
+                        }
+                        _ => return Err(self.expected("`pinned` or `}`")),
+                    }
+                }
+            }
+            _ => Err(self.expected("`;` or `{`")),
+        }
+    }
+
+    fn parse_endpoint(&mut self) -> Result<EndpointRef, SpecError> {
+        let (node, _) = self.expect_ident()?;
+        self.expect(Token::Dot, "`.`")?;
+        let (interface, _) = self.expect_ident()?;
+        Ok(EndpointRef { node, interface })
+    }
+
+    fn parse_qospath(&mut self, span: Span) -> Result<QosPathDecl, SpecError> {
+        let (name, _) = self.expect_ident()?;
+        self.expect_keyword("from")?;
+        let (from, _) = self.expect_ident()?;
+        self.expect_keyword("to")?;
+        let (to, _) = self.expect_ident()?;
+        let mut decl = QosPathDecl {
+            name,
+            from,
+            to,
+            min_available_bps: None,
+            max_utilization: None,
+            application: None,
+            span,
+        };
+        self.expect(Token::LBrace, "`{`")?;
+        loop {
+            match &self.peek().token {
+                Token::RBrace => {
+                    self.bump();
+                    return Ok(decl);
+                }
+                Token::Ident(kw) => {
+                    let kw = kw.clone();
+                    let kw_span = self.peek().span;
+                    match kw.as_str() {
+                        "min_available" => {
+                            self.bump();
+                            let v = self.expect_bandwidth()?;
+                            if decl.min_available_bps.replace(v).is_some() {
+                                return Err(SpecError::DuplicateProperty {
+                                    span: kw_span,
+                                    name: "min_available".into(),
+                                });
+                            }
+                            self.expect(Token::Semi, "`;`")?;
+                        }
+                        "max_utilization" => {
+                            self.bump();
+                            let v = match self.peek().token {
+                                Token::Percent(p) => {
+                                    self.bump();
+                                    p
+                                }
+                                _ => return Err(self.expected("a percentage (e.g. 80%)")),
+                            };
+                            if decl.max_utilization.replace(v).is_some() {
+                                return Err(SpecError::DuplicateProperty {
+                                    span: kw_span,
+                                    name: "max_utilization".into(),
+                                });
+                            }
+                            self.expect(Token::Semi, "`;`")?;
+                        }
+                        "application" => {
+                            self.bump();
+                            let (app, _) = self.expect_ident()?;
+                            if decl.application.replace(app).is_some() {
+                                return Err(SpecError::DuplicateProperty {
+                                    span: kw_span,
+                                    name: "application".into(),
+                                });
+                            }
+                            self.expect(Token::Semi, "`;`")?;
+                        }
+                        _ => {
+                            return Err(self.expected(
+                                "`min_available`, `max_utilization`, `application`, or `}`",
+                            ))
+                        }
+                    }
+                }
+                _ => return Err(self.expected("a qospath property or `}`")),
+            }
+        }
+    }
+}
+
+/// Parses a specification file into its AST.
+pub fn parse(src: &str) -> Result<SpecFile, SpecError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.parse_file()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+        # A small system
+        host L {
+            os "Linux";
+            address 10.0.0.1;
+            snmp community "public";
+            interface eth0 { speed 100Mbps; }
+        }
+        device sw switch {
+            speed 100Mbps;
+            interface p1;
+            interface p2 { speed 10Mbps; }
+        }
+        connection L.eth0 <-> sw.p1;
+        qospath track from L to L {
+            min_available 500KBps;
+            max_utilization 80%;
+        }
+    "#;
+
+    #[test]
+    fn parses_sample() {
+        let f = parse(SAMPLE).unwrap();
+        assert_eq!(f.nodes.len(), 2);
+        assert_eq!(f.connections.len(), 1);
+        assert_eq!(f.qos_paths.len(), 1);
+
+        let l = &f.nodes[0];
+        assert_eq!(l.name, "L");
+        assert_eq!(l.kind, NodeKind::Host);
+        assert_eq!(l.os.as_deref(), Some("Linux"));
+        assert_eq!(l.address.as_deref(), Some("10.0.0.1"));
+        assert_eq!(l.snmp_community.as_deref(), Some("public"));
+        assert_eq!(l.interfaces[0].speed_bps, Some(100_000_000));
+
+        let sw = &f.nodes[1];
+        assert_eq!(sw.kind, NodeKind::Switch);
+        assert_eq!(sw.default_speed, Some(100_000_000));
+        assert_eq!(sw.interfaces.len(), 2);
+        assert_eq!(sw.interfaces[0].speed_bps, None);
+        assert_eq!(sw.interfaces[1].speed_bps, Some(10_000_000));
+
+        let c = &f.connections[0];
+        assert_eq!(c.a.to_string(), "L.eth0");
+        assert_eq!(c.b.to_string(), "sw.p1");
+
+        let q = &f.qos_paths[0];
+        assert_eq!(q.name, "track");
+        assert_eq!(q.min_available_bps, Some(4_000_000));
+        assert_eq!(q.max_utilization, Some(0.8));
+    }
+
+    #[test]
+    fn empty_file_parses() {
+        let f = parse("  # nothing here\n").unwrap();
+        assert_eq!(f, SpecFile::default());
+    }
+
+    #[test]
+    fn hub_and_router_kinds() {
+        let f = parse("device h hub { interface p1; } device r router { interface p1; }")
+            .unwrap();
+        assert_eq!(f.nodes[0].kind, NodeKind::Hub);
+        assert_eq!(f.nodes[1].kind, NodeKind::Router);
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let err = parse("device x bridge { }").unwrap_err();
+        assert!(matches!(err, SpecError::UnknownKind { .. }));
+    }
+
+    #[test]
+    fn duplicate_property_rejected() {
+        let err = parse("host L { os \"a\"; os \"b\"; }").unwrap_err();
+        assert!(matches!(err, SpecError::DuplicateProperty { .. }));
+    }
+
+    #[test]
+    fn missing_semicolon_reported_with_position() {
+        let err = parse("host L {\n  os \"a\"\n}").unwrap_err();
+        match err {
+            SpecError::Expected { span, .. } => assert_eq!(span.line, 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_after_decl_rejected() {
+        assert!(parse("host L { } banana").is_err());
+    }
+
+    #[test]
+    fn connection_requires_arrow() {
+        assert!(parse("connection A.e0 -- B.e0;").is_err());
+    }
+
+    #[test]
+    fn bare_number_speed_is_bps() {
+        let f = parse("host L { interface e { speed 2500000; } }").unwrap();
+        assert_eq!(f.nodes[0].interfaces[0].speed_bps, Some(2_500_000));
+    }
+
+    #[test]
+    fn ip_address_structure_enforced() {
+        assert!(parse("host L { address 10.0.0; }").is_err());
+        assert!(parse("host L { address banana; }").is_err());
+    }
+}

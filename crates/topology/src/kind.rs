@@ -1,0 +1,156 @@
+//! Classification of topology nodes.
+//!
+//! The paper's LAN model distinguishes hosts from network devices, and —
+//! crucially for bandwidth accounting — **switches** from **hubs**:
+//!
+//! > "a switch does not forward packets for one host to other hosts
+//! > connected to the same switch. […] However, for hosts connected to
+//! > hubs, all packets that go through the hub will be sent to every host
+//! > connected to the hub."
+//!
+//! `Router` is included for forward compatibility with routed topologies;
+//! for bandwidth purposes it behaves like a switch (selective forwarding).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The role a node plays in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An end host running applications (and usually an SNMP daemon).
+    Host,
+    /// A learning switch: forwards unicast frames only toward their
+    /// destination port.
+    Switch,
+    /// A repeater hub: every frame is repeated to every other port, so all
+    /// attached interfaces share the hub's bandwidth.
+    Hub,
+    /// A router; treated like a switch for bandwidth accounting.
+    Router,
+}
+
+impl NodeKind {
+    /// True if the node is an end host rather than network equipment.
+    #[inline]
+    pub fn is_host(self) -> bool {
+        matches!(self, NodeKind::Host)
+    }
+
+    /// True if the node is network equipment that relays frames.
+    #[inline]
+    pub fn is_network_device(self) -> bool {
+        !self.is_host()
+    }
+
+    /// True if all ports of this node share one collision domain, so used
+    /// bandwidth must be **summed** across all attached traffic
+    /// (paper §3.3, hub rule).
+    #[inline]
+    pub fn is_shared_medium(self) -> bool {
+        matches!(self, NodeKind::Hub)
+    }
+
+    /// True if the node forwards frames only to the destination port, so a
+    /// connection's used bandwidth is just its own traffic
+    /// (paper §3.3, switch rule).
+    #[inline]
+    pub fn forwards_selectively(self) -> bool {
+        matches!(self, NodeKind::Switch | NodeKind::Router)
+    }
+
+    /// Canonical lowercase name, matching the specification language
+    /// keywords (`host`, `switch`, `hub`, `router`).
+    pub fn name(self) -> &'static str {
+        match self {
+            NodeKind::Host => "host",
+            NodeKind::Switch => "switch",
+            NodeKind::Hub => "hub",
+            NodeKind::Router => "router",
+        }
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown node-kind keyword.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownNodeKind(pub String);
+
+impl fmt::Display for UnknownNodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown node kind `{}` (expected host, switch, hub, or router)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownNodeKind {}
+
+impl FromStr for NodeKind {
+    type Err = UnknownNodeKind;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "host" => Ok(NodeKind::Host),
+            "switch" => Ok(NodeKind::Switch),
+            "hub" => Ok(NodeKind::Hub),
+            "router" => Ok(NodeKind::Router),
+            other => Err(UnknownNodeKind(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_classification() {
+        assert!(NodeKind::Host.is_host());
+        assert!(!NodeKind::Host.is_network_device());
+        assert!(!NodeKind::Host.is_shared_medium());
+        assert!(!NodeKind::Host.forwards_selectively());
+    }
+
+    #[test]
+    fn hub_is_shared_medium() {
+        assert!(NodeKind::Hub.is_shared_medium());
+        assert!(!NodeKind::Hub.forwards_selectively());
+        assert!(NodeKind::Hub.is_network_device());
+    }
+
+    #[test]
+    fn switch_and_router_forward_selectively() {
+        for k in [NodeKind::Switch, NodeKind::Router] {
+            assert!(k.forwards_selectively());
+            assert!(!k.is_shared_medium());
+            assert!(k.is_network_device());
+        }
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for k in [
+            NodeKind::Host,
+            NodeKind::Switch,
+            NodeKind::Hub,
+            NodeKind::Router,
+        ] {
+            assert_eq!(k.name().parse::<NodeKind>().unwrap(), k);
+            assert_eq!(k.to_string(), k.name());
+        }
+    }
+
+    #[test]
+    fn parse_unknown_kind_fails() {
+        let err = "bridge".parse::<NodeKind>().unwrap_err();
+        assert!(err.to_string().contains("bridge"));
+    }
+}

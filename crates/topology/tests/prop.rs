@@ -1,0 +1,142 @@
+//! Property-based tests for the topology crate: traversal termination on
+//! arbitrary (possibly cyclic) topologies and algebraic laws of the
+//! bandwidth computation.
+
+use netqos_topology::bandwidth::{self, IfRates, MapRates};
+use netqos_topology::{path, IfIx, NetworkTopology, NodeId, NodeKind};
+use proptest::prelude::*;
+
+/// Strategy: a random topology with `n` nodes of random kinds and a random
+/// set of connections among free interfaces. May contain cycles,
+/// partitions, and self-loops through distinct interfaces.
+fn arb_topology(max_nodes: usize, max_conns: usize) -> impl Strategy<Value = NetworkTopology> {
+    let kinds = prop::sample::select(vec![
+        NodeKind::Host,
+        NodeKind::Switch,
+        NodeKind::Hub,
+        NodeKind::Router,
+    ]);
+    (
+        prop::collection::vec((kinds, 1u32..5), 2..max_nodes),
+        prop::collection::vec((any::<u32>(), any::<u32>()), 0..max_conns),
+    )
+        .prop_map(|(nodes, conn_seeds)| {
+            let mut t = NetworkTopology::new();
+            let mut ifaces: Vec<(NodeId, IfIx)> = Vec::new();
+            for (i, (kind, n_if)) in nodes.into_iter().enumerate() {
+                let id = t.add_node(&format!("n{i}"), kind).unwrap();
+                for j in 0..n_if {
+                    let ifix = t
+                        .add_interface(id, &format!("if{j}"), 10_000_000)
+                        .unwrap();
+                    ifaces.push((id, ifix));
+                }
+            }
+            for (sa, sb) in conn_seeds {
+                if ifaces.len() < 2 {
+                    break;
+                }
+                let a = ifaces[sa as usize % ifaces.len()];
+                let b = ifaces[sb as usize % ifaces.len()];
+                // Ignore failures (already connected / self connection):
+                // the builder enforces the 1-to-1 rule.
+                let _ = t.connect(a, b);
+            }
+            t
+        })
+}
+
+proptest! {
+    /// Path traversal always terminates and, when it finds a path, the
+    /// path is simple (no repeated nodes) and well-formed.
+    #[test]
+    fn traversal_terminates_and_paths_are_simple(t in arb_topology(12, 30)) {
+        let n = t.node_count() as u32;
+        for from in 0..n {
+            for to in 0..n {
+                if let Ok(p) = path::find_path(&t, NodeId(from), NodeId(to)) {
+                    prop_assert_eq!(p.nodes.len(), p.connections.len() + 1);
+                    prop_assert_eq!(p.nodes[0], NodeId(from));
+                    prop_assert_eq!(*p.nodes.last().unwrap(), NodeId(to));
+                    // Simple path: no node repeats.
+                    let mut seen = std::collections::HashSet::new();
+                    for node in &p.nodes {
+                        prop_assert!(seen.insert(*node), "node repeated in path");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enumerating all simple paths never yields duplicates and respects
+    /// the limit parameter.
+    #[test]
+    fn enumerate_respects_limit(t in arb_topology(8, 16), limit in 1usize..4) {
+        let n = t.node_count() as u32;
+        for from in 0..n.min(4) {
+            for to in 0..n.min(4) {
+                if from == to { continue; }
+                let some = path::enumerate_paths(&t, NodeId(from), NodeId(to), limit).unwrap();
+                prop_assert!(some.len() <= limit);
+                let all = path::enumerate_paths(&t, NodeId(from), NodeId(to), 0).unwrap();
+                let mut dedup = all.clone();
+                dedup.dedup_by(|a, b| a.connections == b.connections);
+                prop_assert_eq!(dedup.len(), all.len(), "duplicate paths enumerated");
+                prop_assert!(some.len() <= all.len());
+            }
+        }
+    }
+
+    /// Bandwidth invariants on every connection of a random topology with
+    /// random rates: used + available == capacity, used <= capacity.
+    #[test]
+    fn bandwidth_partition_invariant(
+        t in arb_topology(10, 20),
+        seeds in prop::collection::vec(0u64..30_000_000, 64),
+    ) {
+        let mut rates = MapRates::new();
+        let mut k = 0usize;
+        for (id, node) in t.nodes() {
+            for (i, _) in node.interfaces.iter().enumerate() {
+                let r = IfRates {
+                    in_bps: seeds[k % seeds.len()],
+                    out_bps: seeds[(k + 1) % seeds.len()],
+                };
+                k += 2;
+                rates.set(id, IfIx(i as u32), r);
+            }
+        }
+        for (conn, _) in t.connections() {
+            let bw = bandwidth::connection_bandwidth(&t, conn, &rates).unwrap();
+            prop_assert!(bw.used_bps <= bw.capacity_bps);
+            prop_assert_eq!(bw.used_bps + bw.available_bps, bw.capacity_bps);
+            let u = bw.utilization();
+            prop_assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    /// Path available bandwidth equals the min over its connections and
+    /// never exceeds any connection's capacity.
+    #[test]
+    fn path_available_is_min(t in arb_topology(10, 20), fill in 0u64..9_000_000) {
+        let mut rates = MapRates::new();
+        for (id, node) in t.nodes() {
+            for (i, _) in node.interfaces.iter().enumerate() {
+                rates.set(id, IfIx(i as u32), IfRates { in_bps: fill, out_bps: 0 });
+            }
+        }
+        let n = t.node_count() as u32;
+        for from in 0..n.min(5) {
+            for to in 0..n.min(5) {
+                if from == to { continue; }
+                let Ok(p) = path::find_path(&t, NodeId(from), NodeId(to)) else { continue };
+                let Ok(bw) = bandwidth::path_bandwidth(&t, &p, &rates) else { continue };
+                let min = bw.connections.iter().map(|c| c.available_bps).min();
+                prop_assert_eq!(Some(bw.available_bps), min);
+                for c in &bw.connections {
+                    prop_assert!(bw.available_bps <= c.capacity_bps);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Tour of the paper's LIRTSS testbed (Figure 3): load the checked-in
+//! specification, print the topology and the monitored communication
+//! paths, run a short monitored load, and measure path latency.
+//!
+//! ```text
+//! cargo run --example lirtss_testbed
+//! ```
+
+use netqos::loadgen::LoadProfile;
+use netqos::sim::time::SimDuration;
+use netqos_bench::testbed::{build_testbed, Load, TestbedOptions, LIRTSS_SPEC};
+
+fn main() {
+    let model = netqos::spec::parse_and_validate(LIRTSS_SPEC).expect("spec parses");
+
+    println!("== Nodes ==");
+    for (_, node) in model.topology.nodes() {
+        let agent = if node.snmp_capable { " [SNMP]" } else { "" };
+        println!(
+            "  {:<8} {:<7} {} interface(s){agent}",
+            node.name,
+            node.kind.to_string(),
+            node.interfaces.len()
+        );
+    }
+
+    println!("\n== Connections ==");
+    for (id, _) in model.topology.connections() {
+        println!("  {}", model.topology.describe_connection(id));
+    }
+
+    println!("\n== Monitored communication paths (recursive traversal) ==");
+    let tb0 = build_testbed(&[], &TestbedOptions::default());
+    for q in &tb0.net.model().qos_paths {
+        let p = tb0.monitor.path(q.from, q.to).expect("path exists");
+        println!("  {:<6} {}", q.name, p.describe(tb0.monitor.topology()));
+    }
+
+    // A short monitored run: 300 KB/s from L to N1 for 6 seconds.
+    println!("\n== 10-second monitored run (300 KB/s L->N1 during t=2..8) ==");
+    let loads = vec![Load::new("L", "N1", LoadProfile::pulse(2, 8, 300_000))];
+    let mut tb = build_testbed(&loads, &TestbedOptions::default());
+    let s1 = tb.monitor.topology().node_by_name("S1").unwrap();
+    let n1 = tb.monitor.topology().node_by_name("N1").unwrap();
+    println!("  t(s)  S1<->N1 used (KB/s)   available (KB/s)");
+    for _ in 0..10 {
+        let next = tb.net.lan.now() + SimDuration::from_secs(1);
+        tb.net.run_until(next);
+        tb.net.poll_round(&mut tb.monitor).unwrap();
+        if let Ok(bw) = tb.monitor.path_bandwidth(s1, n1) {
+            println!(
+                "  {:>4.0}  {:>19.1}  {:>16.1}",
+                tb.net.lan.now().as_secs_f64(),
+                bw.used_bps as f64 / 8000.0,
+                bw.available_bps as f64 / 8000.0
+            );
+        }
+    }
+
+    // Latency extension: probe RTTs from the monitor host.
+    println!("\n== Path RTTs from L (echo probes) ==");
+    for name in ["S1", "N1"] {
+        let node = tb.monitor.topology().node_by_name(name).unwrap();
+        let stats = tb
+            .net
+            .measure_rtt(node, 5, 64, SimDuration::from_millis(100))
+            .expect("probe succeeds");
+        println!(
+            "  L -> {:<3} mean {:.3} ms (min {:.3}, max {:.3}, lost {})",
+            name,
+            stats.mean_ms(),
+            stats.min.as_secs_f64() * 1e3,
+            stats.max.as_secs_f64() * 1e3,
+            stats.lost
+        );
+    }
+}

@@ -1,0 +1,286 @@
+//! `netqos` — command-line front end for the network QoS monitor.
+//!
+//! ```text
+//! netqos check   <spec>                      validate a specification file
+//! netqos fmt     <spec>                      canonical pretty-print
+//! netqos paths   <spec>                      show qospath traversals
+//! netqos monitor <spec> [--duration N]       run the monitor in the simulator
+//!                       [--load FROM:TO:KBPS[:START:END]]...
+//! netqos audit   <spec>                      verify spec against forwarding evidence
+//! ```
+//!
+//! Exit codes: 0 success, 1 usage error, 2 validation/runtime failure.
+
+use netqos::loadgen::{LoadProfile, ProfiledSource};
+use netqos::monitor::discovery::{self, Verdict};
+use netqos::monitor::simnet::{SimNetwork, SimNetworkOptions};
+use netqos::monitor::NetworkMonitor;
+use netqos::sim::time::SimDuration;
+use netqos::spec;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(1);
+    };
+    let result = match cmd.as_str() {
+        "check" => cmd_check(&args[1..]),
+        "fmt" => cmd_fmt(&args[1..]),
+        "paths" => cmd_paths(&args[1..]),
+        "monitor" => cmd_monitor(&args[1..]),
+        "audit" => cmd_audit(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("netqos: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  netqos check   <spec>                      validate a specification file
+  netqos fmt     <spec>                      canonical pretty-print to stdout
+  netqos paths   <spec>                      show qospath traversals
+  netqos monitor <spec> [--duration N] [--load FROM:TO:KBPS[:START:END]]...
+  netqos audit   <spec>                      verify spec against forwarding evidence";
+
+fn read_spec(args: &[String]) -> Result<(String, String), String> {
+    let path = args
+        .first()
+        .ok_or_else(|| format!("missing <spec> argument\n{USAGE}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Ok((path.clone(), text))
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let (path, text) = read_spec(args)?;
+    match spec::parse_and_validate(&text) {
+        Ok(model) => {
+            let hosts = model
+                .topology
+                .nodes()
+                .filter(|(_, n)| n.kind.is_host())
+                .count();
+            println!(
+                "{path}: OK — {} nodes ({hosts} hosts), {} connections, {} SNMP agents, {} qospaths",
+                model.topology.node_count(),
+                model.topology.connection_count(),
+                model.snmp_nodes().len(),
+                model.qos_paths.len()
+            );
+            Ok(())
+        }
+        Err(e) => Err(match e.span() {
+            Some(span) => format!("{path}:{span}: {e}"),
+            None => format!("{path}: {e}"),
+        }),
+    }
+}
+
+fn cmd_fmt(args: &[String]) -> Result<(), String> {
+    let (_, text) = read_spec(args)?;
+    let ast = spec::parse(&text).map_err(|e| e.to_string())?;
+    print!("{}", spec::write_spec(&ast));
+    Ok(())
+}
+
+fn cmd_paths(args: &[String]) -> Result<(), String> {
+    let (_, text) = read_spec(args)?;
+    let model = spec::parse_and_validate(&text).map_err(|e| e.to_string())?;
+    let monitor = NetworkMonitor::new(model.topology.clone());
+    if model.qos_paths.is_empty() {
+        println!("no qospath declarations; showing all host pairs:");
+        for p in netqos::topology::path::all_host_pairs(&model.topology) {
+            println!("  {}", p.describe(&model.topology));
+        }
+        return Ok(());
+    }
+    for q in &model.qos_paths {
+        let p = monitor.path(q.from, q.to).map_err(|e| e.to_string())?;
+        let req = q
+            .min_available_bps
+            .map(|b| format!(" (min_available {} KB/s)", b / 8000))
+            .unwrap_or_default();
+        println!("{:<10} {}{req}", q.name, p.describe(&model.topology));
+    }
+    Ok(())
+}
+
+/// `FROM:TO:KBPS[:START:END]`
+fn parse_load(s: &str) -> Result<(String, String, LoadProfile), String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let bad = || format!("bad --load `{s}` (expected FROM:TO:KBPS[:START:END])");
+    match parts.as_slice() {
+        [from, to, kbps] => {
+            let rate: u64 = kbps.parse().map_err(|_| bad())?;
+            Ok((
+                (*from).to_owned(),
+                (*to).to_owned(),
+                LoadProfile::constant(rate * 1000),
+            ))
+        }
+        [from, to, kbps, start, end] => {
+            let rate: u64 = kbps.parse().map_err(|_| bad())?;
+            let start: u64 = start.parse().map_err(|_| bad())?;
+            let end: u64 = end.parse().map_err(|_| bad())?;
+            Ok((
+                (*from).to_owned(),
+                (*to).to_owned(),
+                LoadProfile::pulse(start, end, rate * 1000),
+            ))
+        }
+        _ => Err(bad()),
+    }
+}
+
+fn cmd_monitor(args: &[String]) -> Result<(), String> {
+    let (_, text) = read_spec(args)?;
+    let model = spec::parse_and_validate(&text).map_err(|e| e.to_string())?;
+    let topology = model.topology.clone();
+    let qos_paths = model.qos_paths.clone();
+    if qos_paths.is_empty() {
+        return Err("the spec declares no qospath to monitor".into());
+    }
+
+    let mut duration = 30u64;
+    let mut loads: Vec<(String, String, LoadProfile)> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--duration" => {
+                i += 1;
+                duration = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--duration needs a number of seconds")?;
+            }
+            "--load" => {
+                i += 1;
+                loads.push(parse_load(
+                    args.get(i).ok_or("--load needs FROM:TO:KBPS[:START:END]")?,
+                )?);
+            }
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+
+    // Monitor host: first SNMP-capable host in the file.
+    let monitor_host = model
+        .snmp_nodes()
+        .into_iter()
+        .find(|&n| topology.node(n).map(|x| x.kind.is_host()).unwrap_or(false))
+        .ok_or("no SNMP-capable host to run the monitor on")?;
+    let options = SimNetworkOptions {
+        monitor_host: topology
+            .node(monitor_host)
+            .map_err(|e| e.to_string())?
+            .name
+            .clone(),
+        ..SimNetworkOptions::default()
+    };
+
+    let mut net = SimNetwork::from_model_with(model, options, |builder, map, m| {
+        for (from, to, profile) in &loads {
+            let (Ok(f), Ok(t)) = (m.topology.node_by_name(from), m.topology.node_by_name(to))
+            else {
+                continue;
+            };
+            if let Some(ip) = m.addresses.get(&t).and_then(|a| a.parse().ok()) {
+                let _ = builder.install_app(
+                    map[&f],
+                    Box::new(ProfiledSource::new(ip, profile.clone())),
+                    None,
+                );
+            }
+        }
+    })
+    .map_err(|e| e.to_string())?;
+
+    let mut monitor = NetworkMonitor::new(topology.clone());
+
+    // Header.
+    print!("t_s");
+    for q in &qos_paths {
+        print!(",{}_used_kBps,{}_avail_kBps", q.name, q.name);
+    }
+    println!();
+
+    for _ in 0..duration {
+        let next = net.lan.now() + SimDuration::from_secs(1);
+        net.run_until(next);
+        let _ = net.poll_round(&mut monitor);
+        print!("{:.0}", net.lan.now().as_secs_f64());
+        for q in &qos_paths {
+            match monitor.path_bandwidth(q.from, q.to) {
+                Ok(bw) => print!(
+                    ",{:.1},{:.1}",
+                    bw.used_bps as f64 / 8000.0,
+                    bw.available_bps as f64 / 8000.0
+                ),
+                Err(_) => print!(",,"),
+            }
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let (_, text) = read_spec(args)?;
+    let model = spec::parse_and_validate(&text).map_err(|e| e.to_string())?;
+    let topology = model.topology.clone();
+    let monitor_host = model
+        .snmp_nodes()
+        .into_iter()
+        .find(|&n| topology.node(n).map(|x| x.kind.is_host()).unwrap_or(false))
+        .ok_or("no SNMP-capable host to run the audit from")?;
+    let options = SimNetworkOptions {
+        monitor_host: topology
+            .node(monitor_host)
+            .map_err(|e| e.to_string())?
+            .name
+            .clone(),
+        ..SimNetworkOptions::default()
+    };
+    let mut net = SimNetwork::from_model(model, options).map_err(|e| e.to_string())?;
+
+    // Make every agent transmit once so switches learn their MACs.
+    let mut monitor = NetworkMonitor::new(topology);
+    let _ = net.poll_round(&mut monitor);
+
+    let findings = discovery::audit(&mut net).map_err(|e| e.to_string())?;
+    if findings.is_empty() {
+        println!("no managed switches to audit");
+        return Ok(());
+    }
+    let mut mismatches = 0;
+    for f in &findings {
+        let verdict = match &f.verdict {
+            Verdict::Confirmed => "CONFIRMED".to_owned(),
+            Verdict::Unverified => "unverified".to_owned(),
+            Verdict::Mismatch {
+                specified_port,
+                learned_port,
+            } => {
+                mismatches += 1;
+                format!("MISMATCH (spec: port {specified_port}, learned: port {learned_port})")
+            }
+        };
+        println!("{:<40} {verdict}", f.description);
+    }
+    if mismatches > 0 {
+        Err(format!("{mismatches} connection(s) contradict the specification"))
+    } else {
+        Ok(())
+    }
+}

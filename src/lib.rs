@@ -1,0 +1,20 @@
+//! # netqos — facade crate
+//!
+//! Re-exports the public API of every netqos crate under one roof, so that
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`topology`] — network graph, path traversal, bandwidth algorithms
+//! * [`spec`] — the DeSiDeRaTa specification language (network extension)
+//! * [`snmp`] — SNMPv1 / BER / MIB-II agent and manager
+//! * [`sim`] — discrete-event Ethernet LAN simulator
+//! * [`loadgen`] — UDP network load generator
+//! * [`monitor`] — the network QoS monitor (the paper's contribution)
+//! * [`rm`] — DeSiDeRaTa-style resource-manager substrate
+
+pub use netqos_loadgen as loadgen;
+pub use netqos_monitor as monitor;
+pub use netqos_rm as rm;
+pub use netqos_sim as sim;
+pub use netqos_snmp as snmp;
+pub use netqos_spec as spec;
+pub use netqos_topology as topology;

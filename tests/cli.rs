@@ -1,0 +1,118 @@
+//! Integration tests for the `netqos` command-line binary: exercises the
+//! compiled binary's contract (exit codes, output shape) end to end.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn netqos_bin() -> PathBuf {
+    // Cargo puts integration-test binaries in target/<profile>/deps; the
+    // CLI lives one level up.
+    let mut path = std::env::current_exe().expect("test exe path");
+    path.pop(); // deps/
+    path.pop(); // debug/ (or release/)
+    path.push("netqos");
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(netqos_bin())
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn check_accepts_the_shipped_specs() {
+    for spec in ["specs/lirtss.spec", "specs/two-switch.spec"] {
+        let out = run(&["check", spec]);
+        assert!(out.status.success(), "{spec}: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("OK"), "{stdout}");
+    }
+}
+
+#[test]
+fn check_rejects_broken_spec_with_position() {
+    let dir = std::env::temp_dir().join("netqos-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.spec");
+    std::fs::write(&bad, "host A {\n  interface e;\n}\n").unwrap(); // no speed
+    let out = run(&["check", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no speed"), "{stderr}");
+    assert!(stderr.contains("2:"), "should carry the line number: {stderr}");
+}
+
+#[test]
+fn fmt_output_reparses_identically() {
+    let out = run(&["fmt", "specs/lirtss.spec"]);
+    assert!(out.status.success());
+    let formatted = String::from_utf8(out.stdout).unwrap();
+    // The canonical form must itself validate.
+    let model = netqos::spec::parse_and_validate(&formatted).expect("fmt output valid");
+    assert_eq!(model.topology.node_count(), 11);
+    assert_eq!(model.applications.len(), 3);
+}
+
+#[test]
+fn paths_lists_all_qospaths() {
+    let out = run(&["paths", "specs/lirtss.spec"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["s1n1", "s1n2", "s1s2", "s1s3"] {
+        assert!(stdout.contains(name), "missing {name}: {stdout}");
+    }
+    assert!(stdout.contains("hub1"), "hub paths must show the hub hop");
+}
+
+#[test]
+fn monitor_emits_csv_with_load() {
+    let out = run(&[
+        "monitor",
+        "specs/lirtss.spec",
+        "--duration",
+        "6",
+        "--load",
+        "L:N1:200:1:5",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(lines[0].starts_with("t_s,"), "{}", lines[0]);
+    assert!(lines[0].contains("s1n1_used_kBps"));
+    // 6 data rows follow the header.
+    assert_eq!(lines.len(), 7, "{stdout}");
+    // At least one loaded sample near 200 KB/s on s1n1 (first column pair).
+    let loaded = lines[1..].iter().any(|l| {
+        l.split(',')
+            .nth(1)
+            .and_then(|v| v.parse::<f64>().ok())
+            .map(|v| (150.0..280.0).contains(&v))
+            .unwrap_or(false)
+    });
+    assert!(loaded, "expected a ~200 KB/s sample: {stdout}");
+}
+
+#[test]
+fn audit_reports_verdicts() {
+    let out = run(&["audit", "specs/lirtss.spec"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("CONFIRMED"), "{stdout}");
+    assert!(stdout.contains("unverified"), "{stdout}");
+}
+
+#[test]
+fn usage_on_bad_invocations() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = run(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["check", "/nonexistent/x.spec"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
+}

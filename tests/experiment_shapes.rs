@@ -1,0 +1,155 @@
+//! Time-compressed versions of the paper's three experiments, asserting
+//! the qualitative success criteria from DESIGN.md §4: measured tracks
+//! generated with a small positive bias; hub paths sum concurrent flows;
+//! switch paths isolate them.
+
+use netqos::loadgen::LoadProfile;
+use netqos::sim::time::SimDuration;
+use netqos_bench::experiment::{run_experiment, ExperimentConfig};
+use netqos_bench::stats::{self, StepWindow};
+use netqos_bench::testbed::{build_testbed, Load, TestbedOptions};
+
+/// Figure 4 shape at 1/10 time scale: staircase tracking with a small
+/// positive bias on every step.
+#[test]
+fn fig4_staircase_tracks_with_positive_bias() {
+    let profile = LoadProfile::staircase(12, 100_000, 100_000, 6, 5);
+    let loads = vec![Load::new("L", "N1", profile)];
+    let mut tb = build_testbed(&loads, &TestbedOptions::default());
+    let config = ExperimentConfig {
+        duration_s: 48,
+        poll_period: SimDuration::from_secs(1),
+        paths: vec![("S1".into(), "N1".into())],
+    };
+    let result = run_experiment(&mut tb, &config).unwrap();
+    let series = result.recorder.get("S1<->N1").unwrap();
+
+    let background = stats::background_kbps(series, 4.0, 11.0);
+    assert!(
+        background < 20.0,
+        "background should be small, got {background} KB/s"
+    );
+
+    let windows: Vec<StepWindow> = (0..5)
+        .map(|i| StepWindow {
+            from_s: (12 + i * 6) as f64 + 2.0,
+            to_s: (12 + (i + 1) * 6) as f64 - 1.0,
+            generated_kbps: 100.0 * (i + 1) as f64,
+        })
+        .collect();
+    let rows = stats::step_stats(series, &windows, background);
+    for r in &rows {
+        // Paper: ~4% positive bias (headers + SNMP); accept 0.5%..8%.
+        assert!(
+            r.pct_error > 0.5 && r.pct_error < 8.0,
+            "step {} KB/s: error {}% out of range",
+            r.generated_kbps,
+            r.pct_error
+        );
+        assert!(
+            r.max_pct_error < 25.0,
+            "max single-sample error {}% too large",
+            r.max_pct_error
+        );
+    }
+    // Monotone: higher generated loads measure higher.
+    for pair in rows.windows(2) {
+        assert!(pair[1].avg_measured > pair[0].avg_measured);
+    }
+    // After shutdown the measurement returns to background levels.
+    let tail = series.mean_used_kbps(44.0, 48.0).unwrap();
+    assert!(tail < background + 15.0, "tail {tail} vs background {background}");
+}
+
+/// Figure 5 shape: both hub paths see the *sum* of the overlapping flows.
+#[test]
+fn fig5_hub_paths_sum_concurrent_flows() {
+    let loads = vec![
+        Load::new("L", "N1", LoadProfile::pulse(4, 16, 200_000)),
+        Load::new("L", "N2", LoadProfile::pulse(8, 20, 200_000)),
+    ];
+    let mut tb = build_testbed(&loads, &TestbedOptions::default());
+    let config = ExperimentConfig {
+        duration_s: 24,
+        poll_period: SimDuration::from_secs(1),
+        paths: vec![("S1".into(), "N1".into()), ("S1".into(), "N2".into())],
+    };
+    let result = run_experiment(&mut tb, &config).unwrap();
+
+    for name in ["S1<->N1", "S1<->N2"] {
+        let series = result.recorder.get(name).unwrap();
+        let single = series.mean_used_kbps(5.5, 7.5).unwrap();
+        let overlap = series.mean_used_kbps(10.0, 15.0).unwrap();
+        let late = series.mean_used_kbps(17.5, 19.5).unwrap();
+        assert!(
+            single > 170.0 && single < 260.0,
+            "{name} single-flow window: {single} KB/s"
+        );
+        assert!(
+            overlap > 370.0 && overlap < 480.0,
+            "{name} overlap window should sum both flows: {overlap} KB/s"
+        );
+        assert!(
+            late > 170.0 && late < 260.0,
+            "{name} late window: {late} KB/s"
+        );
+    }
+}
+
+/// Figure 6 shape: switch paths see only their own traffic; traffic to
+/// the shared endpoint S1 appears on both.
+#[test]
+fn fig6_switch_paths_isolate_flows() {
+    let loads = vec![
+        Load::new("L", "S2", LoadProfile::pulse(4, 10, 2_000_000)),
+        Load::new("L", "S3", LoadProfile::pulse(8, 14, 2_000_000)),
+        Load::new("L", "S1", LoadProfile::pulse(18, 24, 2_000_000)),
+    ];
+    let mut tb = build_testbed(&loads, &TestbedOptions::default());
+    let config = ExperimentConfig {
+        duration_s: 26,
+        poll_period: SimDuration::from_secs(1),
+        paths: vec![("S1".into(), "S2".into()), ("S1".into(), "S3".into())],
+    };
+    let result = run_experiment(&mut tb, &config).unwrap();
+    let s12 = result.recorder.get("S1<->S2").unwrap();
+    let s13 = result.recorder.get("S1<->S3").unwrap();
+
+    // S2 load visible only on S1<->S2 (window 5.5..7.5 is S2-only).
+    let a = s12.mean_used_kbps(5.5, 7.5).unwrap();
+    let b = s13.mean_used_kbps(5.5, 7.5).unwrap();
+    assert!(a > 1800.0, "S1<->S2 should carry the S2 load, got {a}");
+    assert!(b < 100.0, "S1<->S3 must not see the S2 load, got {b}");
+
+    // S3 load visible only on S1<->S3 (window 11.5..13.5 is S3-only).
+    let a = s12.mean_used_kbps(11.5, 13.5).unwrap();
+    let b = s13.mean_used_kbps(11.5, 13.5).unwrap();
+    assert!(a < 100.0, "S1<->S2 must not see the S3 load, got {a}");
+    assert!(b > 1800.0, "S1<->S3 should carry the S3 load, got {b}");
+
+    // S1 load visible on both (window 20..23).
+    let a = s12.mean_used_kbps(20.0, 23.0).unwrap();
+    let b = s13.mean_used_kbps(20.0, 23.0).unwrap();
+    assert!(a > 1800.0 && b > 1800.0, "S1 load must appear on both: {a}, {b}");
+}
+
+/// Paper §4.1: hosts without SNMP daemons (S3..S6) are still monitorable
+/// by polling the switch's ports.
+#[test]
+fn agentless_hosts_monitored_via_switch() {
+    let loads = vec![Load::new("L", "S4", LoadProfile::pulse(2, 10, 500_000))];
+    let mut tb = build_testbed(&loads, &TestbedOptions::default());
+    let config = ExperimentConfig {
+        duration_s: 12,
+        poll_period: SimDuration::from_secs(1),
+        // Neither S4 nor S5 runs an agent.
+        paths: vec![("S4".into(), "S5".into())],
+    };
+    let result = run_experiment(&mut tb, &config).unwrap();
+    let series = result.recorder.get("S4<->S5").unwrap();
+    let loaded = series.mean_used_kbps(4.0, 9.0).unwrap();
+    assert!(
+        loaded > 450.0 && loaded < 600.0,
+        "S4 traffic must be visible through switch polling: {loaded} KB/s"
+    );
+}
