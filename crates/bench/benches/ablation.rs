@@ -40,10 +40,11 @@ fn poll_bulk_walk(agent: &mut SnmpAgent, mib: &ScalarMib) -> usize {
     let stop: Oid = "1.3.6.1.2.1.3".parse().unwrap();
     let mut messages = 0usize;
     'outer: loop {
-        let req =
-            client::build_get_bulk("public", 1, 0, 20, std::slice::from_ref(&cur)).unwrap();
+        let req = client::build_get_bulk("public", 1, 0, 20, std::slice::from_ref(&cur)).unwrap();
         messages += 1;
-        let Some(resp) = agent.handle(&req, mib) else { break };
+        let Some(resp) = agent.handle(&req, mib) else {
+            break;
+        };
         let parsed = client::parse_response(&resp).unwrap();
         if !parsed.error_status.is_ok() || parsed.bindings.is_empty() {
             break;
@@ -66,7 +67,9 @@ fn poll_walk(agent: &mut SnmpAgent, mib: &ScalarMib) -> usize {
     loop {
         let req = client::build_get_next("public", 1, std::slice::from_ref(&cur)).unwrap();
         messages += 1;
-        let Some(resp) = agent.handle(&req, mib) else { break };
+        let Some(resp) = agent.handle(&req, mib) else {
+            break;
+        };
         let parsed = client::parse_response(&resp).unwrap();
         if !parsed.error_status.is_ok() {
             break;
@@ -112,21 +115,17 @@ fn bench_fleet_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("fleet_size");
     for devices in [2usize, 6, 18] {
         let mibs: Vec<ScalarMib> = (0..devices).map(|_| device_mib(4)).collect();
-        group.bench_with_input(
-            BenchmarkId::new("poll_round", devices),
-            &devices,
-            |b, _| {
-                b.iter_batched(
-                    || SnmpAgent::new("public"),
-                    |mut agent| {
-                        for mib in &mibs {
-                            poll_chunked(&mut agent, mib, 4);
-                        }
-                    },
-                    BatchSize::SmallInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("poll_round", devices), &devices, |b, _| {
+            b.iter_batched(
+                || SnmpAgent::new("public"),
+                |mut agent| {
+                    for mib in &mibs {
+                        poll_chunked(&mut agent, mib, 4);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
     }
     group.finish();
 }

@@ -7,16 +7,17 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughpu
 use netqos_monitor::poll;
 use netqos_snmp::agent::SnmpAgent;
 use netqos_snmp::client;
+use netqos_snmp::message::SnmpMessage;
 use netqos_snmp::mib::ScalarMib;
 use netqos_snmp::mib2::{self, IfEntry, SystemInfo};
-use netqos_snmp::message::SnmpMessage;
 
 fn switch_mib(ports: u32) -> ScalarMib {
     let mut mib = ScalarMib::new();
     mib2::system::install(&mut mib, &SystemInfo::new("switch1"), 123_456);
     let entries: Vec<IfEntry> = (1..=ports)
         .map(|i| {
-            let mut e = IfEntry::ethernet(i, &format!("p{i}"), 100_000_000, [2, 0, 0, 0, 0, i as u8]);
+            let mut e =
+                IfEntry::ethernet(i, &format!("p{i}"), 100_000_000, [2, 0, 0, 0, 0, i as u8]);
             e.in_octets = i * 1_000_003;
             e.out_octets = i * 2_000_033;
             e
@@ -67,9 +68,11 @@ fn bench_mib_walk(c: &mut Criterion) {
                 let mut cur: netqos_snmp::Oid = "1.3".parse().unwrap();
                 let mut count = 0u32;
                 loop {
-                    let req = client::build_get_next("public", 1, std::slice::from_ref(&cur))
-                        .unwrap();
-                    let Some(resp) = agent.handle(&req, &mib) else { break };
+                    let req =
+                        client::build_get_next("public", 1, std::slice::from_ref(&cur)).unwrap();
+                    let Some(resp) = agent.handle(&req, &mib) else {
+                        break;
+                    };
                     let parsed = client::parse_response(&resp).unwrap();
                     if !parsed.error_status.is_ok() {
                         break;
@@ -84,5 +87,10 @@ fn bench_mib_walk(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_encode_decode, bench_poll_cycle, bench_mib_walk);
+criterion_group!(
+    benches,
+    bench_encode_decode,
+    bench_poll_cycle,
+    bench_mib_walk
+);
 criterion_main!(benches);

@@ -103,5 +103,10 @@ fn bench_rtt_probe(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_poll_round, bench_ingest_and_paths, bench_rtt_probe);
+criterion_group!(
+    benches,
+    bench_poll_round,
+    bench_ingest_and_paths,
+    bench_rtt_probe
+);
 criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benches for the self-telemetry hot path. The instruments sit
+//! inside the SNMP codec, the poll loop, and every service tick, so a
+//! single record must stay well under 100 ns — cheap enough to leave on
+//! in the real-time system the paper targets.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use netqos_telemetry::Registry;
+
+fn bench_record(c: &mut Criterion) {
+    let registry = Registry::new();
+    let counter = registry.counter("bench_counter_total");
+    let gauge = registry.gauge("bench_gauge");
+    let histogram = registry.histogram("bench_histogram_ns");
+
+    let mut group = c.benchmark_group("telemetry");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    group.bench_function("gauge_set", |b| {
+        let mut v = 0i64;
+        b.iter(|| {
+            v = v.wrapping_add(17);
+            gauge.set(black_box(v));
+        })
+    });
+    group.bench_function("histogram_record", |b| {
+        let mut v = 1u64;
+        b.iter(|| {
+            // Vary the value so the bench covers many buckets, not one
+            // cache-hot slot.
+            v = v.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            histogram.record(black_box(v >> 32));
+        })
+    });
+    group.finish();
+}
+
+fn bench_read_paths(c: &mut Criterion) {
+    let registry = Registry::new();
+    for i in 0..8 {
+        registry.counter(&format!("c{i}_total")).add(i);
+        let h = registry.histogram(&format!("h{i}_ns"));
+        for v in 0..512u64 {
+            h.record(v * 97);
+        }
+    }
+    let h = registry.histogram("h0_ns");
+
+    let mut group = c.benchmark_group("telemetry_read");
+    group.bench_function("histogram_quantile_p99", |b| {
+        b.iter(|| black_box(h.quantile(0.99)))
+    });
+    group.bench_function("registry_render_prometheus", |b| {
+        b.iter(|| black_box(registry.render_prometheus().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_record, bench_read_paths);
+criterion_main!(benches);

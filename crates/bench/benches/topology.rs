@@ -19,11 +19,10 @@ fn synthetic(spines: u32, leaves: u32) -> NetworkTopology {
     let mut t = NetworkTopology::new();
     let mut spine_ids = Vec::new();
     for s in 0..spines {
-        let sw = t
-            .add_node(&format!("sw{s}"), NodeKind::Switch)
-            .unwrap();
+        let sw = t.add_node(&format!("sw{s}"), NodeKind::Switch).unwrap();
         for p in 0..(leaves + 2) {
-            t.add_interface(sw, &format!("p{p}"), 1_000_000_000).unwrap();
+            t.add_interface(sw, &format!("p{p}"), 1_000_000_000)
+                .unwrap();
         }
         spine_ids.push(sw);
     }
@@ -36,9 +35,7 @@ fn synthetic(spines: u32, leaves: u32) -> NetworkTopology {
     }
     for (s, &sw) in spine_ids.iter().enumerate() {
         for l in 0..leaves {
-            let h = t
-                .add_node(&format!("h{s}x{l}"), NodeKind::Host)
-                .unwrap();
+            let h = t.add_node(&format!("h{s}x{l}"), NodeKind::Host).unwrap();
             let h0 = t.add_interface(h, "eth0", 1_000_000_000).unwrap();
             t.connect((h, h0), (sw, IfIx(l))).unwrap();
         }
@@ -108,5 +105,10 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lirtss_paths, bench_lirtss_bandwidth, bench_scaling);
+criterion_group!(
+    benches,
+    bench_lirtss_paths,
+    bench_lirtss_bandwidth,
+    bench_scaling
+);
 criterion_main!(benches);

@@ -97,7 +97,10 @@ fn main() {
             IntervalStrategy::SysUpTime,
             None,
         );
-        println!("{:>5.1}s   {err:>6.1}%   {max:>6.1}%", period_ms as f64 / 1000.0);
+        println!(
+            "{:>5.1}s   {err:>6.1}%   {max:>6.1}%",
+            period_ms as f64 / 1000.0
+        );
     }
     println!("\n-> longer periods average away jitter (lower max error) at the cost");
     println!("   of responsiveness; shorter periods spend more SNMP bandwidth.\n");

@@ -61,8 +61,7 @@ fn main() {
     if !csv_only {
         // Background: idle window before the load starts (skip the first
         // polls while deltas settle).
-        let background =
-            stats::background_kbps(series, 5.0, (start as f64 - 5.0).max(6.0));
+        let background = stats::background_kbps(series, 5.0, (start as f64 - 5.0).max(6.0));
         // One window per staircase step, trimmed by a couple of samples
         // on each side to avoid step-transition smearing.
         let windows: Vec<StepWindow> = (0..5)

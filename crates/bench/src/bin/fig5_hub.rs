@@ -49,9 +49,21 @@ fn main() {
     let series = result.recorder.get("S1<->N1").unwrap();
     let background = stats::background_kbps(series, 5.0, 18.0);
     let windows = [
-        StepWindow { from_s: 23.0, to_s: 39.0, generated_kbps: 200.0 }, // N1 only
-        StepWindow { from_s: 43.0, to_s: 79.0, generated_kbps: 400.0 }, // overlap: hub sums
-        StepWindow { from_s: 83.0, to_s: 99.0, generated_kbps: 200.0 }, // N2 only
+        StepWindow {
+            from_s: 23.0,
+            to_s: 39.0,
+            generated_kbps: 200.0,
+        }, // N1 only
+        StepWindow {
+            from_s: 43.0,
+            to_s: 79.0,
+            generated_kbps: 400.0,
+        }, // overlap: hub sums
+        StepWindow {
+            from_s: 83.0,
+            to_s: 99.0,
+            generated_kbps: 200.0,
+        }, // N2 only
     ];
     let rows = stats::step_stats(series, &windows, background);
     println!("# Hub-sum accuracy (expected: both flows summed on every hub path)");
@@ -62,5 +74,8 @@ fn main() {
     println!();
     println!("# average |error| = {avg_err:.1}%  (paper: 3.7%)");
     println!("# maximum single-sample error = {max_err:.1}%  (paper: 7.8%)");
-    println!("# poll rounds: {}, timeouts: {}", result.rounds, result.timeouts);
+    println!(
+        "# poll rounds: {}, timeouts: {}",
+        result.rounds, result.timeouts
+    );
 }

@@ -63,9 +63,21 @@ fn main() {
     let rows12 = stats::step_stats(
         s12,
         &[
-            StepWindow { from_s: 23.0, to_s: 59.0, generated_kbps: 2000.0 }, // L->S2
-            StepWindow { from_s: 63.0, to_s: 79.0, generated_kbps: 0.0 },    // only L->S3: invisible
-            StepWindow { from_s: 103.0, to_s: 119.0, generated_kbps: 2000.0 }, // L->S1
+            StepWindow {
+                from_s: 23.0,
+                to_s: 59.0,
+                generated_kbps: 2000.0,
+            }, // L->S2
+            StepWindow {
+                from_s: 63.0,
+                to_s: 79.0,
+                generated_kbps: 0.0,
+            }, // only L->S3: invisible
+            StepWindow {
+                from_s: 103.0,
+                to_s: 119.0,
+                generated_kbps: 2000.0,
+            }, // L->S1
         ],
         bg12,
     );
@@ -75,9 +87,21 @@ fn main() {
     let rows13 = stats::step_stats(
         s13,
         &[
-            StepWindow { from_s: 23.0, to_s: 39.0, generated_kbps: 0.0 }, // only L->S2: invisible
-            StepWindow { from_s: 43.0, to_s: 79.0, generated_kbps: 2000.0 }, // L->S3
-            StepWindow { from_s: 103.0, to_s: 119.0, generated_kbps: 2000.0 }, // L->S1
+            StepWindow {
+                from_s: 23.0,
+                to_s: 39.0,
+                generated_kbps: 0.0,
+            }, // only L->S2: invisible
+            StepWindow {
+                from_s: 43.0,
+                to_s: 79.0,
+                generated_kbps: 2000.0,
+            }, // L->S3
+            StepWindow {
+                from_s: 103.0,
+                to_s: 119.0,
+                generated_kbps: 2000.0,
+            }, // L->S1
         ],
         bg13,
     );
@@ -88,11 +112,16 @@ fn main() {
         .chain(&rows13)
         .filter(|r| r.generated_kbps > 0.0)
         .collect();
-    let avg_err =
-        loaded.iter().map(|r| r.pct_error.abs()).sum::<f64>() / loaded.len() as f64;
-    let max_err = loaded.iter().map(|r| r.max_pct_error).fold(0.0f64, f64::max);
+    let avg_err = loaded.iter().map(|r| r.pct_error.abs()).sum::<f64>() / loaded.len() as f64;
+    let max_err = loaded
+        .iter()
+        .map(|r| r.max_pct_error)
+        .fold(0.0f64, f64::max);
     println!();
     println!("# average |error| = {avg_err:.1}%  (paper: 2.2%)");
     println!("# maximum single-sample error = {max_err:.1}%  (paper: 7.8%)");
-    println!("# poll rounds: {}, timeouts: {}", result.rounds, result.timeouts);
+    println!(
+        "# poll rounds: {}, timeouts: {}",
+        result.rounds, result.timeouts
+    );
 }

@@ -21,7 +21,11 @@ fn main() {
         let loads = if load_kbps == 0 {
             vec![]
         } else {
-            vec![Load::new("L", "N1", LoadProfile::constant(load_kbps * 1000))]
+            vec![Load::new(
+                "L",
+                "N1",
+                LoadProfile::constant(load_kbps * 1000),
+            )]
         };
         let options = TestbedOptions {
             agent_jitter_mean: None, // isolate queueing delay

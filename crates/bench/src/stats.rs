@@ -78,7 +78,9 @@ pub fn step_stats(series: &Series, windows: &[StepWindow], background: f64) -> V
 /// Renders rows in the paper's Table-2 layout.
 pub fn render_table(background: f64, rows: &[StepStat]) -> String {
     let mut out = String::new();
-    out.push_str(&format!("Background traffic: {background:.3} Kbytes/second\n\n"));
+    out.push_str(&format!(
+        "Background traffic: {background:.3} Kbytes/second\n\n"
+    ));
     out.push_str(
         "Generated   Average     Average Load      %      Maximum\n\
          Load        Measured    Less Background   Error  % Error\n\

@@ -86,6 +86,7 @@ pub fn build_testbed_from(spec: &str, loads: &[Load], options: &TestbedOptions) 
         seed: options.seed,
         agent_jitter_mean: options.agent_jitter_mean,
         poll_timeout: SimDuration::from_millis(800),
+        registry: None,
     };
 
     let loads = loads.to_vec();

@@ -105,7 +105,8 @@ mod tests {
         b.add_nic(d, "eth0", 100_000_000).unwrap();
         b.connect((a, PortIx(0)), (d, PortIx(0))).unwrap();
         let (sink, handle) = DiscardSink::with_handle();
-        b.install_app(d, Box::new(sink), Some(DISCARD_PORT)).unwrap();
+        b.install_app(d, Box::new(sink), Some(DISCARD_PORT))
+            .unwrap();
         b.install_app(
             a,
             Box::new(ProfiledSource::new("10.0.0.2".parse().unwrap(), profile)),
@@ -131,7 +132,10 @@ mod tests {
         let p = LoadProfile::staircase(2, 50_000, 50_000, 4, 3);
         let expect = p.total_bytes() as f64; // 4s*(50+100+150) KB = 1.2 MB
         let got = run_profile(p, 20) as f64;
-        assert!((got - expect).abs() / expect < 0.02, "got {got} vs {expect}");
+        assert!(
+            (got - expect).abs() / expect < 0.02,
+            "got {got} vs {expect}"
+        );
     }
 
     #[test]

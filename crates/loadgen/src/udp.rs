@@ -57,6 +57,9 @@ impl UdpLoadGenerator {
         socket.connect(self.dest)?;
         let chunk = vec![0u8; self.chunk_bytes];
         let start = Instant::now();
+        let r = netqos_telemetry::global();
+        let datagrams_total = r.counter("netqos_loadgen_datagrams_total");
+        let bytes_total = r.counter("netqos_loadgen_bytes_total");
         let mut carry = 0.0f64;
         let mut bytes_sent = 0u64;
         let mut datagrams = 0u64;
@@ -76,6 +79,8 @@ impl UdpLoadGenerator {
                     socket.send(&chunk)?;
                     bytes_sent += self.chunk_bytes as u64;
                     datagrams += 1;
+                    datagrams_total.inc();
+                    bytes_total.add(self.chunk_bytes as u64);
                 }
             } else {
                 carry = 0.0;
@@ -98,14 +103,14 @@ mod tests {
     fn generates_against_a_real_socket() {
         // A local sink plays DISCARD.
         let sink = UdpSocket::bind("127.0.0.1:0").unwrap();
-        sink.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+        sink.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
         let dest = sink.local_addr().unwrap();
 
         let profile = LoadProfile::pulse(0, 1, 200_000); // 200 KB/s for 1 s
         let generator = UdpLoadGenerator::new(dest, profile).unwrap();
-        let handle = std::thread::spawn(move || {
-            generator.run_blocking(Duration::from_secs(3)).unwrap()
-        });
+        let handle =
+            std::thread::spawn(move || generator.run_blocking(Duration::from_secs(3)).unwrap());
 
         let mut received = 0u64;
         let mut buf = vec![0u8; 2048];

@@ -149,8 +149,14 @@ mod tests {
     fn confirmed_when_fdb_matches_spec() {
         let (t, sw, a, b) = topo();
         let fdb = vec![
-            FdbEntry { mac: MAC_A, port: 1 },
-            FdbEntry { mac: MAC_B, port: 2 },
+            FdbEntry {
+                mac: MAC_A,
+                port: 1,
+            },
+            FdbEntry {
+                mac: MAC_B,
+                port: 2,
+            },
         ];
         let mut macs = HashMap::new();
         macs.insert((a, 1), MAC_A);
@@ -165,17 +171,22 @@ mod tests {
         let (t, sw, a, b) = topo();
         // A's MAC shows up on port 2 — the cables were swapped.
         let fdb = vec![
-            FdbEntry { mac: MAC_A, port: 2 },
-            FdbEntry { mac: MAC_B, port: 1 },
+            FdbEntry {
+                mac: MAC_A,
+                port: 2,
+            },
+            FdbEntry {
+                mac: MAC_B,
+                port: 1,
+            },
         ];
         let mut macs = HashMap::new();
         macs.insert((a, 1), MAC_A);
         macs.insert((b, 1), MAC_B);
         let findings = verify_connections(&t, sw, &fdb, &macs).unwrap();
-        assert!(findings.iter().all(|f| matches!(
-            f.verdict,
-            Verdict::Mismatch { .. }
-        )));
+        assert!(findings
+            .iter()
+            .all(|f| matches!(f.verdict, Verdict::Mismatch { .. })));
         match &findings[0].verdict {
             Verdict::Mismatch {
                 specified_port,

@@ -72,8 +72,7 @@ mod tests {
     fn conversions_preserve_messages() {
         let e: MonitorError = netqos_snmp::SnmpError::NotAResponse.into();
         assert!(e.to_string().contains("SNMP"));
-        let e: MonitorError =
-            netqos_topology::TopologyError::NoSuchNodeName("X".into()).into();
+        let e: MonitorError = netqos_topology::TopologyError::NoSuchNodeName("X".into()).into();
         assert!(e.to_string().contains("X"));
     }
 }

@@ -49,8 +49,10 @@ pub mod monitor;
 pub mod poll;
 pub mod qos;
 pub mod report;
+pub mod selfagent;
 pub mod service;
 pub mod simnet;
+pub mod telemetry;
 pub mod threaded;
 
 pub use error::MonitorError;

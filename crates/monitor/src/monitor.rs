@@ -148,11 +148,7 @@ impl NetworkMonitor {
     /// Ingests a snapshot of `node`. The first snapshot only establishes a
     /// baseline (returns `false`); subsequent snapshots update the rate
     /// table (returns `true`).
-    pub fn ingest(
-        &mut self,
-        node: NodeId,
-        snapshot: DeviceSnapshot,
-    ) -> Result<bool, MonitorError> {
+    pub fn ingest(&mut self, node: NodeId, snapshot: DeviceSnapshot) -> Result<bool, MonitorError> {
         self.polls_ingested += 1;
         let Some(prev) = self.previous.get(&node) else {
             self.previous.insert(node, snapshot);
@@ -173,19 +169,13 @@ impl NetworkMonitor {
         }
 
         for cur in &snapshot.interfaces {
-            let Some(old) = prev
-                .interfaces
-                .iter()
-                .find(|p| p.if_index == cur.if_index)
-            else {
+            let Some(old) = prev.interfaces.iter().find(|p| p.if_index == cur.if_index) else {
                 continue; // interface appeared between polls
             };
             let ifix = self.map_interface(node, &cur.descr, cur.if_index)?;
-            let in_bps = delta::rate_bps(
-                delta::counter_delta(old.in_octets, cur.in_octets),
-                interval,
-            )
-            .unwrap_or(0);
+            let in_bps =
+                delta::rate_bps(delta::counter_delta(old.in_octets, cur.in_octets), interval)
+                    .unwrap_or(0);
             let out_bps = delta::rate_bps(
                 delta::counter_delta(old.out_octets, cur.out_octets),
                 interval,
@@ -274,11 +264,7 @@ mod tests {
         let b = t.add_node("B", NodeKind::Host).unwrap();
         t.add_interface(b, "eth0", 100_000_000).unwrap();
         t.set_snmp(b, "public").unwrap();
-        t.connect(
-            (a, IfIx(0)),
-            (b, IfIx(0)),
-        )
-        .unwrap();
+        t.connect((a, IfIx(0)), (b, IfIx(0))).unwrap();
         (t, a, b)
     }
 
@@ -351,11 +337,7 @@ mod tests {
         let mut m = NetworkMonitor::new(t);
         for (node, io) in [(a, (0, 125_000)), (b, (125_000, 0))] {
             m.ingest(node, snap(0, 0, 0)).unwrap();
-            m.ingest(
-                node,
-                snap(100, io.0, io.1),
-            )
-            .unwrap();
+            m.ingest(node, snap(100, io.0, io.1)).unwrap();
         }
         let bw = m.path_bandwidth(a, b).unwrap();
         // One-directional flow: endpoint total in+out = 1 Mb/s.

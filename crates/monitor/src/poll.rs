@@ -135,8 +135,8 @@ pub fn parse_snapshot(bindings: &[VarBind], if_count: u32) -> Result<DeviceSnaps
         seen[(ifindex - 1) as usize] += 1;
     }
 
-    let uptime_ticks = uptime_ticks
-        .ok_or_else(|| MonitorError::MissingObject(uptime_oid.to_string()))?;
+    let uptime_ticks =
+        uptime_ticks.ok_or_else(|| MonitorError::MissingObject(uptime_oid.to_string()))?;
     for (i, &count) in seen.iter().enumerate() {
         if count < COLUMNS.len() as u32 {
             return Err(MonitorError::MissingObject(format!(

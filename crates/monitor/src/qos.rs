@@ -318,7 +318,10 @@ mod tests {
                 assert_eq!(path_name, "ab");
                 assert!(matches!(
                     kind,
-                    ViolationKind::InsufficientBandwidth { available_bps: 4_000_000, .. }
+                    ViolationKind::InsufficientBandwidth {
+                        available_bps: 4_000_000,
+                        ..
+                    }
                 ));
             }
             other => panic!("{other:?}"),
@@ -331,7 +334,12 @@ mod tests {
         feed(&mut m, a, 200, 0);
         feed(&mut m, b, 200, 750_000);
         let events = q.evaluate(&m);
-        assert_eq!(events, vec![QosEvent::Cleared { path_name: "ab".into() }]);
+        assert_eq!(
+            events,
+            vec![QosEvent::Cleared {
+                path_name: "ab".into()
+            }]
+        );
         assert!(q.violated_paths().is_empty());
     }
 

@@ -128,11 +128,7 @@ impl SeriesRecorder {
         for t in times {
             out.push_str(&format!("{t:.2}"));
             for s in &self.series {
-                match s
-                    .samples
-                    .iter()
-                    .find(|p| (p.t_s - t).abs() < 1e-9)
-                {
+                match s.samples.iter().find(|p| (p.t_s - t).abs() < 1e-9) {
                     Some(p) => out.push_str(&format!(",{:.3}", p.used_kbytes_per_sec())),
                     None => out.push(','),
                 }

@@ -16,10 +16,13 @@ use crate::monitor::NetworkMonitor;
 use crate::qos::{self, QosEvent, QosMonitor};
 use crate::report::{PathSample, SeriesRecorder};
 use crate::simnet::{SimNetwork, SimNetworkOptions};
+use crate::telemetry::MonitorTelemetry;
 use bytes::Bytes;
 use netqos_sim::time::{SimDuration, SimTime};
 use netqos_sim::Ipv4Addr;
+use netqos_telemetry::{fields, EventSink, Level, Registry};
 use netqos_topology::path::CommPath;
+use std::sync::Arc;
 
 /// SNMP trap port.
 pub const TRAP_PORT: u16 = 162;
@@ -34,6 +37,9 @@ pub struct ServiceConfig {
     /// If set, traps are also transmitted through the simulated network
     /// to this address's UDP port 162 (a management station).
     pub trap_destination: Option<Ipv4Addr>,
+    /// Maximum traps kept in the outbox; when full, the oldest trap is
+    /// evicted (and counted as dropped in telemetry).
+    pub trap_outbox_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -42,6 +48,7 @@ impl Default for ServiceConfig {
             poll_period: SimDuration::from_secs(1),
             trap_community: "public".to_owned(),
             trap_destination: None,
+            trap_outbox_capacity: 256,
         }
     }
 }
@@ -56,6 +63,8 @@ pub struct MonitoringService {
     config: ServiceConfig,
     start: SimTime,
     traps: Vec<Vec<u8>>,
+    telemetry: MonitorTelemetry,
+    events: Arc<EventSink>,
 }
 
 impl MonitoringService {
@@ -97,6 +106,12 @@ impl MonitoringService {
     {
         let topology = model.topology.clone();
         let qos_specs = model.qos_paths.clone();
+        let mut net_options = net_options;
+        // Service and poll runtime share one registry, so `registry()`
+        // exposes the whole pipeline's metrics in a single snapshot.
+        if net_options.registry.is_none() {
+            net_options.registry = Some(Registry::new());
+        }
         let net = SimNetwork::from_model_with(model, net_options, extra)?;
         let monitor = NetworkMonitor::new(topology);
         let qos = QosMonitor::new(&monitor, &qos_specs)?;
@@ -107,6 +122,7 @@ impl MonitoringService {
         let names: Vec<&str> = paths.iter().map(|(n, _)| n.as_str()).collect();
         let recorder = SeriesRecorder::new(&names);
         let start = net.lan.now();
+        let telemetry = net.telemetry().clone();
         Ok(MonitoringService {
             net,
             monitor,
@@ -116,16 +132,39 @@ impl MonitoringService {
             config,
             start,
             traps: Vec::new(),
+            telemetry,
+            events: Arc::new(EventSink::null()),
         })
+    }
+
+    /// The registry holding this service's pipeline metrics.
+    pub fn registry(&self) -> &Arc<Registry> {
+        self.telemetry.registry()
+    }
+
+    /// The service's telemetry handles.
+    pub fn telemetry(&self) -> &MonitorTelemetry {
+        &self.telemetry
+    }
+
+    /// Routes structured events (ticks, violations, trap drops) to `sink`.
+    pub fn set_event_sink(&mut self, sink: Arc<EventSink>) {
+        self.events = sink;
+    }
+
+    /// The current event sink.
+    pub fn event_sink(&self) -> &Arc<EventSink> {
+        &self.events
     }
 
     /// Advances one poll period: runs the network, polls every agent,
     /// records samples, evaluates QoS, and emits traps for state changes.
     /// Returns the QoS events of this tick.
     pub fn tick(&mut self) -> Result<Vec<QosEvent>, MonitorError> {
+        let wall_timer = self.telemetry.tick_ns.start_timer();
         let next = self.net.lan.now() + self.config.poll_period;
         self.net.run_until(next);
-        self.net.poll_round(&mut self.monitor)?;
+        let polled = self.net.poll_round(&mut self.monitor)?;
 
         let t_s = self.net.lan.now().duration_since(self.start).as_secs_f64();
         for (name, path) in &self.paths {
@@ -147,6 +186,26 @@ impl MonitoringService {
                 .unwrap_or([0, 0, 0, 0]);
             let uptime = (t_s * 100.0) as u32;
             for event in &events {
+                match event {
+                    QosEvent::Violated { path_name, .. } => {
+                        self.telemetry.qos_violations.inc();
+                        self.events.emit(
+                            Level::Warn,
+                            "monitor.qos",
+                            "violation",
+                            fields!["path" => path_name.as_str(), "t_s" => t_s],
+                        );
+                    }
+                    QosEvent::Cleared { path_name, .. } => {
+                        self.telemetry.qos_cleared.inc();
+                        self.events.emit(
+                            Level::Info,
+                            "monitor.qos",
+                            "cleared",
+                            fields!["path" => path_name.as_str(), "t_s" => t_s],
+                        );
+                    }
+                }
                 let bytes =
                     qos::encode_trap(event, &self.config.trap_community, agent_addr, uptime)?;
                 if let Some(dst) = self.config.trap_destination {
@@ -163,9 +222,37 @@ impl MonitoringService {
                         Bytes::from(bytes.clone()),
                     );
                 }
+                self.telemetry.traps_emitted.inc();
+                // Bounded outbox: evict oldest rather than grow forever.
+                if self.traps.len() >= self.config.trap_outbox_capacity.max(1) {
+                    self.traps.remove(0);
+                    self.telemetry.traps_dropped.inc();
+                    self.events.emit(
+                        Level::Warn,
+                        "monitor.traps",
+                        "outbox_full",
+                        fields!["capacity" => self.config.trap_outbox_capacity],
+                    );
+                }
                 self.traps.push(bytes);
             }
         }
+        self.telemetry.ticks.inc();
+        self.telemetry
+            .trap_outbox_depth
+            .set(self.traps.len() as i64);
+        let wall = wall_timer.stop();
+        self.events.emit(
+            Level::Debug,
+            "monitor.tick",
+            "tick",
+            fields![
+                "t_s" => t_s,
+                "polled" => polled,
+                "events" => events.len(),
+                "wall_us" => (wall.as_nanos() / 1_000) as u64,
+            ],
+        );
         Ok(events)
     }
 

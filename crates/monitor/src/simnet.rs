@@ -145,6 +145,9 @@ pub struct SimNetworkOptions {
     pub agent_jitter_mean: Option<SimDuration>,
     /// Per-poll response timeout.
     pub poll_timeout: SimDuration,
+    /// Registry the poll runtime records its telemetry into (None = a
+    /// fresh private registry, keeping tests deterministic).
+    pub registry: Option<std::sync::Arc<netqos_telemetry::Registry>>,
 }
 
 impl Default for SimNetworkOptions {
@@ -155,6 +158,7 @@ impl Default for SimNetworkOptions {
             seed: 1,
             agent_jitter_mean: None,
             poll_timeout: SimDuration::from_millis(500),
+            registry: None,
         }
     }
 }
@@ -175,6 +179,7 @@ pub struct SimNetwork {
     poll_timeout: SimDuration,
     /// Polls that timed out (for diagnostics).
     pub timeouts: u64,
+    telemetry: crate::telemetry::MonitorTelemetry,
 }
 
 /// UDP port the manager mailbox listens on.
@@ -213,11 +218,13 @@ impl SimNetwork {
                 ip
             });
             let dev = match node.kind {
-                NodeKind::Host => b
-                    .add_host(&node.name, &addr)
-                    .map_err(MonitorError::from)?,
+                NodeKind::Host => b.add_host(&node.name, &addr).map_err(MonitorError::from)?,
                 NodeKind::Switch | NodeKind::Router => {
-                    let mgmt = if node.snmp_capable { Some(addr.as_str()) } else { None };
+                    let mgmt = if node.snmp_capable {
+                        Some(addr.as_str())
+                    } else {
+                        None
+                    };
                     b.add_switch(&node.name, mgmt).map_err(MonitorError::from)?
                 }
                 NodeKind::Hub => {
@@ -290,6 +297,10 @@ impl SimNetwork {
 
         extra(&mut b, &node_to_dev, &model);
 
+        let telemetry = match options.registry {
+            Some(registry) => crate::telemetry::MonitorTelemetry::new(registry),
+            None => crate::telemetry::MonitorTelemetry::private(),
+        };
         Ok(SimNetwork {
             lan: b.build(),
             model,
@@ -301,7 +312,14 @@ impl SimNetwork {
             next_request_id: 1,
             poll_timeout: options.poll_timeout,
             timeouts: 0,
+            telemetry,
         })
+    }
+
+    /// The poll runtime's telemetry handles (and through them, the
+    /// registry everything on this network records into).
+    pub fn telemetry(&self) -> &crate::telemetry::MonitorTelemetry {
+        &self.telemetry
     }
 
     /// The spec model this network was built from.
@@ -348,7 +366,11 @@ impl SimNetwork {
         self.next_request_id = self.next_request_id.wrapping_add(1).max(1);
         let req = client::build_get(&community, request_id, &oids)
             .map_err(|e| MonitorError::Snmp(e.to_string()))?;
+        let sent_at = self.lan.now();
         let resp = self.exchange(node, req, request_id)?;
+        self.telemetry
+            .poll_rtt_us
+            .record(self.lan.now().duration_since(sent_at).as_micros());
         // Drop stale datagrams (late duplicates from retransmitted polls)
         // so the inbox cannot grow without bound across long experiments.
         {
@@ -357,10 +379,16 @@ impl SimNetwork {
                 .borrow_mut()
                 .retain(|(t, _)| now.duration_since(*t) < SimDuration::from_secs(10));
         }
-        let bindings = resp
-            .into_result()
-            .map_err(|e| MonitorError::Snmp(e.to_string()))?;
-        poll::parse_snapshot(&bindings, if_count)
+        let bindings = resp.into_result().map_err(|e| {
+            self.telemetry.poll_failures.inc();
+            MonitorError::Snmp(e.to_string())
+        })?;
+        let snapshot = poll::parse_snapshot(&bindings, if_count);
+        match &snapshot {
+            Ok(_) => self.telemetry.polls.inc(),
+            Err(_) => self.telemetry.poll_failures.inc(),
+        }
+        snapshot
     }
 
     /// Polls every SNMP-capable device once, in node order, feeding the
@@ -408,7 +436,10 @@ impl SimNetwork {
                 .unwrap_or_else(|_| node.to_string());
             MonitorError::NotPollable(name)
         })?;
-        for _attempt in 0..=POLL_RETRIES {
+        for attempt in 0..=POLL_RETRIES {
+            if attempt > 0 {
+                self.telemetry.poll_retransmits.inc();
+            }
             self.lan.post_udp(
                 self.monitor_dev,
                 MANAGER_PORT,
@@ -441,6 +472,7 @@ impl SimNetwork {
             }
         }
         self.timeouts += 1;
+        self.telemetry.poll_timeouts.inc();
         let name = self.model.topology.node(node)?.name.clone();
         Err(MonitorError::Timeout { node: name })
     }
@@ -617,9 +649,7 @@ impl SimNetwork {
                 {
                     let mut inbox = self.inbox.borrow_mut();
                     if let Some(i) = inbox.iter().position(|(_, d)| {
-                        d.src_ip == target_ip
-                            && d.payload.len() >= 8
-                            && d.payload[..8] == tag[..]
+                        d.src_ip == target_ip && d.payload.len() >= 8 && d.payload[..8] == tag[..]
                     }) {
                         let (at, _) = inbox.remove(i);
                         got = Some(at.duration_since(sent_at));
@@ -631,19 +661,26 @@ impl SimNetwork {
                 self.lan.step_before(deadline);
             }
             match got {
-                Some(rtt) => rtts.push(rtt),
-                None => lost += 1,
+                Some(rtt) => {
+                    self.telemetry.path_rtt_us.record(rtt.as_micros());
+                    rtts.push(rtt);
+                }
+                None => {
+                    self.telemetry.probes_lost.inc();
+                    lost += 1;
+                }
             }
         }
-        crate::latency::LatencyStats::from_samples(&rtts, lost)
-            .ok_or_else(|| MonitorError::Timeout {
+        crate::latency::LatencyStats::from_samples(&rtts, lost).ok_or_else(|| {
+            MonitorError::Timeout {
                 node: self
                     .model
                     .topology
                     .node(to)
                     .map(|n| n.name.clone())
                     .unwrap_or_default(),
-            })
+            }
+        })
     }
 }
 

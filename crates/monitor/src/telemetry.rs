@@ -1,0 +1,113 @@
+//! Metric handles for the monitoring pipeline — the monitor's own health,
+//! as distinct from the network QoS it measures.
+//!
+//! One [`MonitorTelemetry`] bundle is resolved per service (each
+//! [`MonitoringService`](crate::service::MonitoringService) defaults to a
+//! private registry so tests stay deterministic); the CLI passes a shared
+//! registry so the SNMP client, poll runtime, and tick loop all land in
+//! one Prometheus snapshot.
+//!
+//! Time units: histograms named `*_us` hold **simulated** microseconds
+//! (what the monitor observes on the virtual wire); histograms named
+//! `*_ns` hold **wall-clock** nanoseconds (what the monitor itself costs).
+
+use netqos_telemetry::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+
+/// Handles for every stage of the monitoring pipeline.
+#[derive(Clone)]
+pub struct MonitorTelemetry {
+    registry: Arc<Registry>,
+    /// Successful device polls.
+    pub polls: Counter,
+    /// Device polls that failed for a non-timeout reason.
+    pub poll_failures: Counter,
+    /// Device polls that exhausted all retransmissions.
+    pub poll_timeouts: Counter,
+    /// Poll retransmissions after a per-attempt timeout.
+    pub poll_retransmits: Counter,
+    /// Per-device poll round-trip time, simulated microseconds.
+    pub poll_rtt_us: Histogram,
+    /// Service ticks executed.
+    pub ticks: Counter,
+    /// Wall-clock cost of one service tick, nanoseconds.
+    pub tick_ns: Histogram,
+    /// QoS violation onsets observed.
+    pub qos_violations: Counter,
+    /// QoS violations cleared.
+    pub qos_cleared: Counter,
+    /// Traps encoded into the outbox.
+    pub traps_emitted: Counter,
+    /// Traps evicted because the outbox was full.
+    pub traps_dropped: Counter,
+    /// Current trap outbox length.
+    pub trap_outbox_depth: Gauge,
+    /// Echo-probe path round-trip time, simulated microseconds.
+    pub path_rtt_us: Histogram,
+    /// Echo probes lost (no reply before timeout).
+    pub probes_lost: Counter,
+}
+
+impl MonitorTelemetry {
+    /// Resolves all handles against `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        let r = &registry;
+        MonitorTelemetry {
+            polls: r.counter("netqos_monitor_polls_total"),
+            poll_failures: r.counter("netqos_monitor_poll_failures_total"),
+            poll_timeouts: r.counter("netqos_monitor_poll_timeouts_total"),
+            poll_retransmits: r.counter("netqos_monitor_poll_retransmits_total"),
+            poll_rtt_us: r.histogram("netqos_monitor_poll_rtt_us"),
+            ticks: r.counter("netqos_monitor_ticks_total"),
+            tick_ns: r.histogram("netqos_monitor_tick_duration_ns"),
+            qos_violations: r.counter("netqos_monitor_qos_violations_total"),
+            qos_cleared: r.counter("netqos_monitor_qos_cleared_total"),
+            traps_emitted: r.counter("netqos_monitor_traps_emitted_total"),
+            traps_dropped: r.counter("netqos_monitor_traps_dropped_total"),
+            trap_outbox_depth: r.gauge("netqos_monitor_trap_outbox_depth"),
+            path_rtt_us: r.histogram("netqos_monitor_path_rtt_us"),
+            probes_lost: r.counter("netqos_monitor_probes_lost_total"),
+            registry,
+        }
+    }
+
+    /// A bundle over a fresh private registry.
+    pub fn private() -> Self {
+        Self::new(Registry::new())
+    }
+
+    /// The registry the handles live in.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_resolve_against_registry() {
+        let t = MonitorTelemetry::private();
+        t.polls.inc();
+        t.poll_rtt_us.record(1_500);
+        let snap = t.registry().snapshot();
+        assert!(snap
+            .counters
+            .iter()
+            .any(|(n, v)| n == "netqos_monitor_polls_total" && *v == 1));
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|(n, s)| n == "netqos_monitor_poll_rtt_us" && s.count == 1));
+    }
+
+    #[test]
+    fn clones_share_cells() {
+        let t = MonitorTelemetry::private();
+        let u = t.clone();
+        t.ticks.inc();
+        u.ticks.inc();
+        assert_eq!(t.ticks.get(), 2);
+    }
+}

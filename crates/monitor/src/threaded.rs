@@ -12,13 +12,14 @@ use crate::poll::{self, DeviceSnapshot};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use netqos_snmp::client::SnmpClient;
 use netqos_snmp::transport::UdpTransport;
+use netqos_telemetry::{Counter, Gauge, Histogram, Registry};
 use netqos_topology::NodeId;
 use parking_lot::Mutex;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One agent to poll.
 #[derive(Debug, Clone)]
@@ -58,6 +59,7 @@ pub struct DistributedPoller {
     threads: Vec<JoinHandle<()>>,
     rx: Receiver<PollMessage>,
     stats: Arc<Mutex<PollerStats>>,
+    queue_depth: Gauge,
 }
 
 /// Aggregate poller statistics.
@@ -69,19 +71,51 @@ pub struct PollerStats {
     pub failures: u64,
 }
 
+/// Telemetry handles shared by one poller's worker threads.
+#[derive(Clone)]
+struct WorkerTelemetry {
+    successes: Counter,
+    failures: Counter,
+    queue_depth: Gauge,
+    poll_ns: Histogram,
+    /// This worker's own poll-latency histogram
+    /// (`netqos_threaded_worker_<i>_poll_ns`).
+    worker_poll_ns: Histogram,
+}
+
 impl DistributedPoller {
-    /// Spawns one polling thread per target.
+    /// Spawns one polling thread per target, with metrics in the
+    /// process-global registry.
     pub fn spawn(targets: Vec<AgentTarget>, period: Duration) -> Self {
+        Self::spawn_with_registry(targets, period, netqos_telemetry::global())
+    }
+
+    /// Spawns one polling thread per target, resolving metrics against
+    /// `registry`: aggregate success/failure counters, a wall-clock poll
+    /// latency histogram (plus one per worker), and a queue-depth gauge
+    /// tracking undrained [`PollMessage`]s.
+    pub fn spawn_with_registry(
+        targets: Vec<AgentTarget>,
+        period: Duration,
+        registry: &Registry,
+    ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(Mutex::new(PollerStats::default()));
         let (tx, rx): (Sender<PollMessage>, Receiver<PollMessage>) = unbounded();
         let mut threads = Vec::with_capacity(targets.len());
-        for target in targets {
+        for (i, target) in targets.into_iter().enumerate() {
             let stop = stop.clone();
             let tx = tx.clone();
             let stats = stats.clone();
+            let telemetry = WorkerTelemetry {
+                successes: registry.counter("netqos_threaded_polls_total"),
+                failures: registry.counter("netqos_threaded_poll_failures_total"),
+                queue_depth: registry.gauge("netqos_threaded_queue_depth"),
+                poll_ns: registry.histogram("netqos_threaded_poll_ns"),
+                worker_poll_ns: registry.histogram(&format!("netqos_threaded_worker_{i}_poll_ns")),
+            };
             threads.push(std::thread::spawn(move || {
-                poll_loop(target, period, stop, tx, stats)
+                poll_loop(target, period, stop, tx, stats, telemetry)
             }));
         }
         DistributedPoller {
@@ -89,6 +123,7 @@ impl DistributedPoller {
             threads,
             rx,
             stats,
+            queue_depth: registry.gauge("netqos_threaded_queue_depth"),
         }
     }
 
@@ -126,6 +161,7 @@ impl DistributedPoller {
                 PollMessage::Failure { node, error } => failures.push((node, error)),
             }
         }
+        self.queue_depth.set(self.rx.len() as i64);
         failures
     }
 }
@@ -145,6 +181,7 @@ fn poll_loop(
     stop: Arc<AtomicBool>,
     tx: Sender<PollMessage>,
     stats: Arc<Mutex<PollerStats>>,
+    telemetry: WorkerTelemetry,
 ) {
     let oids = poll::poll_oids(target.if_count);
     let transport = match UdpTransport::connect(target.addr) {
@@ -163,13 +200,18 @@ fn poll_loop(
     };
     let mut client = SnmpClient::new(transport, &target.community);
     while !stop.load(Ordering::Relaxed) {
+        let poll_start = Instant::now();
         let result = client
             .get_many(&oids)
             .map_err(MonitorError::from)
             .and_then(|bindings| poll::parse_snapshot(&bindings, target.if_count));
+        let elapsed = poll_start.elapsed();
+        telemetry.poll_ns.record_duration(elapsed);
+        telemetry.worker_poll_ns.record_duration(elapsed);
         let msg = match result {
             Ok(snapshot) => {
                 stats.lock().successes += 1;
+                telemetry.successes.inc();
                 PollMessage::Snapshot {
                     node: target.node,
                     snapshot,
@@ -177,6 +219,7 @@ fn poll_loop(
             }
             Err(error) => {
                 stats.lock().failures += 1;
+                telemetry.failures.inc();
                 PollMessage::Failure {
                     node: target.node,
                     error,
@@ -186,6 +229,7 @@ fn poll_loop(
         if tx.send(msg).is_err() {
             return; // consumer gone
         }
+        telemetry.queue_depth.set(tx.len() as i64);
         // Sleep in small slices so stop is responsive.
         let mut remaining = period;
         while !stop.load(Ordering::Relaxed) && remaining > Duration::ZERO {

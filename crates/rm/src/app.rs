@@ -52,7 +52,12 @@ impl Allocation {
     }
 
     /// Registers an application on a host.
-    pub fn place(&mut self, name: &str, host: NodeId, movable: bool) -> Result<(), AllocationError> {
+    pub fn place(
+        &mut self,
+        name: &str,
+        host: NodeId,
+        movable: bool,
+    ) -> Result<(), AllocationError> {
         if self.apps.contains_key(name) {
             return Err(AllocationError::DuplicateApp(name.to_owned()));
         }
@@ -145,7 +150,11 @@ mod tests {
         a.place("b", NodeId(1), true).unwrap();
         a.place("a", NodeId(1), true).unwrap();
         a.place("c", NodeId(2), true).unwrap();
-        let names: Vec<&str> = a.apps_on(NodeId(1)).iter().map(|x| x.name.as_str()).collect();
+        let names: Vec<&str> = a
+            .apps_on(NodeId(1))
+            .iter()
+            .map(|x| x.name.as_str())
+            .collect();
         assert_eq!(names, vec!["a", "b"]);
     }
 }

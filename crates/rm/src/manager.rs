@@ -4,6 +4,7 @@ use crate::app::Allocation;
 use netqos_monitor::qos::{QosEvent, QosMonitor, ViolationKind};
 use netqos_monitor::{MonitorError, NetworkMonitor};
 use netqos_spec::QosPathSpec;
+use netqos_telemetry::{Counter, Histogram};
 use netqos_topology::bandwidth;
 use netqos_topology::path;
 use netqos_topology::{ConnId, NodeId};
@@ -62,6 +63,10 @@ pub struct ResourceManager {
     path_apps: HashMap<String, String>,
     allocation: Allocation,
     history: Vec<RmEvent>,
+    evaluations: Counter,
+    advice_issued: Counter,
+    no_remedy: Counter,
+    decision_ns: Histogram,
 }
 
 impl ResourceManager {
@@ -71,13 +76,28 @@ impl ResourceManager {
         specs: &[QosPathSpec],
         allocation: Allocation,
     ) -> Result<Self, MonitorError> {
+        let r = netqos_telemetry::global();
         Ok(ResourceManager {
             qos: QosMonitor::new(monitor, specs)?,
             specs: specs.iter().map(|s| (s.name.clone(), s.clone())).collect(),
             path_apps: HashMap::new(),
             allocation,
             history: Vec::new(),
+            evaluations: r.counter("netqos_rm_evaluations_total"),
+            advice_issued: r.counter("netqos_rm_advice_total"),
+            no_remedy: r.counter("netqos_rm_no_remedy_total"),
+            decision_ns: r.histogram("netqos_rm_decision_latency_ns"),
         })
+    }
+
+    /// Re-resolves this manager's metric handles against `registry`
+    /// instead of the process-global one (used by services that keep one
+    /// registry per pipeline).
+    pub fn set_registry(&mut self, registry: &netqos_telemetry::Registry) {
+        self.evaluations = registry.counter("netqos_rm_evaluations_total");
+        self.advice_issued = registry.counter("netqos_rm_advice_total");
+        self.no_remedy = registry.counter("netqos_rm_no_remedy_total");
+        self.decision_ns = registry.histogram("netqos_rm_decision_latency_ns");
     }
 
     /// Builds a manager straight from a validated specification: the
@@ -105,8 +125,7 @@ impl ResourceManager {
     /// Declares that `app` implements the sending endpoint of `path_name`
     /// (so a violation of that path may be remedied by moving `app`).
     pub fn bind_app(&mut self, path_name: &str, app: &str) {
-        self.path_apps
-            .insert(path_name.to_owned(), app.to_owned());
+        self.path_apps.insert(path_name.to_owned(), app.to_owned());
     }
 
     /// The current allocation.
@@ -120,7 +139,14 @@ impl ResourceManager {
     }
 
     /// Runs one RM evaluation cycle against current monitor state.
+    ///
+    /// The cycle's wall-clock cost lands in the
+    /// `netqos_rm_decision_latency_ns` histogram — the RM is part of the
+    /// paper's real-time control loop, so its own decision latency is a
+    /// monitored quantity.
     pub fn evaluate(&mut self, monitor: &NetworkMonitor) -> Vec<RmEvent> {
+        let decision_timer = self.decision_ns.start_timer();
+        self.evaluations.inc();
         let mut out = Vec::new();
         for event in self.qos.evaluate(monitor) {
             match event {
@@ -136,8 +162,14 @@ impl ResourceManager {
                         bottleneck_desc: monitor.topology().describe_connection(bottleneck),
                     });
                     match self.diagnose(monitor, &path_name, bottleneck) {
-                        Some(advice) => out.push(RmEvent::Advice(advice)),
-                        None => out.push(RmEvent::NoRemedy { path_name }),
+                        Some(advice) => {
+                            self.advice_issued.inc();
+                            out.push(RmEvent::Advice(advice));
+                        }
+                        None => {
+                            self.no_remedy.inc();
+                            out.push(RmEvent::NoRemedy { path_name });
+                        }
                     }
                 }
                 QosEvent::Cleared { path_name } => {
@@ -146,6 +178,7 @@ impl ResourceManager {
             }
         }
         self.history.extend(out.iter().cloned());
+        drop(decision_timer);
         out
     }
 
@@ -208,7 +241,10 @@ impl ResourceManager {
     }
 
     /// Applies a previously issued advice to the allocation.
-    pub fn apply(&mut self, advice: &ReallocationAdvice) -> Result<(), crate::app::AllocationError> {
+    pub fn apply(
+        &mut self,
+        advice: &ReallocationAdvice,
+    ) -> Result<(), crate::app::AllocationError> {
         self.allocation.migrate(&advice.app, advice.to)
     }
 }

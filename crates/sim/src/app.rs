@@ -27,10 +27,7 @@ pub(crate) enum Action {
         payload: Bytes,
     },
     /// Emit an uninterpreted broadcast frame (background chatter).
-    SendRawBroadcast {
-        ip_len: usize,
-        port: Option<PortIx>,
-    },
+    SendRawBroadcast { ip_len: usize, port: Option<PortIx> },
     /// Arm a timer.
     Timer { after: SimDuration, token: u64 },
 }

@@ -196,12 +196,7 @@ impl LanBuilder {
 
     /// Adds a static route on a multi-homed host: traffic for `dst_ip`
     /// leaves through `port`.
-    pub fn add_route(
-        &mut self,
-        dev: DeviceId,
-        dst_ip: &str,
-        port: PortIx,
-    ) -> Result<(), SimError> {
+    pub fn add_route(&mut self, dev: DeviceId, dst_ip: &str, port: PortIx) -> Result<(), SimError> {
         let ip: Ipv4Addr = dst_ip
             .parse()
             .map_err(|_| SimError::DuplicateIp(Ipv4Addr::new(0, 0, 0, 0)))?;
@@ -350,9 +345,6 @@ mod tests {
         let lan = b.build();
         assert_eq!(lan.device_by_name("A"), Some(a));
         assert_eq!(lan.device_name(a).unwrap(), "A");
-        assert_eq!(
-            lan.device_ip(a).unwrap(),
-            Some("10.0.0.1".parse().unwrap())
-        );
+        assert_eq!(lan.device_ip(a).unwrap(), Some("10.0.0.1".parse().unwrap()));
     }
 }

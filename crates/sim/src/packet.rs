@@ -185,6 +185,8 @@ mod tests {
         assert_eq!(fragment_sizes(4000), vec![1472, 1472, 1056]);
         let total: usize = fragment_sizes(100_000).iter().sum();
         assert_eq!(total, 100_000);
-        assert!(fragment_sizes(100_000).iter().all(|&s| s <= MAX_UDP_PAYLOAD));
+        assert!(fragment_sizes(100_000)
+            .iter()
+            .all(|&s| s <= MAX_UDP_PAYLOAD));
     }
 }

@@ -5,8 +5,8 @@
 //! the stochastic background chatter that gives experiments the small
 //! "background traffic" floor the paper measures and subtracts.
 
-use crate::app::{AppCtx, UdpApp};
 use crate::addr::Ipv4Addr;
+use crate::app::{AppCtx, UdpApp};
 use crate::time::SimDuration;
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -139,11 +139,17 @@ mod tests {
         b.add_nic(d, "eth0", 100_000_000).unwrap();
         b.connect((a, PortIx(0)), (d, PortIx(0))).unwrap();
         let (sink, handle) = DiscardSink::with_handle();
-        b.install_app(d, Box::new(sink), Some(DISCARD_PORT)).unwrap();
+        b.install_app(d, Box::new(sink), Some(DISCARD_PORT))
+            .unwrap();
         // 100 KB/s in 1 KB chunks.
         b.install_app(
             a,
-            Box::new(CbrSource::new("10.0.0.2".parse().unwrap(), DISCARD_PORT, 100_000, 1000)),
+            Box::new(CbrSource::new(
+                "10.0.0.2".parse().unwrap(),
+                DISCARD_PORT,
+                100_000,
+                1000,
+            )),
             None,
         )
         .unwrap();
@@ -164,7 +170,8 @@ mod tests {
         b.add_nic(d, "eth0", 100_000_000).unwrap();
         b.connect((a, PortIx(0)), (d, PortIx(0))).unwrap();
         let (sink, handle) = DiscardSink::with_handle();
-        b.install_app(d, Box::new(sink), Some(DISCARD_PORT)).unwrap();
+        b.install_app(d, Box::new(sink), Some(DISCARD_PORT))
+            .unwrap();
         let mut src = CbrSource::new("10.0.0.2".parse().unwrap(), DISCARD_PORT, 100_000, 1000);
         src.stop_after = Some(SimDuration::from_secs(2));
         b.install_app(a, Box::new(src), None).unwrap();

@@ -171,7 +171,10 @@ impl Lan {
         port: PortIx,
         probability: f64,
     ) -> Result<(), SimError> {
-        assert!((0.0..=1.0).contains(&probability), "probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability out of range"
+        );
         let link_id = self
             .device(dev)?
             .nics
@@ -340,6 +343,9 @@ impl Lan {
             return false;
         };
         debug_assert!(scheduled.at >= self.now, "time went backwards");
+        netqos_telemetry::global()
+            .counter("netqos_sim_events_total")
+            .inc();
         self.now = scheduled.at;
         match scheduled.event {
             Event::FrameArrive { dev, port, frame } => self.handle_frame_arrive(dev, port, frame),
@@ -482,10 +488,7 @@ impl Lan {
         dst_port: u16,
         payload: Bytes,
     ) -> Result<(), SimError> {
-        let src_ip = self
-            .device(dev)?
-            .ip()
-            .ok_or(SimError::NotAHost(dev))?;
+        let src_ip = self.device(dev)?.ip().ok_or(SimError::NotAHost(dev))?;
 
         // Loopback: deliver directly without touching the wire.
         if src_ip == dst_ip {
@@ -500,10 +503,7 @@ impl Lan {
             return Ok(());
         }
 
-        let (_dst_dev, dst_mac) = *self
-            .arp
-            .get(&dst_ip)
-            .ok_or(SimError::NoArpEntry(dst_ip))?;
+        let (_dst_dev, dst_mac) = *self.arp.get(&dst_ip).ok_or(SimError::NoArpEntry(dst_ip))?;
 
         // Fragment to MTU.
         let sizes = fragment_sizes(payload.len());
@@ -918,8 +918,14 @@ mod tests {
         let (mbox, inbox) = Mailbox::with_handle();
         b.install_app(a, Box::new(mbox), Some(6000)).unwrap();
         let mut lan = b.build();
-        lan.post_udp(a, 6000, ip("10.0.0.2"), ECHO_PORT, Bytes::from_static(b"ping"))
-            .unwrap();
+        lan.post_udp(
+            a,
+            6000,
+            ip("10.0.0.2"),
+            ECHO_PORT,
+            Bytes::from_static(b"ping"),
+        )
+        .unwrap();
         lan.run_for(SimDuration::from_millis(20));
         let inbox = inbox.borrow();
         assert_eq!(inbox.len(), 1);
@@ -934,7 +940,8 @@ mod tests {
         let a = b.add_host("A", "10.0.0.1").unwrap();
         b.add_nic(a, "eth0", 10_000_000).unwrap();
         let (sink, handle) = DiscardSink::with_handle();
-        b.install_app(a, Box::new(sink), Some(DISCARD_PORT)).unwrap();
+        b.install_app(a, Box::new(sink), Some(DISCARD_PORT))
+            .unwrap();
         let mut lan = b.build();
         lan.post_udp(a, 5000, ip("10.0.0.1"), DISCARD_PORT, vec![0u8; 10].into())
             .unwrap();
@@ -959,8 +966,14 @@ mod tests {
         // Saturate: 100 Mb/s link, 200 ms queue ≈ 2.5 MB of backlog.
         // Posting 10 MB at one instant must overflow.
         for _ in 0..100 {
-            lan.post_udp(a, 5000, ip("10.0.0.2"), DISCARD_PORT, vec![0u8; 100_000].into())
-                .unwrap();
+            lan.post_udp(
+                a,
+                5000,
+                ip("10.0.0.2"),
+                DISCARD_PORT,
+                vec![0u8; 100_000].into(),
+            )
+            .unwrap();
         }
         lan.run_for(SimDuration::from_secs(2));
         let stats = lan.stats();
@@ -979,12 +992,19 @@ mod tests {
         b.add_nic(d, "eth0", 10_000_000).unwrap();
         b.connect((a, PortIx(0)), (d, PortIx(0))).unwrap();
         let (sink, handle) = DiscardSink::with_handle();
-        b.install_app(d, Box::new(sink), Some(DISCARD_PORT)).unwrap();
+        b.install_app(d, Box::new(sink), Some(DISCARD_PORT))
+            .unwrap();
         let mut lan = b.build();
         // Offer 2 MB instantly (queue holds 200ms = 250 KB; rest drops).
         for _ in 0..20 {
-            lan.post_udp(a, 1, ip("10.0.0.2"), DISCARD_PORT, vec![0u8; 100_000].into())
-                .unwrap();
+            lan.post_udp(
+                a,
+                1,
+                ip("10.0.0.2"),
+                DISCARD_PORT,
+                vec![0u8; 100_000].into(),
+            )
+            .unwrap();
         }
         lan.run_for(SimDuration::from_secs(1));
         let received = handle.borrow().payload_bytes;
@@ -1026,9 +1046,12 @@ mod tests {
             .install_app(a, Box::new(Recorder(log.clone())), None)
             .unwrap();
         let mut lan = b.build();
-        lan.post_timer(a, app, SimDuration::from_millis(30), 3).unwrap();
-        lan.post_timer(a, app, SimDuration::from_millis(10), 1).unwrap();
-        lan.post_timer(a, app, SimDuration::from_millis(20), 2).unwrap();
+        lan.post_timer(a, app, SimDuration::from_millis(30), 3)
+            .unwrap();
+        lan.post_timer(a, app, SimDuration::from_millis(10), 1)
+            .unwrap();
+        lan.post_timer(a, app, SimDuration::from_millis(20), 2)
+            .unwrap();
         lan.run_for(SimDuration::from_millis(100));
         assert_eq!(*log.borrow(), vec![1, 2, 3]);
     }

@@ -37,8 +37,14 @@ fn hub_lan() -> (Lan, DeviceId, DeviceId, DeviceId) {
 #[test]
 fn hub_repeats_frames_to_every_port_but_nics_filter() {
     let (mut lan, n1, n2, n3) = hub_lan();
-    lan.post_udp(n1, 5000, ip("10.0.1.2"), DISCARD_PORT, vec![0u8; 1000].into())
-        .unwrap();
+    lan.post_udp(
+        n1,
+        5000,
+        ip("10.0.1.2"),
+        DISCARD_PORT,
+        vec![0u8; 1000].into(),
+    )
+    .unwrap();
     lan.run_for(SimDuration::from_millis(20));
 
     // The hub's egress counters show the repeat on BOTH other ports.
@@ -75,17 +81,28 @@ fn hub_medium_is_shared_between_senders() {
     b.connect((s2, PortIx(0)), (hub, PortIx(1))).unwrap();
     b.connect((r, PortIx(0)), (hub, PortIx(2))).unwrap();
     let (sink, handle) = DiscardSink::with_handle();
-    b.install_app(r, Box::new(sink), Some(DISCARD_PORT)).unwrap();
+    b.install_app(r, Box::new(sink), Some(DISCARD_PORT))
+        .unwrap();
     use netqos_sim::traffic::CbrSource;
     b.install_app(
         s1,
-        Box::new(CbrSource::new(ip("10.0.1.3"), DISCARD_PORT, 1_000_000, 1400)),
+        Box::new(CbrSource::new(
+            ip("10.0.1.3"),
+            DISCARD_PORT,
+            1_000_000,
+            1400,
+        )),
         None,
     )
     .unwrap();
     b.install_app(
         s2,
-        Box::new(CbrSource::new(ip("10.0.1.3"), DISCARD_PORT, 1_000_000, 1400)),
+        Box::new(CbrSource::new(
+            ip("10.0.1.3"),
+            DISCARD_PORT,
+            1_000_000,
+            1400,
+        )),
         None,
     )
     .unwrap();
@@ -130,8 +147,14 @@ fn switch_counters_see_only_addressed_traffic() {
 
     // Blast L -> S2.
     for _ in 0..10 {
-        lan.post_udp(l, 5000, ip("10.0.0.3"), DISCARD_PORT, vec![0u8; 10_000].into())
-            .unwrap();
+        lan.post_udp(
+            l,
+            5000,
+            ip("10.0.0.3"),
+            DISCARD_PORT,
+            vec![0u8; 10_000].into(),
+        )
+        .unwrap();
     }
     lan.run_for(SimDuration::from_millis(100));
 
@@ -169,8 +192,14 @@ fn switch_to_hub_uplink_carries_traffic_once() {
         .unwrap();
     let mut lan = b.build();
 
-    lan.post_udp(l, 5000, ip("10.0.0.2"), DISCARD_PORT, vec![0u8; 20_000].into())
-        .unwrap();
+    lan.post_udp(
+        l,
+        5000,
+        ip("10.0.0.2"),
+        DISCARD_PORT,
+        vec![0u8; 20_000].into(),
+    )
+    .unwrap();
     lan.run_for(SimDuration::from_secs(1));
 
     let uplink_out = lan.nic_counters(sw, swp[1]).unwrap().out_octets.value();
@@ -191,21 +220,37 @@ fn lossy_link_drops_frames_and_counts_errors() {
     b.add_nic(d, "eth0", 100_000_000).unwrap();
     b.connect((a, PortIx(0)), (d, PortIx(0))).unwrap();
     let (sink, handle) = DiscardSink::with_handle();
-    b.install_app(d, Box::new(sink), Some(DISCARD_PORT)).unwrap();
+    b.install_app(d, Box::new(sink), Some(DISCARD_PORT))
+        .unwrap();
     let mut lan = b.build();
     lan.set_link_loss(a, PortIx(0), 0.3).unwrap();
 
     for _ in 0..200 {
-        lan.post_udp(a, 5000, ip("10.0.0.2"), DISCARD_PORT, vec![0u8; 1000].into())
-            .unwrap();
+        lan.post_udp(
+            a,
+            5000,
+            ip("10.0.0.2"),
+            DISCARD_PORT,
+            vec![0u8; 1000].into(),
+        )
+        .unwrap();
     }
     lan.run_for(SimDuration::from_secs(2));
 
     let rx = lan.nic_counters(d, PortIx(0)).unwrap();
     let delivered = handle.borrow().datagrams;
-    assert!(delivered < 200, "some datagrams must be lost, got {delivered}");
-    assert!(delivered > 80, "loss rate should be ~30%, got {delivered}/200");
-    assert!(rx.in_errors.value() > 0, "lost frames must count as input errors");
+    assert!(
+        delivered < 200,
+        "some datagrams must be lost, got {delivered}"
+    );
+    assert!(
+        delivered > 80,
+        "loss rate should be ~30%, got {delivered}/200"
+    );
+    assert!(
+        rx.in_errors.value() > 0,
+        "lost frames must count as input errors"
+    );
     assert_eq!(
         rx.in_errors.value() as u64 + delivered,
         200,
@@ -232,10 +277,19 @@ fn determinism_identical_runs_produce_identical_counters() {
         use netqos_sim::traffic::{CbrSource, NoiseSource};
         // Drive with an externally posted mix of events instead of
         // installed apps to exercise post_udp determinism too.
-        let _ = (CbrSource::new(ip("10.0.1.2"), 9, 1, 1), NoiseSource::new(1, SimDuration::from_millis(1)));
+        let _ = (
+            CbrSource::new(ip("10.0.1.2"), 9, 1, 1),
+            NoiseSource::new(1, SimDuration::from_millis(1)),
+        );
         for k in 0..50 {
-            lan.post_udp(n1, 5000, ip("10.0.1.2"), DISCARD_PORT, vec![0u8; 100 + k].into())
-                .unwrap();
+            lan.post_udp(
+                n1,
+                5000,
+                ip("10.0.1.2"),
+                DISCARD_PORT,
+                vec![0u8; 100 + k].into(),
+            )
+            .unwrap();
         }
         lan.run_for(SimDuration::from_secs(1));
         let hub = lan.device_by_name("hub").unwrap();

@@ -11,7 +11,12 @@ use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-fn two_hosts() -> (Lan, DeviceId, DeviceId, Rc<RefCell<netqos_sim::app::DiscardStats>>) {
+fn two_hosts() -> (
+    Lan,
+    DeviceId,
+    DeviceId,
+    Rc<RefCell<netqos_sim::app::DiscardStats>>,
+) {
     let mut b = LanBuilder::new();
     let a = b.add_host("A", "10.0.0.1").unwrap();
     b.add_nic(a, "eth0", 100_000_000).unwrap();
@@ -19,7 +24,8 @@ fn two_hosts() -> (Lan, DeviceId, DeviceId, Rc<RefCell<netqos_sim::app::DiscardS
     b.add_nic(d, "eth0", 100_000_000).unwrap();
     b.connect((a, PortIx(0)), (d, PortIx(0))).unwrap();
     let (sink, handle) = DiscardSink::with_handle();
-    b.install_app(d, Box::new(sink), Some(DISCARD_PORT)).unwrap();
+    b.install_app(d, Box::new(sink), Some(DISCARD_PORT))
+        .unwrap();
     (b.build(), a, d, handle)
 }
 

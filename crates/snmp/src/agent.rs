@@ -246,7 +246,12 @@ mod tests {
         mib2::system::install(&mut mib, &SystemInfo::new("L"), 1000);
         mib2::interfaces::install(
             &mut mib,
-            &[IfEntry::ethernet(1, "eth0", 100_000_000, [2, 0, 0, 0, 0, 1])],
+            &[IfEntry::ethernet(
+                1,
+                "eth0",
+                100_000_000,
+                [2, 0, 0, 0, 0, 1],
+            )],
         );
         mib
     }

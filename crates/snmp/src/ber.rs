@@ -260,10 +260,7 @@ impl<'a> Reader<'a> {
 
     /// Peeks at the next tag without consuming it.
     pub fn peek_tag(&self) -> Result<u8, BerError> {
-        self.data
-            .get(self.pos)
-            .copied()
-            .ok_or(BerError::Truncated)
+        self.data.get(self.pos).copied().ok_or(BerError::Truncated)
     }
 
     /// Reads a tag byte and definite length.
@@ -498,12 +495,25 @@ mod tests {
             [0x41, 0x05, 0x00, 0xFF, 0xFF, 0xFF, 0xFF]
         );
         assert_eq!(encode_unsigned(tag::GAUGE32, 0), [0x42, 0x01, 0x00]);
-        assert_eq!(encode_unsigned(tag::TIME_TICKS, 0x80), [0x43, 0x02, 0x00, 0x80]);
+        assert_eq!(
+            encode_unsigned(tag::TIME_TICKS, 0x80),
+            [0x43, 0x02, 0x00, 0x80]
+        );
     }
 
     #[test]
     fn unsigned_round_trip() {
-        for v in [0u32, 1, 127, 128, 255, 256, 0x7FFF_FFFF, 0x8000_0000, u32::MAX] {
+        for v in [
+            0u32,
+            1,
+            127,
+            128,
+            255,
+            256,
+            0x7FFF_FFFF,
+            0x8000_0000,
+            u32::MAX,
+        ] {
             let enc = encode_unsigned(tag::COUNTER32, v);
             let mut r = Reader::new(&enc);
             assert_eq!(r.read_unsigned(tag::COUNTER32).unwrap(), v);
@@ -562,10 +572,7 @@ mod tests {
     #[test]
     fn oid_unencodable_rejected() {
         assert_eq!(encode_oid(&Oid::empty()), Err(BerError::UnencodableOid));
-        assert_eq!(
-            encode_oid(&Oid::from([1])),
-            Err(BerError::UnencodableOid)
-        );
+        assert_eq!(encode_oid(&Oid::from([1])), Err(BerError::UnencodableOid));
         assert_eq!(
             encode_oid(&Oid::from([1, 40])),
             Err(BerError::UnencodableOid)

@@ -10,8 +10,10 @@ use crate::error::SnmpError;
 use crate::message::SnmpMessage;
 use crate::oid::Oid;
 use crate::pdu::{ErrorStatus, Pdu, PduType, VarBind};
+use crate::telemetry::ClientTelemetry;
 use crate::transport::Transport;
 use crate::value::SnmpValue;
+use std::time::Instant;
 
 /// Builds an encoded `GetRequest` message.
 pub fn build_get(community: &str, request_id: i32, oids: &[Oid]) -> Result<Vec<u8>, SnmpError> {
@@ -100,6 +102,7 @@ pub struct SnmpClient<T: Transport> {
     /// How many stale (wrong request-id) responses to skip per request
     /// before giving up.
     stale_tolerance: u32,
+    telemetry: ClientTelemetry,
 }
 
 impl<T: Transport> SnmpClient<T> {
@@ -110,7 +113,14 @@ impl<T: Transport> SnmpClient<T> {
             community: community.to_owned(),
             next_id: 1,
             stale_tolerance: 4,
+            telemetry: ClientTelemetry::global(),
         }
+    }
+
+    /// Routes this client's metrics to `telemetry` instead of the
+    /// process-wide registry (used by services with their own registry).
+    pub fn set_telemetry(&mut self, telemetry: ClientTelemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Access to the underlying transport (e.g. to adjust timeouts).
@@ -125,23 +135,42 @@ impl<T: Transport> SnmpClient<T> {
     }
 
     fn exchange_checked(&mut self, request: &[u8], id: i32) -> Result<Response, SnmpError> {
+        self.telemetry.requests.inc();
+        self.telemetry.bytes_sent.add(request.len() as u64);
+        let start = Instant::now();
         let mut stale = 0;
-        loop {
-            let bytes = self.transport.exchange(request)?;
-            let resp = parse_response(&bytes)?;
+        let result = loop {
+            let bytes = match self.transport.exchange(request) {
+                Ok(b) => b,
+                Err(e) => break Err(e),
+            };
+            self.telemetry.bytes_received.add(bytes.len() as u64);
+            let resp = match parse_response(&bytes) {
+                Ok(r) => r,
+                Err(e) => break Err(e),
+            };
             if resp.request_id == id {
-                return Ok(resp);
+                break Ok(resp);
             }
             // A late retransmission answer from an earlier request: skip a
             // bounded number of them.
+            self.telemetry.stale_responses.inc();
             stale += 1;
             if stale > self.stale_tolerance {
-                return Err(SnmpError::RequestIdMismatch {
+                break Err(SnmpError::RequestIdMismatch {
                     expected: id,
                     got: resp.request_id,
                 });
             }
+        };
+        match &result {
+            Ok(_) => {
+                self.telemetry.responses.inc();
+                self.telemetry.rtt_ns.record_duration(start.elapsed());
+            }
+            Err(_) => self.telemetry.errors.inc(),
         }
+        result
     }
 
     /// `GetRequest` for several objects; returns the bound values in
@@ -181,15 +210,20 @@ impl<T: Transport> SnmpClient<T> {
         let mut cur = prefix.clone();
         'outer: loop {
             let id = self.fresh_id();
-            let req = build_get_bulk(&self.community, id, 0, max_repetitions.max(1), &[cur.clone()])?;
+            let req = build_get_bulk(
+                &self.community,
+                id,
+                0,
+                max_repetitions.max(1),
+                &[cur.clone()],
+            )?;
             let resp = self.exchange_checked(&req, id)?;
             let bindings = resp.into_result()?;
             if bindings.is_empty() {
                 break;
             }
             for vb in bindings {
-                if vb.value == crate::value::SnmpValue::EndOfMibView
-                    || !vb.oid.starts_with(prefix)
+                if vb.value == crate::value::SnmpValue::EndOfMibView || !vb.oid.starts_with(prefix)
                 {
                     break 'outer;
                 }

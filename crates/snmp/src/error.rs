@@ -131,9 +131,12 @@ mod tests {
     #[test]
     fn display_forms() {
         assert!(BerError::Truncated.to_string().contains("truncated"));
-        assert!(BerError::UnexpectedTag { expected: 0x30, got: 0x02 }
-            .to_string()
-            .contains("0x30"));
+        assert!(BerError::UnexpectedTag {
+            expected: 0x30,
+            got: 0x02
+        }
+        .to_string()
+        .contains("0x30"));
         let e = SnmpError::from(BerError::BadOid);
         assert!(e.to_string().contains("BER"));
         let e = SnmpError::ErrorStatus {

@@ -57,6 +57,7 @@ pub mod mib;
 pub mod mib2;
 pub mod oid;
 pub mod pdu;
+pub mod telemetry;
 pub mod transport;
 pub mod value;
 

@@ -107,6 +107,7 @@ impl SnmpMessage {
 
     /// Serializes the message to wire bytes.
     pub fn encode(&self) -> Result<Vec<u8>, BerError> {
+        let start = std::time::Instant::now();
         let version = ber::encode_integer(self.version.code());
         let mut community = Vec::with_capacity(self.community.len() + 4);
         ber::push_tlv(&mut community, tag::OCTET_STRING, &self.community);
@@ -115,13 +116,35 @@ impl SnmpMessage {
             MessageBody::Trap(t) => t.encode()?,
             MessageBody::Bulk(b) => b.encode()?,
         };
-        Ok(ber::encode_sequence(&[&version, &community, &pdu]))
+        let wire = ber::encode_sequence(&[&version, &community, &pdu]);
+        let codec = crate::telemetry::codec();
+        codec.encodes.inc();
+        codec.encoded_bytes.add(wire.len() as u64);
+        codec.encode_ns.add(start.elapsed().as_nanos() as u64);
+        Ok(wire)
     }
 
     /// Parses a message from wire bytes, rejecting trailing garbage.
     pub fn decode(data: &[u8]) -> Result<Self, SnmpError> {
+        let start = std::time::Instant::now();
+        let codec = crate::telemetry::codec();
+        let result = Self::decode_inner(data);
+        match &result {
+            Ok(_) => {
+                codec.decodes.inc();
+                codec.decoded_bytes.add(data.len() as u64);
+                codec.decode_ns.add(start.elapsed().as_nanos() as u64);
+            }
+            Err(_) => codec.decode_errors.inc(),
+        }
+        result
+    }
+
+    fn decode_inner(data: &[u8]) -> Result<Self, SnmpError> {
         let mut outer = Reader::new(data);
-        let mut seq = outer.expect_element(tag::SEQUENCE).map_err(SnmpError::from)?;
+        let mut seq = outer
+            .expect_element(tag::SEQUENCE)
+            .map_err(SnmpError::from)?;
         let version = SnmpVersion::from_code(seq.read_integer()?)?;
         let community = seq.read_octet_string()?;
         let body = match seq.peek_tag().map_err(SnmpError::from)? {
@@ -160,11 +183,7 @@ mod tests {
 
     #[test]
     fn message_round_trip() {
-        let pdu = Pdu::request(
-            PduType::GetRequest,
-            77,
-            &[oid("1.3.6.1.2.1.1.3.0")],
-        );
+        let pdu = Pdu::request(PduType::GetRequest, 77, &[oid("1.3.6.1.2.1.1.3.0")]);
         let msg = SnmpMessage::v1("public", pdu);
         let enc = msg.encode().unwrap();
         let back = SnmpMessage::decode(&enc).unwrap();
@@ -239,8 +258,10 @@ mod tests {
             request_id: 9,
             non_repeaters: 1,
             max_repetitions: 10,
-            bindings: vec![VarBind::null(oid("1.3.6.1.2.1.1.3.0")),
-                           VarBind::null(oid("1.3.6.1.2.1.2.2"))],
+            bindings: vec![
+                VarBind::null(oid("1.3.6.1.2.1.1.3.0")),
+                VarBind::null(oid("1.3.6.1.2.1.2.2")),
+            ],
         };
         let msg = SnmpMessage::v2c_bulk("public", bulk);
         let enc = msg.encode().unwrap();

@@ -58,7 +58,10 @@ impl ScalarMib {
     }
 
     /// All instances under a subtree prefix, in MIB order.
-    pub fn subtree<'a>(&'a self, prefix: &'a Oid) -> impl Iterator<Item = (&'a Oid, &'a SnmpValue)> {
+    pub fn subtree<'a>(
+        &'a self,
+        prefix: &'a Oid,
+    ) -> impl Iterator<Item = (&'a Oid, &'a SnmpValue)> {
         self.entries
             .range::<Oid, _>((Bound::Included(prefix), Bound::Unbounded))
             .take_while(move |(k, _)| k.starts_with(prefix))

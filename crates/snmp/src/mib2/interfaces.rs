@@ -268,7 +268,9 @@ mod tests {
             Some(SnmpValue::Gauge32(100_000_000))
         );
         assert_eq!(
-            mib.get(&instance_oid(column::IF_DESCR, 1)).unwrap().as_text(),
+            mib.get(&instance_oid(column::IF_DESCR, 1))
+                .unwrap()
+                .as_text(),
             Some("eth0")
         );
     }

@@ -82,19 +82,23 @@ mod tests {
     fn table1_matches_paper_oids() {
         let rows = paper_table1();
         assert_eq!(rows.len(), 6);
-        let by_name: Vec<(&str, String)> = rows
-            .iter()
-            .map(|r| (r.name, r.oid.to_string()))
-            .collect();
+        let by_name: Vec<(&str, String)> =
+            rows.iter().map(|r| (r.name, r.oid.to_string())).collect();
         // Numeric OIDs exactly as printed in the paper's Table 1.
         assert_eq!(by_name[0], ("system.sysUpTime", "1.3.6.1.2.1.1.3".into()));
         assert_eq!(
             by_name[1],
-            ("interfaces.ifTable.ifEntry.ifSpeed", "1.3.6.1.2.1.2.2.1.5".into())
+            (
+                "interfaces.ifTable.ifEntry.ifSpeed",
+                "1.3.6.1.2.1.2.2.1.5".into()
+            )
         );
         assert_eq!(
             by_name[2],
-            ("interfaces.ifTable.ifEntry.ifInOctets", "1.3.6.1.2.1.2.2.1.10".into())
+            (
+                "interfaces.ifTable.ifEntry.ifInOctets",
+                "1.3.6.1.2.1.2.2.1.10".into()
+            )
         );
         assert_eq!(
             by_name[3],
@@ -105,7 +109,10 @@ mod tests {
         );
         assert_eq!(
             by_name[4],
-            ("interfaces.ifTable.ifEntry.ifOutOctets", "1.3.6.1.2.1.2.2.1.16".into())
+            (
+                "interfaces.ifTable.ifEntry.ifOutOctets",
+                "1.3.6.1.2.1.2.2.1.16".into()
+            )
         );
         assert_eq!(
             by_name[5],

@@ -108,10 +108,7 @@ mod tests {
             mib.get(&sys_uptime_instance()),
             Some(SnmpValue::TimeTicks(4242))
         );
-        assert_eq!(
-            mib.get(&sys_name_instance()).unwrap().as_text(),
-            Some("S1")
-        );
+        assert_eq!(mib.get(&sys_name_instance()).unwrap().as_text(), Some("S1"));
     }
 
     #[test]

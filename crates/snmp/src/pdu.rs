@@ -373,7 +373,14 @@ impl TrapPdu {
         let bindings_seq = ber::encode_sequence(&bind_refs);
         Ok(ber::encode_constructed(
             tag::TRAP,
-            &[&enterprise, &addr, &generic, &specific, &stamp, &bindings_seq],
+            &[
+                &enterprise,
+                &addr,
+                &generic,
+                &specific,
+                &stamp,
+                &bindings_seq,
+            ],
         ))
     }
 

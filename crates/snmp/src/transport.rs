@@ -74,6 +74,7 @@ pub struct UdpTransport {
     peer: SocketAddr,
     timeout: Duration,
     retries: u32,
+    telemetry: crate::telemetry::TransportTelemetry,
 }
 
 impl UdpTransport {
@@ -85,9 +86,12 @@ impl UdpTransport {
             .map_err(|e| SnmpError::Transport(e.to_string()))?
             .next()
             .ok_or_else(|| SnmpError::Transport("peer address resolved to nothing".into()))?;
-        let bind_addr = if peer.is_ipv4() { "0.0.0.0:0" } else { "[::]:0" };
-        let socket =
-            UdpSocket::bind(bind_addr).map_err(|e| SnmpError::Transport(e.to_string()))?;
+        let bind_addr = if peer.is_ipv4() {
+            "0.0.0.0:0"
+        } else {
+            "[::]:0"
+        };
+        let socket = UdpSocket::bind(bind_addr).map_err(|e| SnmpError::Transport(e.to_string()))?;
         socket
             .connect(peer)
             .map_err(|e| SnmpError::Transport(e.to_string()))?;
@@ -96,7 +100,14 @@ impl UdpTransport {
             peer,
             timeout: Duration::from_secs(1),
             retries: 2,
+            telemetry: crate::telemetry::TransportTelemetry::global(),
         })
+    }
+
+    /// Routes this transport's metrics to `telemetry` instead of the
+    /// process-wide registry.
+    pub fn set_telemetry(&mut self, telemetry: crate::telemetry::TransportTelemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Sets the per-attempt receive timeout.
@@ -122,17 +133,22 @@ impl Transport for UdpTransport {
             .map_err(|e| SnmpError::Transport(e.to_string()))?;
         let mut buf = vec![0u8; 65_535];
         let mut last_err = String::from("no attempt made");
-        for _attempt in 0..=self.retries {
+        for attempt in 0..=self.retries {
+            if attempt > 0 {
+                self.telemetry.retransmits.inc();
+            }
             self.socket
                 .send(request)
                 .map_err(|e| SnmpError::Transport(e.to_string()))?;
             match self.socket.recv(&mut buf) {
                 Ok(n) => return Ok(buf[..n].to_vec()),
                 Err(e) => {
+                    self.telemetry.timeouts.inc();
                     last_err = e.to_string();
                 }
             }
         }
+        self.telemetry.exchange_failures.inc();
         Err(SnmpError::Transport(format!(
             "no response from {} after {} attempts: {last_err}",
             self.peer,
@@ -164,8 +180,7 @@ impl UdpAgentHandle {
 
     /// Stops the server and joins its thread.
     pub fn stop(mut self) {
-        self.stop
-            .store(true, std::sync::atomic::Ordering::Relaxed);
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -174,8 +189,7 @@ impl UdpAgentHandle {
 
 impl Drop for UdpAgentHandle {
     fn drop(&mut self) {
-        self.stop
-            .store(true, std::sync::atomic::Ordering::Relaxed);
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -315,12 +329,16 @@ mod tests {
         let t = SharedMibTransport::new("public", shared.clone());
         let mut client = SnmpClient::new(t, "public");
         assert_eq!(
-            client.get_one(&mib2::system::sys_uptime_instance()).unwrap(),
+            client
+                .get_one(&mib2::system::sys_uptime_instance())
+                .unwrap(),
             crate::value::SnmpValue::TimeTicks(1)
         );
         *shared.lock().unwrap() = mib_with_uptime(2);
         assert_eq!(
-            client.get_one(&mib2::system::sys_uptime_instance()).unwrap(),
+            client
+                .get_one(&mib2::system::sys_uptime_instance())
+                .unwrap(),
             crate::value::SnmpValue::TimeTicks(2)
         );
     }
@@ -341,7 +359,9 @@ mod tests {
         });
         let mut client = SnmpClient::new(t, "public");
         // First get fails (drop)...
-        assert!(client.get_one(&mib2::system::sys_uptime_instance()).is_err());
+        assert!(client
+            .get_one(&mib2::system::sys_uptime_instance())
+            .is_err());
         // ...second succeeds.
         assert!(client.get_one(&mib2::system::sys_uptime_instance()).is_ok());
     }

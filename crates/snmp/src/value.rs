@@ -129,7 +129,10 @@ impl fmt::Display for SnmpValue {
                 let mins = (total_cs / (100 * 60)) % 60;
                 let secs = (total_cs / 100) % 60;
                 let cs = total_cs % 100;
-                write!(f, "TimeTicks({v}) {days}d {hours:02}:{mins:02}:{secs:02}.{cs:02}")
+                write!(
+                    f,
+                    "TimeTicks({v}) {days}d {hours:02}:{mins:02}:{secs:02}.{cs:02}"
+                )
             }
             SnmpValue::Opaque(b) => write!(f, "Opaque[{} bytes]", b.len()),
             SnmpValue::NoSuchObject => f.write_str("noSuchObject"),

@@ -11,13 +11,16 @@ use proptest::prelude::*;
 /// Arbitrary BER-encodable OID: first arc 0..=2, second constrained, then
 /// up to 10 free arcs.
 fn arb_oid() -> impl Strategy<Value = Oid> {
-    (0u32..=2, 0u32..40, prop::collection::vec(any::<u32>(), 0..10)).prop_map(
-        |(first, second, rest)| {
+    (
+        0u32..=2,
+        0u32..40,
+        prop::collection::vec(any::<u32>(), 0..10),
+    )
+        .prop_map(|(first, second, rest)| {
             let mut arcs = vec![first, second];
             arcs.extend(rest);
             Oid::new(arcs)
-        },
-    )
+        })
 }
 
 fn arb_value() -> impl Strategy<Value = SnmpValue> {
@@ -51,13 +54,15 @@ fn arb_pdu() -> impl Strategy<Value = Pdu> {
         0u32..10,
         prop::collection::vec(arb_varbind(), 0..8),
     )
-        .prop_map(|(pdu_type, request_id, status, error_index, bindings)| Pdu {
-            pdu_type,
-            request_id,
-            error_status: ErrorStatus::from_code(status),
-            error_index,
-            bindings,
-        })
+        .prop_map(
+            |(pdu_type, request_id, status, error_index, bindings)| Pdu {
+                pdu_type,
+                request_id,
+                error_status: ErrorStatus::from_code(status),
+                error_index,
+                bindings,
+            },
+        )
 }
 
 proptest! {

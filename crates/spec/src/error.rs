@@ -49,12 +49,20 @@ pub enum SpecError {
     /// Validation: duplicate node name.
     DuplicateNode { span: Span, name: String },
     /// Validation: duplicate interface on a node.
-    DuplicateInterface { span: Span, node: String, interface: String },
+    DuplicateInterface {
+        span: Span,
+        node: String,
+        interface: String,
+    },
     /// Validation: an endpoint references an unknown node or interface.
     UnknownEndpoint { span: Span, endpoint: String },
     /// Validation: an interface has no speed (neither its own nor a node
     /// default).
-    MissingSpeed { span: Span, node: String, interface: String },
+    MissingSpeed {
+        span: Span,
+        node: String,
+        interface: String,
+    },
     /// Validation: an interface appears in more than one connection.
     InterfaceReused { span: Span, endpoint: String },
     /// Validation: a qospath endpoint is not a declared host.
@@ -87,62 +95,68 @@ impl SpecError {
 
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            match self {
-                SpecError::UnexpectedChar { span, ch } => {
-                    write!(f, "{span}: unexpected character `{ch}`")
-                }
-                SpecError::UnterminatedString { span } => {
-                    write!(f, "{span}: unterminated string literal")
-                }
-                SpecError::BadNumber { span, text } => {
-                    write!(f, "{span}: malformed number `{text}`")
-                }
-                SpecError::UnknownUnit { span, unit } => {
-                    write!(
-                        f,
-                        "{span}: unknown bandwidth unit `{unit}` \
+        match self {
+            SpecError::UnexpectedChar { span, ch } => {
+                write!(f, "{span}: unexpected character `{ch}`")
+            }
+            SpecError::UnterminatedString { span } => {
+                write!(f, "{span}: unterminated string literal")
+            }
+            SpecError::BadNumber { span, text } => {
+                write!(f, "{span}: malformed number `{text}`")
+            }
+            SpecError::UnknownUnit { span, unit } => {
+                write!(
+                    f,
+                    "{span}: unknown bandwidth unit `{unit}` \
                          (expected bps, Kbps, Mbps, Gbps, Bps, KBps, or MBps)"
-                    )
-                }
-                SpecError::Expected {
-                    span,
-                    expected,
-                    found,
-                } => write!(f, "{span}: expected {expected}, found {found}"),
-                SpecError::DuplicateProperty { span, name } => {
-                    write!(f, "{span}: property `{name}` given twice")
-                }
-                SpecError::UnknownKind { span, kind } => {
-                    write!(f, "{span}: unknown device kind `{kind}`")
-                }
-                SpecError::DuplicateNode { span, name } => {
-                    write!(f, "{span}: node `{name}` declared twice")
-                }
-                SpecError::DuplicateInterface {
-                    span,
-                    node,
-                    interface,
-                } => write!(f, "{span}: interface `{interface}` declared twice on `{node}`"),
-                SpecError::UnknownEndpoint { span, endpoint } => {
-                    write!(f, "{span}: unknown endpoint `{endpoint}`")
-                }
-                SpecError::MissingSpeed {
-                    span,
-                    node,
-                    interface,
-                } => write!(
-                    f,
-                    "{span}: interface `{node}.{interface}` has no speed and its node has no default"
-                ),
-                SpecError::InterfaceReused { span, endpoint } => write!(
-                    f,
-                    "{span}: interface `{endpoint}` used by more than one connection \
+                )
+            }
+            SpecError::Expected {
+                span,
+                expected,
+                found,
+            } => write!(f, "{span}: expected {expected}, found {found}"),
+            SpecError::DuplicateProperty { span, name } => {
+                write!(f, "{span}: property `{name}` given twice")
+            }
+            SpecError::UnknownKind { span, kind } => {
+                write!(f, "{span}: unknown device kind `{kind}`")
+            }
+            SpecError::DuplicateNode { span, name } => {
+                write!(f, "{span}: node `{name}` declared twice")
+            }
+            SpecError::DuplicateInterface {
+                span,
+                node,
+                interface,
+            } => write!(
+                f,
+                "{span}: interface `{interface}` declared twice on `{node}`"
+            ),
+            SpecError::UnknownEndpoint { span, endpoint } => {
+                write!(f, "{span}: unknown endpoint `{endpoint}`")
+            }
+            SpecError::MissingSpeed {
+                span,
+                node,
+                interface,
+            } => write!(
+                f,
+                "{span}: interface `{node}.{interface}` has no speed and its node has no default"
+            ),
+            SpecError::InterfaceReused { span, endpoint } => write!(
+                f,
+                "{span}: interface `{endpoint}` used by more than one connection \
                      (connections must be 1-to-1)"
-                ),
-                SpecError::QosEndpointNotHost { span, name } => {
-                    write!(f, "{span}: qospath endpoint `{name}` is not a declared host")
-                }
-                SpecError::Topology(msg) => write!(f, "topology validation: {msg}"),
+            ),
+            SpecError::QosEndpointNotHost { span, name } => {
+                write!(
+                    f,
+                    "{span}: qospath endpoint `{name}` is not a declared host"
+                )
+            }
+            SpecError::Topology(msg) => write!(f, "topology validation: {msg}"),
         }
     }
 }

@@ -332,10 +332,7 @@ mod tests {
             lex("\"abc"),
             Err(SpecError::UnterminatedString { .. })
         ));
-        assert!(matches!(
-            lex("10Zbps"),
-            Err(SpecError::UnknownUnit { .. })
-        ));
+        assert!(matches!(lex("10Zbps"), Err(SpecError::UnknownUnit { .. })));
         assert!(matches!(lex("< x"), Err(SpecError::UnexpectedChar { .. })));
     }
 

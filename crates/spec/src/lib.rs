@@ -66,7 +66,7 @@ pub mod parser;
 pub mod writer;
 
 pub use ast::SpecFile;
-pub use error::{SpecError, Span};
+pub use error::{Span, SpecError};
 pub use model::{parse_and_validate, QosPathSpec, SpecModel};
 pub use parser::parse;
 pub use writer::write_spec;

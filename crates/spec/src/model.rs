@@ -5,7 +5,7 @@
 //! simulator and to address SNMP agents), and the QoS-path requirements
 //! for the resource manager.
 
-use crate::ast::{SpecFile, EndpointRef};
+use crate::ast::{EndpointRef, SpecFile};
 use crate::error::{Span, SpecError};
 use netqos_topology::{NetworkTopology, NodeId, TopologyError};
 use std::collections::{HashMap, HashSet};
@@ -100,35 +100,37 @@ pub fn validate(file: &SpecFile) -> Result<SpecModel, SpecError> {
                 .map_err(|e| convert_topology_error(e, node.span))?;
         }
         for iface in &node.interfaces {
-            let speed = iface
-                .speed_bps
-                .or(node.default_speed)
-                .ok_or_else(|| SpecError::MissingSpeed {
-                    span: iface.span,
-                    node: node.name.clone(),
-                    interface: iface.local_name.clone(),
-                })?;
+            let speed =
+                iface
+                    .speed_bps
+                    .or(node.default_speed)
+                    .ok_or_else(|| SpecError::MissingSpeed {
+                        span: iface.span,
+                        node: node.name.clone(),
+                        interface: iface.local_name.clone(),
+                    })?;
             topology
                 .add_interface(id, &iface.local_name, speed)
                 .map_err(|e| convert_topology_error(e, iface.span))?;
         }
     }
 
-    let resolve = |ep: &EndpointRef, span: Span| -> Result<(NodeId, netqos_topology::IfIx), SpecError> {
-        let node = topology
-            .node_by_name(&ep.node)
-            .map_err(|_| SpecError::UnknownEndpoint {
-                span,
-                endpoint: ep.to_string(),
-            })?;
-        let ifix = topology
-            .interface_by_name(node, &ep.interface)
-            .map_err(|_| SpecError::UnknownEndpoint {
-                span,
-                endpoint: ep.to_string(),
-            })?;
-        Ok((node, ifix))
-    };
+    let resolve =
+        |ep: &EndpointRef, span: Span| -> Result<(NodeId, netqos_topology::IfIx), SpecError> {
+            let node = topology
+                .node_by_name(&ep.node)
+                .map_err(|_| SpecError::UnknownEndpoint {
+                    span,
+                    endpoint: ep.to_string(),
+                })?;
+            let ifix = topology
+                .interface_by_name(node, &ep.interface)
+                .map_err(|_| SpecError::UnknownEndpoint {
+                    span,
+                    endpoint: ep.to_string(),
+                })?;
+            Ok((node, ifix))
+        };
 
     // Resolve endpoints first (immutably), then connect.
     let mut resolved = Vec::with_capacity(file.connections.len());
@@ -168,7 +170,11 @@ pub fn validate(file: &SpecFile) -> Result<SpecModel, SpecError> {
                 span: a.span,
                 name: a.host.clone(),
             })?;
-        if !topology.node(host).map(|n| n.kind.is_host()).unwrap_or(false) {
+        if !topology
+            .node(host)
+            .map(|n| n.kind.is_host())
+            .unwrap_or(false)
+        {
             return Err(SpecError::QosEndpointNotHost {
                 span: a.span,
                 name: a.host.clone(),
@@ -227,7 +233,13 @@ pub fn validate(file: &SpecFile) -> Result<SpecModel, SpecError> {
 
 /// One-shot: parse source text and validate it.
 pub fn parse_and_validate(src: &str) -> Result<SpecModel, SpecError> {
-    validate(&crate::parser::parse(src)?)
+    let r = netqos_telemetry::global();
+    let result = crate::parser::parse(src).and_then(|ast| validate(&ast));
+    match &result {
+        Ok(_) => r.counter("netqos_spec_parses_total").inc(),
+        Err(_) => r.counter("netqos_spec_parse_failures_total").inc(),
+    }
+    result
 }
 
 #[cfg(test)]
@@ -257,12 +269,12 @@ mod tests {
 
     #[test]
     fn default_speed_flows_to_interfaces() {
-        let m = parse_and_validate(
-            "device sw switch { speed 100Mbps; interface p1; }",
-        )
-        .unwrap();
+        let m = parse_and_validate("device sw switch { speed 100Mbps; interface p1; }").unwrap();
         let sw = m.topology.node_by_name("sw").unwrap();
-        assert_eq!(m.topology.node(sw).unwrap().interfaces[0].speed_bps, 100_000_000);
+        assert_eq!(
+            m.topology.node(sw).unwrap().interfaces[0].speed_bps,
+            100_000_000
+        );
     }
 
     #[test]
@@ -273,10 +285,9 @@ mod tests {
 
     #[test]
     fn unknown_endpoint_rejected() {
-        let err = parse_and_validate(
-            "host A { interface e { speed 1Mbps; } } connection A.e <-> B.e;",
-        )
-        .unwrap_err();
+        let err =
+            parse_and_validate("host A { interface e { speed 1Mbps; } } connection A.e <-> B.e;")
+                .unwrap_err();
         assert!(matches!(err, SpecError::UnknownEndpoint { .. }));
         let err = parse_and_validate(
             "host A { interface e { speed 1Mbps; } } host B { interface e { speed 1Mbps; } } connection A.e <-> B.zz;",
@@ -302,8 +313,7 @@ mod tests {
 
     #[test]
     fn duplicate_node_rejected_with_span() {
-        let err =
-            parse_and_validate("host A { }\nhost A { }").unwrap_err();
+        let err = parse_and_validate("host A { }\nhost A { }").unwrap_err();
         match err {
             SpecError::DuplicateNode { span, name } => {
                 assert_eq!(name, "A");
@@ -315,10 +325,8 @@ mod tests {
 
     #[test]
     fn qos_endpoint_must_be_host() {
-        let err = parse_and_validate(
-            "device sw switch { } qospath q from sw to sw { }",
-        )
-        .unwrap_err();
+        let err =
+            parse_and_validate("device sw switch { } qospath q from sw to sw { }").unwrap_err();
         assert!(matches!(err, SpecError::QosEndpointNotHost { .. }));
     }
 
@@ -357,17 +365,14 @@ mod app_tests {
 
     #[test]
     fn duplicate_application_rejected() {
-        let err = parse_and_validate(
-            "host A { } application x on A; application x on A;",
-        )
-        .unwrap_err();
+        let err =
+            parse_and_validate("host A { } application x on A; application x on A;").unwrap_err();
         assert!(matches!(err, SpecError::DuplicateProperty { .. }));
     }
 
     #[test]
     fn application_on_non_host_rejected() {
-        let err =
-            parse_and_validate("device sw switch { } application x on sw;").unwrap_err();
+        let err = parse_and_validate("device sw switch { } application x on sw;").unwrap_err();
         assert!(matches!(err, SpecError::QosEndpointNotHost { .. }));
         let err = parse_and_validate("host A { } application x on ghost;").unwrap_err();
         assert!(matches!(err, SpecError::QosEndpointNotHost { .. }));
@@ -391,9 +396,6 @@ mod app_tests {
         for (a, b) in ast.applications.iter().zip(&back.applications) {
             assert_eq!((&a.name, &a.host, a.pinned), (&b.name, &b.host, b.pinned));
         }
-        assert_eq!(
-            ast.qos_paths[0].application,
-            back.qos_paths[0].application
-        );
+        assert_eq!(ast.qos_paths[0].application, back.qos_paths[0].application);
     }
 }

@@ -253,9 +253,8 @@ impl Parser {
                             node.interfaces.push(self.parse_interface(kw_span)?);
                         }
                         _ => {
-                            return Err(self.expected(
-                                "`os`, `address`, `snmp`, `speed`, `interface`, or `}`",
-                            ))
+                            return Err(self
+                                .expected("`os`, `address`, `snmp`, `speed`, `interface`, or `}`"))
                         }
                     }
                 }
@@ -497,8 +496,7 @@ mod tests {
 
     #[test]
     fn hub_and_router_kinds() {
-        let f = parse("device h hub { interface p1; } device r router { interface p1; }")
-            .unwrap();
+        let f = parse("device h hub { interface p1; } device r router { interface p1; }").unwrap();
         assert_eq!(f.nodes[0].kind, NodeKind::Hub);
         assert_eq!(f.nodes[1].kind, NodeKind::Router);
     }

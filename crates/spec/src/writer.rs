@@ -60,7 +60,10 @@ pub fn write_spec(file: &SpecFile) -> String {
     }
     for a in &file.applications {
         if a.pinned {
-            out.push_str(&format!("application {} on {} {{ pinned; }}\n", a.name, a.host));
+            out.push_str(&format!(
+                "application {} on {} {{ pinned; }}\n",
+                a.name, a.host
+            ));
         } else {
             out.push_str(&format!("application {} on {};\n", a.name, a.host));
         }
@@ -69,7 +72,10 @@ pub fn write_spec(file: &SpecFile) -> String {
         out.push('\n');
     }
     for q in &file.qos_paths {
-        out.push_str(&format!("qospath {} from {} to {} {{\n", q.name, q.from, q.to));
+        out.push_str(&format!(
+            "qospath {} from {} to {} {{\n",
+            q.name, q.from, q.to
+        ));
         if let Some(v) = q.min_available_bps {
             out.push_str(&format!("    min_available {};\n", fmt_bandwidth(v)));
         }
@@ -124,13 +130,25 @@ mod tests {
             assert_eq!(a.snmp_community, b.snmp_community);
             assert_eq!(a.default_speed, b.default_speed);
             assert_eq!(
-                a.interfaces.iter().map(|i| (&i.local_name, i.speed_bps)).collect::<Vec<_>>(),
-                b.interfaces.iter().map(|i| (&i.local_name, i.speed_bps)).collect::<Vec<_>>()
+                a.interfaces
+                    .iter()
+                    .map(|i| (&i.local_name, i.speed_bps))
+                    .collect::<Vec<_>>(),
+                b.interfaces
+                    .iter()
+                    .map(|i| (&i.local_name, i.speed_bps))
+                    .collect::<Vec<_>>()
             );
         }
         assert_eq!(ast1.connections[0].a, ast2.connections[0].a);
-        assert_eq!(ast1.qos_paths[0].min_available_bps, ast2.qos_paths[0].min_available_bps);
-        assert_eq!(ast1.qos_paths[0].max_utilization, ast2.qos_paths[0].max_utilization);
+        assert_eq!(
+            ast1.qos_paths[0].min_available_bps,
+            ast2.qos_paths[0].min_available_bps
+        );
+        assert_eq!(
+            ast1.qos_paths[0].max_utilization,
+            ast2.qos_paths[0].max_utilization
+        );
     }
 
     #[test]

@@ -64,12 +64,15 @@ fn arb_node(ix: usize) -> impl Strategy<Value = NodeDecl> {
 fn arb_spec() -> impl Strategy<Value = SpecFile> {
     prop::collection::vec(Just(()), 1..5).prop_flat_map(|nodes| {
         let n = nodes.len();
-        (0..n).map(arb_node).collect::<Vec<_>>().prop_map(|nodes| SpecFile {
-            nodes,
-            connections: Vec::new(),
-            applications: Vec::new(),
-            qos_paths: Vec::new(),
-        })
+        (0..n)
+            .map(arb_node)
+            .collect::<Vec<_>>()
+            .prop_map(|nodes| SpecFile {
+                nodes,
+                connections: Vec::new(),
+                applications: Vec::new(),
+                qos_paths: Vec::new(),
+            })
     })
 }
 

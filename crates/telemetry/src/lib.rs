@@ -1,0 +1,234 @@
+//! Self-telemetry for the netqos monitor — the monitor that monitors the
+//! monitor.
+//!
+//! A [`Registry`] holds named [`Counter`]s, [`Gauge`]s, and streaming
+//! [`Histogram`]s. Handles are `Arc`-backed and cheap to clone, so hot
+//! paths fetch their handle once and record lock-free afterwards.
+//! Three read paths come out of one registry:
+//!
+//! 1. [`Registry::render_prometheus`] — text exposition for scraping or
+//!    snapshot files;
+//! 2. [`Registry::snapshot`] — structured digests for the `netqos stats`
+//!    CLI and tests;
+//! 3. the monitor's self-monitoring SNMP sub-agent (see
+//!    `netqos-monitor::selfagent`), which maps a snapshot into an
+//!    enterprise OID subtree.
+//!
+//! Structured events ride alongside metrics through [`EventSink`]
+//! (JSONL with per-target level filtering).
+
+mod events;
+mod metrics;
+
+pub use events::{Event, EventSink, FieldValue, Level};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, HistogramTimer, BUCKETS};
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
+
+/// A named collection of metrics. Lookup takes a lock; recording through
+/// a returned handle does not.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+}
+
+/// Point-in-time digest of a whole registry, sorted by metric name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter name/value pairs.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name/value pairs.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram digests.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Registry::default())
+    }
+
+    /// Returns the counter named `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self.counters.read().get(name) {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the gauge named `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.gauges.read().get(name) {
+            return g.clone();
+        }
+        self.gauges
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the histogram named `name`, creating it on first use.
+    /// Convention: time histograms are nanoseconds and named `*_ns`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if let Some(h) = self.histograms.read().get(name) {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Digest of every registered metric.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.summary()))
+                .collect(),
+        }
+    }
+
+    /// Renders every metric in the Prometheus text exposition format.
+    /// Histograms are exposed summary-style: `{quantile="..."}` series
+    /// plus `_sum`, `_count`, `_min`, and `_max`.
+    pub fn render_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for (name, v) in &snap.counters {
+            let name = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &snap.gauges {
+            let name = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, s) in &snap.histograms {
+            let name = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {name} summary");
+            let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", s.p50);
+            let _ = writeln!(out, "{name}{{quantile=\"0.9\"}} {}", s.p90);
+            let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", s.p99);
+            let _ = writeln!(out, "{name}_sum {}", s.sum);
+            let _ = writeln!(out, "{name}_count {}", s.count);
+            let _ = writeln!(out, "{name}_min {}", s.min);
+            let _ = writeln!(out, "{name}_max {}", s.max);
+        }
+        out
+    }
+}
+
+/// Replaces characters Prometheus forbids in metric names.
+fn sanitize_metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// The process-wide registry. Library crates that have no natural place
+/// to thread a registry through (light counters in sim/spec/topology)
+/// record here; services with deterministic tests carry their own
+/// `Arc<Registry>` instead.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state() {
+        let reg = Registry::new();
+        let a = reg.counter("requests_total");
+        let b = reg.counter("requests_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("requests_total").get(), 3);
+
+        let g = reg.gauge("depth");
+        g.set(5);
+        g.dec();
+        assert_eq!(reg.gauge("depth").get(), 4);
+
+        let h = reg.histogram("rtt_ns");
+        h.record(100);
+        assert_eq!(reg.histogram("rtt_ns").count(), 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let reg = Registry::new();
+        reg.counter("netqos_polls_total").add(7);
+        reg.gauge("netqos_queue_depth").set(3);
+        let h = reg.histogram("netqos_tick_ns");
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE netqos_polls_total counter"));
+        assert!(text.contains("netqos_polls_total 7"));
+        assert!(text.contains("# TYPE netqos_queue_depth gauge"));
+        assert!(text.contains("netqos_queue_depth 3"));
+        assert!(text.contains("# TYPE netqos_tick_ns summary"));
+        assert!(text.contains("netqos_tick_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("netqos_tick_ns_count 5"));
+        assert!(text.contains("netqos_tick_ns_sum 1100"));
+    }
+
+    #[test]
+    fn sanitizes_bad_metric_names() {
+        let reg = Registry::new();
+        reg.counter("poll.rtt-total").inc();
+        assert!(reg.render_prometheus().contains("poll_rtt_total 1"));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let reg = Registry::new();
+        reg.counter("zzz").inc();
+        reg.counter("aaa").inc();
+        let names: Vec<_> = reg
+            .snapshot()
+            .counters
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        assert_eq!(names, vec!["aaa".to_string(), "zzz".to_string()]);
+    }
+}

@@ -1,0 +1,398 @@
+//! Lock-free metric primitives: monotonic counters, signed gauges, and a
+//! fixed-budget streaming histogram with quantile readout.
+//!
+//! The histogram is log-bucketed in the style of HDR histograms: values
+//! 0..8 get exact buckets, and every power-of-two octave above that is
+//! split into 8 sub-buckets, so the bucket width is at most 1/8 of the
+//! bucket's lower bound. Reading a quantile through the bucket midpoint
+//! therefore has a worst-case relative error of 1/16 (6.25%), the memory
+//! footprint is a fixed 496 buckets regardless of how many samples are
+//! recorded, and `record` is a handful of relaxed atomic RMWs — O(1),
+//! wait-free, and safe to call concurrently from any number of threads.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Exact buckets for values below this (also sub-buckets per octave).
+const LINEAR: u64 = 8;
+/// log2(LINEAR): bits of sub-bucket resolution within an octave.
+const SUB_BITS: u32 = 3;
+/// Total bucket count: 8 exact + 61 octaves (2^3..2^63) * 8 sub-buckets.
+pub const BUCKETS: usize = 496;
+
+/// A monotonically increasing event count. Cheap to clone; all clones
+/// share the same cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depth, outbox length, ...).
+/// Cheap to clone; all clones share the same cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    pub fn set(&self, v: i64) {
+        self.cell.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative via `dec`).
+    pub fn add(&self, n: i64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramCore {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Streaming histogram over `u64` samples (by convention nanoseconds for
+/// `*_ns` metrics, raw units otherwise). Cheap to clone; clones share
+/// the same buckets, so worker threads can record into one histogram.
+#[derive(Clone)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Maps a sample to its bucket index.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+        let sub = ((v >> (msb - SUB_BITS)) & (LINEAR - 1)) as usize;
+        ((msb - SUB_BITS) as usize) * LINEAR as usize + LINEAR as usize + sub
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+fn bucket_low(i: usize) -> u64 {
+    if i < LINEAR as usize {
+        i as u64
+    } else {
+        let octave = (i - LINEAR as usize) / LINEAR as usize; // 0-based from 2^3
+        let sub = ((i - LINEAR as usize) % LINEAR as usize) as u64;
+        (LINEAR + sub) << octave
+    }
+}
+
+/// The value reported for samples landing in bucket `i` (its midpoint).
+fn bucket_mid(i: usize) -> u64 {
+    if i < LINEAR as usize {
+        i as u64
+    } else {
+        let low = bucket_low(i);
+        let width = bucket_low(i + 1).saturating_sub(low).max(1);
+        low + width / 2
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            core: Arc::new(HistogramCore {
+                buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one sample. O(1): five relaxed atomic RMWs.
+    pub fn record(&self, v: u64) {
+        let c = &self.core;
+        c.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Starts a timer that records into this histogram when dropped.
+    pub fn start_timer(&self) -> HistogramTimer {
+        HistogramTimer {
+            hist: self.clone(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.core.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.core.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        let v = self.core.min.load(Ordering::Relaxed);
+        if v == u64::MAX {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.core.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The value at quantile `q` in [0, 1] (bucket midpoint; ≤ 6.25%
+    /// relative error). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for i in 0..BUCKETS {
+            cum += self.core.buckets[i].load(Ordering::Relaxed);
+            if cum >= rank {
+                return bucket_mid(i);
+            }
+        }
+        // Concurrent recording can make `count` run ahead of buckets
+        // momentarily; fall back to the observed max.
+        self.max()
+    }
+
+    /// Folds another histogram's samples into this one. Merging is
+    /// associative and commutative, so per-thread histograms can be
+    /// combined in any order.
+    pub fn merge_from(&self, other: &Histogram) {
+        for i in 0..BUCKETS {
+            let n = other.core.buckets[i].load(Ordering::Relaxed);
+            if n != 0 {
+                self.core.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.core.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.core.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        let omin = other.core.min.load(Ordering::Relaxed);
+        self.core.min.fetch_min(omin, Ordering::Relaxed);
+        self.core.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// An immutable summary of the current state.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Records elapsed wall-clock time into a histogram on drop.
+pub struct HistogramTimer {
+    hist: Histogram,
+    start: Instant,
+}
+
+impl HistogramTimer {
+    /// Stops the timer now, recording and returning the elapsed time.
+    pub fn stop(self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.hist.record_duration(elapsed);
+        std::mem::forget(self);
+        elapsed
+    }
+}
+
+impl Drop for HistogramTimer {
+    fn drop(&mut self) {
+        self.hist.record_duration(self.start.elapsed());
+    }
+}
+
+/// Point-in-time digest of a histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean (0.0 when empty).
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotonic_and_dense() {
+        let mut last = 0usize;
+        for shift in 0..60 {
+            for v in [1u64 << shift, (1u64 << shift) + 1, (1u64 << shift) * 3 / 2] {
+                let i = bucket_index(v);
+                assert!(i >= last || v < LINEAR, "index regressed at {v}");
+                assert!(i < BUCKETS, "index {i} out of range for {v}");
+                last = i.max(last);
+                // The bucket must actually contain the value.
+                assert!(bucket_low(i) <= v);
+                if i + 1 < BUCKETS {
+                    assert!(v < bucket_low(i + 1), "v={v} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..8u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 7);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 7);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 28);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900)] {
+            let got = h.quantile(q);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(err <= 0.0625 + 1e-9, "q={q}: got {got}, exact {exact}");
+        }
+    }
+
+    #[test]
+    fn merge_matches_single_histogram() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let whole = Histogram::new();
+        for v in 0..1000u64 {
+            if v % 2 == 0 {
+                a.record(v * 17)
+            } else {
+                b.record(v * 17)
+            }
+            whole.record(v * 17);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+
+    #[test]
+    fn timer_records_on_drop_and_stop() {
+        let h = Histogram::new();
+        {
+            let _t = h.start_timer();
+        }
+        assert_eq!(h.count(), 1);
+        let t = h.start_timer();
+        let d = t.stop();
+        assert_eq!(h.count(), 2);
+        assert!(d.as_nanos() > 0 || d.is_zero());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the streaming histogram: quantile accuracy against
+//! an exact sorted reference, merge associativity, and concurrent
+//! recording.
+
+use netqos_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// Exact quantile of a sorted sample set using the same nearest-rank
+/// definition the histogram implements: value at rank ceil(q * n).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// The histogram guarantees ≤ 1/16 relative error (bucket midpoint of
+/// 1/8-wide log buckets), with exact results below 8.
+fn assert_close(got: u64, exact: u64, q: f64) {
+    if exact < 8 {
+        assert_eq!(got, exact, "q={q}: sub-linear values must be exact");
+        return;
+    }
+    let err = (got as f64 - exact as f64).abs() / exact as f64;
+    assert!(
+        err <= 0.0625 + 1e-9,
+        "q={q}: histogram said {got}, exact {exact}, rel err {err:.4}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_track_exact_reference(
+        samples in prop::collection::vec(0u64..2_000_000_000, 1..4000),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        for q in [0.5, 0.9, 0.99] {
+            assert_close(h.quantile(q), exact_quantile(&sorted, q), q);
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        xs in prop::collection::vec(0u64..1_000_000, 0..300),
+        ys in prop::collection::vec(0u64..1_000_000, 0..300),
+        zs in prop::collection::vec(0u64..1_000_000, 0..300),
+    ) {
+        let fill = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+
+        // (x ⊕ y) ⊕ z
+        let left = fill(&xs);
+        left.merge_from(&fill(&ys));
+        left.merge_from(&fill(&zs));
+
+        // x ⊕ (z ⊕ y) — different association AND order.
+        let right_inner = fill(&zs);
+        right_inner.merge_from(&fill(&ys));
+        let right = fill(&xs);
+        right.merge_from(&right_inner);
+
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.sum(), right.sum());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(left.quantile(q), right.quantile(q), "q={}", q);
+        }
+
+        // And both match recording everything into one histogram.
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        all.extend_from_slice(&zs);
+        let whole = fill(&all);
+        prop_assert_eq!(left.count(), whole.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(left.quantile(q), whole.quantile(q), "q={}", q);
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing(
+        per_thread in prop::collection::vec(0u64..100_000_000, 50..200),
+        threads in 4usize..8,
+    ) {
+        let shared = Histogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let h = shared.clone();
+                let vals = per_thread.clone();
+                scope.spawn(move || {
+                    for v in vals {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+
+        // Every thread recorded the same multiset, so the totals are
+        // exact multiples and the quantiles match a single-threaded fill.
+        let n = per_thread.len() as u64;
+        prop_assert_eq!(shared.count(), n * threads as u64);
+        prop_assert_eq!(shared.sum(), per_thread.iter().sum::<u64>() * threads as u64);
+
+        let reference = Histogram::new();
+        for &v in &per_thread {
+            reference.record(v);
+        }
+        prop_assert_eq!(shared.min(), reference.min());
+        prop_assert_eq!(shared.max(), reference.max());
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(shared.quantile(q), reference.quantile(q), "q={}", q);
+        }
+    }
+}

@@ -371,7 +371,14 @@ mod tests {
     fn switch_connection_counts_only_own_traffic() {
         let (t, a, _, b) = switch_net();
         let mut rates = MapRates::new();
-        rates.set(b, IfIx(0), IfRates { in_bps: 8_000_000, out_bps: 0 });
+        rates.set(
+            b,
+            IfIx(0),
+            IfRates {
+                in_bps: 8_000_000,
+                out_bps: 0,
+            },
+        );
         rates.set(a, IfIx(0), IfRates::default());
         let path = find_path(&t, a, b).unwrap();
         let bw = path_bandwidth(&t, &path, &rates).unwrap();
@@ -390,8 +397,22 @@ mod tests {
         let mut rates = MapRates::new();
         // N2 receives 2 Mb/s, N3 receives 1 Mb/s; N1 idle.
         rates.set(hosts[0], IfIx(0), IfRates::default());
-        rates.set(hosts[1], IfIx(0), IfRates { in_bps: 2_000_000, out_bps: 0 });
-        rates.set(hosts[2], IfIx(0), IfRates { in_bps: 1_000_000, out_bps: 0 });
+        rates.set(
+            hosts[1],
+            IfIx(0),
+            IfRates {
+                in_bps: 2_000_000,
+                out_bps: 0,
+            },
+        );
+        rates.set(
+            hosts[2],
+            IfIx(0),
+            IfRates {
+                in_bps: 1_000_000,
+                out_bps: 0,
+            },
+        );
         let path = find_path(&t, hosts[0], hosts[1]).unwrap();
         let bw = path_bandwidth(&t, &path, &rates).unwrap();
         // Every hub connection carries the *sum*: 3 Mb/s.
@@ -408,7 +429,14 @@ mod tests {
         let (t, hosts, _) = hub_net();
         let mut rates = MapRates::new();
         for &h in &hosts {
-            rates.set(h, IfIx(0), IfRates { in_bps: 6_000_000, out_bps: 0 });
+            rates.set(
+                h,
+                IfIx(0),
+                IfRates {
+                    in_bps: 6_000_000,
+                    out_bps: 0,
+                },
+            );
         }
         let path = find_path(&t, hosts[0], hosts[1]).unwrap();
         let bw = path_bandwidth(&t, &path, &rates).unwrap();
@@ -443,8 +471,22 @@ mod tests {
         let mut rates = MapRates::new();
         // 4 Mb/s flowing somewhere -> N1 via the uplink.
         rates.set(s1, IfIx(0), IfRates::default());
-        rates.set(sw, p8, IfRates { in_bps: 0, out_bps: 4_000_000 });
-        rates.set(n1, IfIx(0), IfRates { in_bps: 4_000_000, out_bps: 0 });
+        rates.set(
+            sw,
+            p8,
+            IfRates {
+                in_bps: 0,
+                out_bps: 4_000_000,
+            },
+        );
+        rates.set(
+            n1,
+            IfIx(0),
+            IfRates {
+                in_bps: 4_000_000,
+                out_bps: 0,
+            },
+        );
         rates.set(n2, IfIx(0), IfRates::default());
 
         let path = find_path(&t, s1, n1).unwrap();
@@ -468,7 +510,14 @@ mod tests {
         // N1, N2 have agents; N3 does not, but the hub port h2 is polled.
         rates.set(hosts[0], IfIx(0), IfRates::default());
         rates.set(hosts[1], IfIx(0), IfRates::default());
-        rates.set(hub, IfIx(2), IfRates { in_bps: 0, out_bps: 5_000_000 });
+        rates.set(
+            hub,
+            IfIx(2),
+            IfRates {
+                in_bps: 0,
+                out_bps: 5_000_000,
+            },
+        );
         let path = find_path(&t, hosts[0], hosts[1]).unwrap();
         let bw = path_bandwidth(&t, &path, &rates).unwrap();
         // 5 Mb/s leaving hub port h2 equals N3 receiving 5 Mb/s.
@@ -491,8 +540,22 @@ mod tests {
         // the interfaces on the switch".
         let (t, a, sw, b) = switch_net();
         let mut rates = MapRates::new();
-        rates.set(sw, IfIx(0), IfRates { in_bps: 3_000_000, out_bps: 0 }); // port to A
-        rates.set(sw, IfIx(1), IfRates { in_bps: 0, out_bps: 3_000_000 }); // port to B
+        rates.set(
+            sw,
+            IfIx(0),
+            IfRates {
+                in_bps: 3_000_000,
+                out_bps: 0,
+            },
+        ); // port to A
+        rates.set(
+            sw,
+            IfIx(1),
+            IfRates {
+                in_bps: 0,
+                out_bps: 3_000_000,
+            },
+        ); // port to B
         let path = find_path(&t, a, b).unwrap();
         let bw = path_bandwidth(&t, &path, &rates).unwrap();
         assert_eq!(bw.used_bps, 3_000_000);
@@ -520,8 +583,22 @@ mod tests {
         assert_eq!(hub_domain(&t, h1), vec![h1, h2]);
 
         let mut rates = MapRates::new();
-        rates.set(a, IfIx(0), IfRates { in_bps: 0, out_bps: 2_000_000 });
-        rates.set(b, IfIx(0), IfRates { in_bps: 2_000_000, out_bps: 0 });
+        rates.set(
+            a,
+            IfIx(0),
+            IfRates {
+                in_bps: 0,
+                out_bps: 2_000_000,
+            },
+        );
+        rates.set(
+            b,
+            IfIx(0),
+            IfRates {
+                in_bps: 2_000_000,
+                out_bps: 0,
+            },
+        );
         let path = find_path(&t, a, b).unwrap();
         let bw = path_bandwidth(&t, &path, &rates).unwrap();
         // A->B crosses both hubs; counted at A (tx) and B (rx) = 4 Mb/s,
@@ -552,8 +629,17 @@ mod tests {
 
     #[test]
     fn mirrored_rates_swap_directions() {
-        let r = IfRates { in_bps: 1, out_bps: 2 };
-        assert_eq!(r.mirrored(), IfRates { in_bps: 2, out_bps: 1 });
+        let r = IfRates {
+            in_bps: 1,
+            out_bps: 2,
+        };
+        assert_eq!(
+            r.mirrored(),
+            IfRates {
+                in_bps: 2,
+                out_bps: 1
+            }
+        );
         assert_eq!(r.total_bps(), r.mirrored().total_bps());
     }
 }

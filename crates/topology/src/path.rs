@@ -69,6 +69,9 @@ pub fn find_path(
     from: NodeId,
     to: NodeId,
 ) -> Result<CommPath, TopologyError> {
+    netqos_telemetry::global()
+        .counter("netqos_topology_path_queries_total")
+        .inc();
     let mut paths = enumerate_paths(topo, from, to, 1)?;
     match paths.pop() {
         Some(p) => Ok(p),

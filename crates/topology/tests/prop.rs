@@ -26,9 +26,7 @@ fn arb_topology(max_nodes: usize, max_conns: usize) -> impl Strategy<Value = Net
             for (i, (kind, n_if)) in nodes.into_iter().enumerate() {
                 let id = t.add_node(&format!("n{i}"), kind).unwrap();
                 for j in 0..n_if {
-                    let ifix = t
-                        .add_interface(id, &format!("if{j}"), 10_000_000)
-                        .unwrap();
+                    let ifix = t.add_interface(id, &format!("if{j}"), 10_000_000).unwrap();
                     ifaces.push((id, ifix));
                 }
             }

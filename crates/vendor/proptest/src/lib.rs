@@ -1,0 +1,231 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the strategy combinators and macros this workspace's property
+//! tests use: integer/float range strategies, `any::<T>()`, `Just`,
+//! tuples, `Vec<Strategy>`, `prop::collection::vec`, `prop::sample::select`,
+//! `prop::option::of`, regex-subset string strategies, `prop_map`,
+//! `prop_flat_map`, `prop_oneof!`, and the `proptest! { ... }` test macro
+//! with `#![proptest_config(...)]`.
+//!
+//! Differences from upstream: inputs are generated from a seed derived
+//! deterministically from the test name (reproducible runs, no
+//! `PROPTEST_CASES` env handling), and failing cases are **not shrunk** —
+//! the failing input is printed as-is by the panic message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+pub mod strategy;
+pub use strategy::{Just, Strategy};
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+pub mod test_runner {
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; that is also fast enough here.
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+
+/// The deterministic generator threaded through strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Seeds from a test-identifying string (typically the test name), so
+    /// every run of the same test explores the same inputs.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw from an integer/float range.
+    pub fn range<T, S: rand::SampleRange<T>>(&mut self, r: S) -> T {
+        self.inner.gen_range(r)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen()
+    }
+
+    /// Uniform index below `n` (n > 0).
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// The `prop::` namespace of strategy factories.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// A vector whose length is drawn from `size` and whose elements
+        /// come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+    }
+
+    /// Sampling from explicit value lists.
+    pub mod sample {
+        use crate::strategy::Select;
+
+        /// Uniformly selects one of the given values.
+        pub fn select<T: Clone + std::fmt::Debug>(values: Vec<T>) -> Select<T> {
+            assert!(!values.is_empty(), "select requires at least one value");
+            Select { values }
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::strategy::{OptionStrategy, Strategy};
+
+        /// `None` a quarter of the time, `Some(inner)` otherwise
+        /// (matching upstream's default Some-bias).
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
+
+    /// Numeric strategy namespace (ranges implement `Strategy` directly).
+    pub mod num {}
+}
+
+/// `any::<T>()` — the full domain of `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Strategy type produced by [`Arbitrary::arbitrary`].
+    type Strategy: Strategy<Value = Self>;
+    /// The full-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = strategy::FullInt<$t>;
+            fn arbitrary() -> Self::Strategy {
+                strategy::FullInt(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Strategy = strategy::FullBool;
+    fn arbitrary() -> Self::Strategy {
+        strategy::FullBool
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    type Strategy = strategy::FullByteArray<N>;
+    fn arbitrary() -> Self::Strategy {
+        strategy::FullByteArray
+    }
+}
+
+/// Everything a property-test module typically imports.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{Arbitrary, ProptestConfig, TestRng};
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniformly picks one of several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@inner $cfg; $($rest)*);
+    };
+    (@inner $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+                for __case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                    { $body }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@inner $crate::ProptestConfig::default(); $($rest)*);
+    };
+}

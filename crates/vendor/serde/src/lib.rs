@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derive macros from the sibling `serde_derive`
+//! shim. The workspace only *derives* the traits (the derives are kept so
+//! type definitions stay source-compatible with real serde); nothing
+//! consumes them, so no serializer machinery is provided.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker module mirroring serde's layout for the rare `serde::ser::...`
+/// path mention.
+pub mod ser {}
+
+/// Marker module mirroring serde's layout.
+pub mod de {}

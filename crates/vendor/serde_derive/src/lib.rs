@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never drives an actual serializer (the one "round-trip" test formats
+//! through `Debug`). This proc-macro therefore only has to *accept* the
+//! derive syntax — including inert `#[serde(...)]` field attributes — and
+//! may expand to nothing. If a future PR adds a real serializer, replace
+//! this crate with a genuine implementation or a vendored serde.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

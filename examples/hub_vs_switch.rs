@@ -91,7 +91,9 @@ fn main() {
     let hub = measure("hub");
     let switch = measure("switch");
     println!("A<->Y used bandwidth, sinks behind a hub:    {hub:>7.1} KB/s  (hub-sum: both flows)");
-    println!("A<->Y used bandwidth, sinks behind a switch: {switch:>7.1} KB/s  (isolated: flow 1 only)");
+    println!(
+        "A<->Y used bandwidth, sinks behind a switch: {switch:>7.1} KB/s  (isolated: flow 1 only)"
+    );
     println!();
     println!(
         "ratio hub/switch = {:.2} — the split the paper's §3.3 algorithms encode",

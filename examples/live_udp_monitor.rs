@@ -27,7 +27,8 @@ fn main() {
     // A real UDP sink; every byte it receives is mirrored into agent A's
     // ifInOctets, so the SNMP view tracks genuine socket traffic.
     let sink = UdpSocket::bind("127.0.0.1:0").expect("bind sink");
-    sink.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+    sink.set_read_timeout(Some(Duration::from_millis(50)))
+        .unwrap();
     let sink_addr = sink.local_addr().unwrap();
     let received = Arc::new(AtomicU64::new(0));
 
@@ -48,11 +49,15 @@ fn main() {
         }
     };
 
-    let agent_a = UdpAgentServer::spawn("127.0.0.1:0", "public", make_mib("host-a"))
-        .expect("agent A");
-    let agent_b = UdpAgentServer::spawn("127.0.0.1:0", "public", make_mib("host-b"))
-        .expect("agent B");
-    println!("agent A on {}, agent B on {}", agent_a.local_addr(), agent_b.local_addr());
+    let agent_a =
+        UdpAgentServer::spawn("127.0.0.1:0", "public", make_mib("host-a")).expect("agent A");
+    let agent_b =
+        UdpAgentServer::spawn("127.0.0.1:0", "public", make_mib("host-b")).expect("agent B");
+    println!(
+        "agent A on {}, agent B on {}",
+        agent_a.local_addr(),
+        agent_b.local_addr()
+    );
 
     // Topology: A <-> B over one 100 Mb/s connection.
     let mut topo = NetworkTopology::new();
@@ -80,15 +85,25 @@ fn main() {
     };
 
     // 500 KB/s of real UDP load for 4 seconds.
-    let generator = UdpLoadGenerator::new(sink_addr, LoadProfile::pulse(0, 4, 500_000))
-        .expect("generator");
+    let generator =
+        UdpLoadGenerator::new(sink_addr, LoadProfile::pulse(0, 4, 500_000)).expect("generator");
     let load = std::thread::spawn(move || generator.run_blocking(Duration::from_secs(5)));
 
     // Poll both agents every 500 ms and print the measured rate.
     let poller = DistributedPoller::spawn(
         vec![
-            AgentTarget { node: a, addr: agent_a.local_addr(), community: "public".into(), if_count: 1 },
-            AgentTarget { node: b, addr: agent_b.local_addr(), community: "public".into(), if_count: 1 },
+            AgentTarget {
+                node: a,
+                addr: agent_a.local_addr(),
+                community: "public".into(),
+                if_count: 1,
+            },
+            AgentTarget {
+                node: b,
+                addr: agent_b.local_addr(),
+                community: "public".into(),
+                if_count: 1,
+            },
         ],
         Duration::from_millis(500),
     );
@@ -107,7 +122,12 @@ fn main() {
             .path_bandwidth(a, b)
             .map(|bw| bw.used_bps as f64 / 8000.0)
             .unwrap_or(0.0);
-        println!("{:>4.1}   {:>16.1}   {:>22.1}", t0.elapsed().as_secs_f64(), in_kbps, path_kbps);
+        println!(
+            "{:>4.1}   {:>16.1}   {:>22.1}",
+            t0.elapsed().as_secs_f64(),
+            in_kbps,
+            path_kbps
+        );
     }
 
     let report = load.join().unwrap().expect("generator finished");

@@ -32,24 +32,23 @@ fn main() {
     let model = netqos::spec::parse_and_validate(SPEC).expect("spec parses");
     // Sustained trunk congestion: sensor2 streams 11 MB/s to display
     // during t = 3..8 s, pushing the 100 Mb/s trunk near saturation.
-    let mut service = MonitoringService::from_model_with(
-        model,
-        options,
-        config,
-        |builder, map, m| {
+    let mut service =
+        MonitoringService::from_model_with(model, options, config, |builder, map, m| {
             let sensor2 = m.topology.node_by_name("sensor2").unwrap();
             let display = m.topology.node_by_name("display").unwrap();
             let ip = m.addresses[&display].parse().unwrap();
             builder
                 .install_app(
                     map[&sensor2],
-                    Box::new(ProfiledSource::new(ip, LoadProfile::pulse(3, 8, 11_000_000))),
+                    Box::new(ProfiledSource::new(
+                        ip,
+                        LoadProfile::pulse(3, 8, 11_000_000),
+                    )),
                     None,
                 )
                 .unwrap();
-        },
-    )
-    .expect("service builds");
+        })
+        .expect("service builds");
 
     println!("tick  events");
     for tick in 0..10 {

@@ -38,7 +38,10 @@ fn main() {
         builder
             .install_app(
                 map[&alpha],
-                Box::new(ProfiledSource::new(beta_ip, LoadProfile::constant(2_000_000))),
+                Box::new(ProfiledSource::new(
+                    beta_ip,
+                    LoadProfile::constant(2_000_000),
+                )),
                 None,
             )
             .unwrap();

@@ -1,0 +1,77 @@
+//! The monitor monitoring itself: run the service for a few ticks, then
+//! walk its own telemetry back out through the self-monitoring SNMP
+//! sub-agent — the same GetNext machinery the monitor uses on everyone
+//! else, pointed at the monitor.
+//!
+//! ```bash
+//! cargo run --example self_telemetry
+//! ```
+
+use netqos::monitor::selfagent::{telemetry_base, SelfAgent};
+use netqos::monitor::service::{MonitoringService, ServiceConfig};
+use netqos::monitor::simnet::SimNetworkOptions;
+use netqos::snmp::message::{MessageBody, SnmpMessage, SnmpVersion};
+use netqos::snmp::oid::Oid;
+use netqos::snmp::pdu::{ErrorStatus, Pdu, PduType, VarBind};
+use netqos::snmp::value::SnmpValue;
+
+const SPEC: &str = include_str!("../specs/lirtss.spec");
+
+fn get_next(agent: &mut SelfAgent, oid: Oid) -> Option<(Oid, SnmpValue)> {
+    let request = SnmpMessage {
+        version: SnmpVersion::V1,
+        community: b"public".to_vec(),
+        body: MessageBody::Pdu(Pdu {
+            pdu_type: PduType::GetNextRequest,
+            request_id: 1,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            bindings: vec![VarBind {
+                oid,
+                value: SnmpValue::Null,
+            }],
+        }),
+    }
+    .encode()
+    .unwrap();
+    let response = agent.handle(&request)?;
+    match SnmpMessage::decode(&response).unwrap().body {
+        MessageBody::Pdu(pdu) if pdu.error_status == ErrorStatus::NoError => {
+            pdu.bindings.into_iter().next().map(|vb| (vb.oid, vb.value))
+        }
+        _ => None,
+    }
+}
+
+fn main() {
+    let options = SimNetworkOptions {
+        monitor_host: "L".to_owned(),
+        ..SimNetworkOptions::default()
+    };
+    let mut service =
+        MonitoringService::from_spec(SPEC, options, ServiceConfig::default()).expect("spec valid");
+    for _ in 0..5 {
+        service.tick().expect("tick");
+    }
+
+    // An snmpwalk of the monitor's private-enterprise telemetry subtree.
+    let mut agent = SelfAgent::new(service.registry().clone(), "public");
+    let base = telemetry_base();
+    println!("walking {base} (the monitor's own telemetry):");
+    let mut cur = base.clone();
+    let mut instances = 0;
+    while let Some((oid, value)) = get_next(&mut agent, cur.clone()) {
+        if !oid.starts_with(&base) {
+            break;
+        }
+        match &value {
+            SnmpValue::OctetString(b) => {
+                println!("  {oid} = \"{}\"", String::from_utf8_lossy(b))
+            }
+            other => println!("  {oid} = {other:?}"),
+        }
+        cur = oid;
+        instances += 1;
+    }
+    println!("{instances} instances served by the self-agent");
+}

@@ -6,6 +6,8 @@
 //! netqos paths   <spec>                      show qospath traversals
 //! netqos monitor <spec> [--duration N]       run the monitor in the simulator
 //!                       [--load FROM:TO:KBPS[:START:END]]...
+//!                       [--telemetry PATH]   write PATH.prom + PATH.jsonl
+//! netqos stats   <spec> [--duration N]       run quietly, print Prometheus metrics
 //! netqos audit   <spec>                      verify spec against forwarding evidence
 //! ```
 //!
@@ -13,11 +15,14 @@
 
 use netqos::loadgen::{LoadProfile, ProfiledSource};
 use netqos::monitor::discovery::{self, Verdict};
+use netqos::monitor::service::{MonitoringService, ServiceConfig};
 use netqos::monitor::simnet::{SimNetwork, SimNetworkOptions};
 use netqos::monitor::NetworkMonitor;
 use netqos::sim::time::SimDuration;
 use netqos::spec;
+use netqos_telemetry::{EventSink, Level};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,6 +35,7 @@ fn main() -> ExitCode {
         "fmt" => cmd_fmt(&args[1..]),
         "paths" => cmd_paths(&args[1..]),
         "monitor" => cmd_monitor(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -51,6 +57,9 @@ const USAGE: &str = "usage:
   netqos fmt     <spec>                      canonical pretty-print to stdout
   netqos paths   <spec>                      show qospath traversals
   netqos monitor <spec> [--duration N] [--load FROM:TO:KBPS[:START:END]]...
+                        [--telemetry PATH]   also write PATH.prom + PATH.jsonl
+  netqos stats   <spec> [--duration N]       run the monitor quietly, print
+                                             its own telemetry (Prometheus text)
   netqos audit   <spec>                      verify spec against forwarding evidence";
 
 fn read_spec(args: &[String]) -> Result<(String, String), String> {
@@ -142,45 +151,65 @@ fn parse_load(s: &str) -> Result<(String, String, LoadProfile), String> {
     }
 }
 
-fn cmd_monitor(args: &[String]) -> Result<(), String> {
-    let (_, text) = read_spec(args)?;
-    let model = spec::parse_and_validate(&text).map_err(|e| e.to_string())?;
-    let topology = model.topology.clone();
-    let qos_paths = model.qos_paths.clone();
-    if qos_paths.is_empty() {
-        return Err("the spec declares no qospath to monitor".into());
-    }
+/// Options shared by `monitor` and `stats`.
+struct MonitorOptions {
+    duration: u64,
+    loads: Vec<(String, String, LoadProfile)>,
+    telemetry: Option<String>,
+}
 
-    let mut duration = 30u64;
-    let mut loads: Vec<(String, String, LoadProfile)> = Vec::new();
+fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
+    let mut opts = MonitorOptions {
+        duration: 30,
+        loads: Vec::new(),
+        telemetry: None,
+    };
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--duration" => {
                 i += 1;
-                duration = args
+                opts.duration = args
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .ok_or("--duration needs a number of seconds")?;
             }
             "--load" => {
                 i += 1;
-                loads.push(parse_load(
+                opts.loads.push(parse_load(
                     args.get(i).ok_or("--load needs FROM:TO:KBPS[:START:END]")?,
                 )?);
+            }
+            "--telemetry" => {
+                i += 1;
+                opts.telemetry = Some(
+                    args.get(i)
+                        .ok_or("--telemetry needs an output path prefix")?
+                        .clone(),
+                );
             }
             other => return Err(format!("unknown option `{other}`\n{USAGE}")),
         }
         i += 1;
     }
+    Ok(opts)
+}
 
-    // Monitor host: first SNMP-capable host in the file.
+/// Builds the assembled monitoring service for `monitor`/`stats`: the
+/// spec's first SNMP-capable host runs the monitor, `--load` sources are
+/// installed as simulated apps, and `--telemetry` routes the service's
+/// structured events to `PATH.jsonl`.
+fn build_service(
+    model: spec::SpecModel,
+    opts: &MonitorOptions,
+) -> Result<MonitoringService, String> {
+    let topology = model.topology.clone();
     let monitor_host = model
         .snmp_nodes()
         .into_iter()
         .find(|&n| topology.node(n).map(|x| x.kind.is_host()).unwrap_or(false))
         .ok_or("no SNMP-capable host to run the monitor on")?;
-    let options = SimNetworkOptions {
+    let net_options = SimNetworkOptions {
         monitor_host: topology
             .node(monitor_host)
             .map_err(|e| e.to_string())?
@@ -188,25 +217,81 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
             .clone(),
         ..SimNetworkOptions::default()
     };
-
-    let mut net = SimNetwork::from_model_with(model, options, |builder, map, m| {
-        for (from, to, profile) in &loads {
-            let (Ok(f), Ok(t)) = (m.topology.node_by_name(from), m.topology.node_by_name(to))
-            else {
-                continue;
-            };
-            if let Some(ip) = m.addresses.get(&t).and_then(|a| a.parse().ok()) {
-                let _ = builder.install_app(
-                    map[&f],
-                    Box::new(ProfiledSource::new(ip, profile.clone())),
-                    None,
-                );
+    let loads = opts.loads.clone();
+    let mut service = MonitoringService::from_model_with(
+        model,
+        net_options,
+        ServiceConfig::default(),
+        |builder, map, m| {
+            for (from, to, profile) in &loads {
+                let (Ok(f), Ok(t)) = (m.topology.node_by_name(from), m.topology.node_by_name(to))
+                else {
+                    continue;
+                };
+                if let Some(ip) = m.addresses.get(&t).and_then(|a| a.parse().ok()) {
+                    let _ = builder.install_app(
+                        map[&f],
+                        Box::new(ProfiledSource::new(ip, profile.clone())),
+                        None,
+                    );
+                }
             }
-        }
-    })
+        },
+    )
     .map_err(|e| e.to_string())?;
+    if let Some(prefix) = &opts.telemetry {
+        let sink = EventSink::to_file(format!("{prefix}.jsonl"))
+            .map_err(|e| format!("cannot open {prefix}.jsonl: {e}"))?;
+        // The trail should include the per-tick Debug events, not just
+        // violations; operators narrow it with per-target levels instead.
+        sink.set_default_level(Level::Debug);
+        service.set_event_sink(Arc::new(sink));
+    }
+    Ok(service)
+}
 
-    let mut monitor = NetworkMonitor::new(topology.clone());
+/// Echo-probes every qospath destination and prints RTT p50/p99 (derived
+/// from the `netqos_monitor_path_rtt_us` histogram) as `#`-prefixed
+/// summary lines after the CSV body.
+fn print_latency_summary(
+    service: &mut MonitoringService,
+    qos_paths: &[spec::QosPathSpec],
+) -> Result<(), String> {
+    for q in qos_paths {
+        let _ = service
+            .net_mut()
+            .measure_rtt(q.to, 8, 64, SimDuration::from_millis(250));
+    }
+    let rtt = service.telemetry().path_rtt_us.clone();
+    if rtt.count() > 0 {
+        println!(
+            "# path_rtt: p50 {:.3} ms, p99 {:.3} ms over {} probes ({} lost)",
+            rtt.quantile(0.5) as f64 / 1000.0,
+            rtt.quantile(0.99) as f64 / 1000.0,
+            rtt.count(),
+            service.telemetry().probes_lost.get(),
+        );
+    }
+    Ok(())
+}
+
+fn write_telemetry_files(service: &MonitoringService, prefix: &str) -> Result<(), String> {
+    let prom_path = format!("{prefix}.prom");
+    std::fs::write(&prom_path, service.registry().render_prometheus())
+        .map_err(|e| format!("cannot write {prom_path}: {e}"))?;
+    service.event_sink().flush();
+    Ok(())
+}
+
+fn cmd_monitor(args: &[String]) -> Result<(), String> {
+    let (_, text) = read_spec(args)?;
+    let model = spec::parse_and_validate(&text).map_err(|e| e.to_string())?;
+    let qos_paths = model.qos_paths.clone();
+    if qos_paths.is_empty() {
+        return Err("the spec declares no qospath to monitor".into());
+    }
+    let opts = parse_monitor_options(args)?;
+    let mut service = build_service(model, &opts)?;
 
     // Header.
     print!("t_s");
@@ -215,13 +300,18 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
     }
     println!();
 
-    for _ in 0..duration {
-        let next = net.lan.now() + SimDuration::from_secs(1);
-        net.run_until(next);
-        let _ = net.poll_round(&mut monitor);
-        print!("{:.0}", net.lan.now().as_secs_f64());
+    let start = service.net_mut().lan.now();
+    for _ in 0..opts.duration {
+        service.tick().map_err(|e| e.to_string())?;
+        let t_s = service
+            .net_mut()
+            .lan
+            .now()
+            .duration_since(start)
+            .as_secs_f64();
+        print!("{t_s:.0}");
         for q in &qos_paths {
-            match monitor.path_bandwidth(q.from, q.to) {
+            match service.monitor().path_bandwidth(q.from, q.to) {
                 Ok(bw) => print!(
                     ",{:.1},{:.1}",
                     bw.used_bps as f64 / 8000.0,
@@ -231,6 +321,39 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
             }
         }
         println!();
+    }
+
+    print_latency_summary(&mut service, &qos_paths)?;
+    if let Some(prefix) = &opts.telemetry {
+        write_telemetry_files(&service, prefix)?;
+        eprintln!("telemetry written to {prefix}.prom and {prefix}.jsonl");
+    }
+    Ok(())
+}
+
+/// Runs the monitor for `--duration` simulated seconds without the CSV
+/// body and prints the telemetry registry in Prometheus text format —
+/// the monitor monitoring itself, on demand.
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (_, text) = read_spec(args)?;
+    let model = spec::parse_and_validate(&text).map_err(|e| e.to_string())?;
+    if model.qos_paths.is_empty() {
+        return Err("the spec declares no qospath to monitor".into());
+    }
+    let qos_paths = model.qos_paths.clone();
+    let opts = parse_monitor_options(args)?;
+    let mut service = build_service(model, &opts)?;
+    for _ in 0..opts.duration {
+        service.tick().map_err(|e| e.to_string())?;
+    }
+    for q in &qos_paths {
+        let _ = service
+            .net_mut()
+            .measure_rtt(q.to, 8, 64, SimDuration::from_millis(250));
+    }
+    print!("{}", service.registry().render_prometheus());
+    if let Some(prefix) = &opts.telemetry {
+        write_telemetry_files(&service, prefix)?;
     }
     Ok(())
 }
@@ -279,7 +402,9 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
         println!("{:<40} {verdict}", f.description);
     }
     if mismatches > 0 {
-        Err(format!("{mismatches} connection(s) contradict the specification"))
+        Err(format!(
+            "{mismatches} connection(s) contradict the specification"
+        ))
     } else {
         Ok(())
     }

@@ -10,6 +10,7 @@
 //! * [`loadgen`] — UDP network load generator
 //! * [`monitor`] — the network QoS monitor (the paper's contribution)
 //! * [`rm`] — DeSiDeRaTa-style resource-manager substrate
+//! * [`telemetry`] — self-observability: metrics registry and event sink
 
 pub use netqos_loadgen as loadgen;
 pub use netqos_monitor as monitor;
@@ -17,4 +18,5 @@ pub use netqos_rm as rm;
 pub use netqos_sim as sim;
 pub use netqos_snmp as snmp;
 pub use netqos_spec as spec;
+pub use netqos_telemetry as telemetry;
 pub use netqos_topology as topology;

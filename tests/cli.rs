@@ -42,7 +42,10 @@ fn check_rejects_broken_spec_with_position() {
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("no speed"), "{stderr}");
-    assert!(stderr.contains("2:"), "should carry the line number: {stderr}");
+    assert!(
+        stderr.contains("2:"),
+        "should carry the line number: {stderr}"
+    );
 }
 
 #[test]
@@ -82,10 +85,16 @@ fn monitor_emits_csv_with_load() {
     let lines: Vec<&str> = stdout.lines().collect();
     assert!(lines[0].starts_with("t_s,"), "{}", lines[0]);
     assert!(lines[0].contains("s1n1_used_kBps"));
-    // 6 data rows follow the header.
-    assert_eq!(lines.len(), 7, "{stdout}");
+    // 6 data rows follow the header, then the latency summary line.
+    assert_eq!(lines.len(), 8, "{stdout}");
+    assert!(
+        lines[7].starts_with("# path_rtt: p50 "),
+        "expected latency p50/p99 summary: {}",
+        lines[7]
+    );
+    assert!(lines[7].contains("p99 "), "{}", lines[7]);
     // At least one loaded sample near 200 KB/s on s1n1 (first column pair).
-    let loaded = lines[1..].iter().any(|l| {
+    let loaded = lines[1..7].iter().any(|l| {
         l.split(',')
             .nth(1)
             .and_then(|v| v.parse::<f64>().ok())
@@ -115,4 +124,57 @@ fn usage_on_bad_invocations() {
     let out = run(&["--help"]);
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("usage"));
+}
+
+#[test]
+fn stats_prints_prometheus_snapshot() {
+    let out = run(&["stats", "specs/lirtss.spec", "--duration", "3"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("# TYPE netqos_monitor_ticks_total counter"));
+    assert!(stdout.contains("netqos_monitor_ticks_total 3"), "{stdout}");
+    // Poll RTT and tick-duration histograms must have samples.
+    for count_line in [
+        "netqos_monitor_poll_rtt_us_count",
+        "netqos_monitor_tick_duration_ns_count",
+    ] {
+        let nonzero = stdout.lines().any(|l| {
+            l.starts_with(count_line)
+                && l.split_whitespace()
+                    .nth(1)
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map(|v| v > 0)
+                    .unwrap_or(false)
+        });
+        assert!(nonzero, "{count_line} should be non-zero:\n{stdout}");
+    }
+}
+
+#[test]
+fn monitor_telemetry_flag_writes_prom_and_jsonl() {
+    let dir = std::env::temp_dir().join(format!("netqos-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let prefix = dir.join("t");
+    let out = run(&[
+        "monitor",
+        "specs/lirtss.spec",
+        "--duration",
+        "4",
+        "--telemetry",
+        prefix.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    let prom = std::fs::read_to_string(dir.join("t.prom")).expect("t.prom written");
+    assert!(prom.contains("netqos_monitor_ticks_total 4"), "{prom}");
+    assert!(prom.contains("netqos_monitor_poll_rtt_us_count"), "{prom}");
+
+    let jsonl = std::fs::read_to_string(dir.join("t.jsonl")).expect("t.jsonl written");
+    let ticks = jsonl
+        .lines()
+        .filter(|l| l.contains("\"target\":\"monitor.tick\""))
+        .count();
+    assert_eq!(ticks, 4, "one tick event per tick:\n{jsonl}");
+
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -86,7 +86,11 @@ fn monitor_reports_feed_resource_manager() {
             }
         }
     }
-    assert!(violated, "RM never saw the violation; history: {:?}", rm.history());
+    assert!(
+        violated,
+        "RM never saw the violation; history: {:?}",
+        rm.history()
+    );
 }
 
 #[test]

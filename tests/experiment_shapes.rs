@@ -58,7 +58,10 @@ fn fig4_staircase_tracks_with_positive_bias() {
     }
     // After shutdown the measurement returns to background levels.
     let tail = series.mean_used_kbps(44.0, 48.0).unwrap();
-    assert!(tail < background + 15.0, "tail {tail} vs background {background}");
+    assert!(
+        tail < background + 15.0,
+        "tail {tail} vs background {background}"
+    );
 }
 
 /// Figure 5 shape: both hub paths see the *sum* of the overlapping flows.
@@ -130,7 +133,10 @@ fn fig6_switch_paths_isolate_flows() {
     // S1 load visible on both (window 20..23).
     let a = s12.mean_used_kbps(20.0, 23.0).unwrap();
     let b = s13.mean_used_kbps(20.0, 23.0).unwrap();
-    assert!(a > 1800.0 && b > 1800.0, "S1 load must appear on both: {a}, {b}");
+    assert!(
+        a > 1800.0 && b > 1800.0,
+        "S1 load must appear on both: {a}, {b}"
+    );
 }
 
 /// Paper §4.1: hosts without SNMP daemons (S3..S6) are still monitorable

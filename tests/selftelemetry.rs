@@ -1,0 +1,169 @@
+//! The monitor monitoring itself: run the service, then read its own
+//! telemetry back through SNMP — a management station polling the
+//! self-agent's private-enterprise subtree, exactly the way the monitor
+//! polls everyone else.
+
+use netqos::monitor::selfagent::{telemetry_base, SelfAgent};
+use netqos::monitor::service::{MonitoringService, ServiceConfig};
+use netqos::monitor::simnet::SimNetworkOptions;
+use netqos::snmp::message::{MessageBody, SnmpMessage, SnmpVersion};
+use netqos::snmp::oid::Oid;
+use netqos::snmp::pdu::{ErrorStatus, Pdu, PduType, VarBind};
+use netqos::snmp::value::SnmpValue;
+
+const SPEC: &str = include_str!("../specs/lirtss.spec");
+
+fn request(pdu_type: PduType, oid: Oid) -> Vec<u8> {
+    SnmpMessage {
+        version: SnmpVersion::V1,
+        community: b"public".to_vec(),
+        body: MessageBody::Pdu(Pdu {
+            pdu_type,
+            request_id: 42,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            bindings: vec![VarBind {
+                oid,
+                value: SnmpValue::Null,
+            }],
+        }),
+    }
+    .encode()
+    .unwrap()
+}
+
+fn first_binding(response: &[u8]) -> Option<(Oid, SnmpValue)> {
+    let msg = SnmpMessage::decode(response).unwrap();
+    match msg.body {
+        MessageBody::Pdu(pdu) if pdu.error_status == ErrorStatus::NoError => {
+            pdu.bindings.into_iter().next().map(|vb| (vb.oid, vb.value))
+        }
+        _ => None,
+    }
+}
+
+/// Walks the whole telemetry subtree with GetNext datagrams, like
+/// `snmpwalk` would.
+fn walk_subtree(agent: &mut SelfAgent) -> Vec<(Oid, SnmpValue)> {
+    let base = telemetry_base();
+    let mut cur = base.clone();
+    let mut out = Vec::new();
+    while let Some(resp) = agent.handle(&request(PduType::GetNextRequest, cur.clone())) {
+        let Some((oid, value)) = first_binding(&resp) else {
+            break; // noSuchName: walked off the end of the MIB
+        };
+        if !oid.starts_with(&base) {
+            break;
+        }
+        cur = oid.clone();
+        out.push((oid, value));
+    }
+    out
+}
+
+/// Pairs each counter-table value with its name column.
+fn counters_by_name(walked: &[(Oid, SnmpValue)]) -> Vec<(String, u32)> {
+    let base = telemetry_base();
+    let names: Vec<(u32, String)> = walked
+        .iter()
+        .filter_map(|(oid, v)| {
+            let suffix = oid.suffix_of(&base.extend(&[1, 1]))?;
+            match v {
+                SnmpValue::OctetString(b) => {
+                    Some((suffix[0], String::from_utf8_lossy(b).into_owned()))
+                }
+                _ => None,
+            }
+        })
+        .collect();
+    names
+        .into_iter()
+        .filter_map(|(idx, name)| {
+            walked.iter().find_map(|(oid, v)| {
+                let suffix = oid.suffix_of(&base.extend(&[1, 2]))?;
+                match (suffix[0] == idx, v) {
+                    (true, SnmpValue::Counter32(c)) => Some((name.clone(), *c)),
+                    _ => None,
+                }
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn self_agent_subtree_reflects_ticks_and_polls() {
+    let options = SimNetworkOptions {
+        monitor_host: "L".to_owned(),
+        ..SimNetworkOptions::default()
+    };
+    let mut service =
+        MonitoringService::from_spec(SPEC, options, ServiceConfig::default()).unwrap();
+    let snmp_devices = service.net_mut().model().snmp_nodes().len() as u32;
+    assert!(snmp_devices > 0);
+
+    let ticks = 7u32;
+    for _ in 0..ticks {
+        service.tick().unwrap();
+    }
+
+    let mut agent = SelfAgent::new(service.registry().clone(), "public");
+    let walked = walk_subtree(&mut agent);
+    assert!(
+        !walked.is_empty(),
+        "telemetry subtree should not be empty after {ticks} ticks"
+    );
+    // The walk must return instances in strictly increasing MIB order.
+    for pair in walked.windows(2) {
+        assert!(pair[0].0 < pair[1].0, "GetNext went backwards");
+    }
+
+    let counters = counters_by_name(&walked);
+    let get = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("counter {name} not in subtree"))
+            .1
+    };
+
+    // The poll counter must match the work actually executed: one poll
+    // per SNMP device per tick, and one tick per `tick()` call.
+    assert_eq!(get("netqos_monitor_ticks_total"), ticks);
+    assert_eq!(get("netqos_monitor_polls_total"), ticks * snmp_devices);
+
+    // A direct Get of the ticks instance agrees with the walk.
+    let oid = agent
+        .counter_value_oid("netqos_monitor_ticks_total")
+        .unwrap();
+    let resp = agent.handle(&request(PduType::GetRequest, oid)).unwrap();
+    let (_, value) = first_binding(&resp).unwrap();
+    assert_eq!(value, SnmpValue::Counter32(ticks));
+}
+
+#[test]
+fn self_agent_tracks_live_service_between_requests() {
+    let options = SimNetworkOptions {
+        monitor_host: "L".to_owned(),
+        ..SimNetworkOptions::default()
+    };
+    let mut service =
+        MonitoringService::from_spec(SPEC, options, ServiceConfig::default()).unwrap();
+    service.tick().unwrap();
+
+    let mut agent = SelfAgent::new(service.registry().clone(), "public");
+    let oid = agent
+        .counter_value_oid("netqos_monitor_ticks_total")
+        .unwrap();
+    let read = |agent: &mut SelfAgent| {
+        let resp = agent
+            .handle(&request(PduType::GetRequest, oid.clone()))
+            .unwrap();
+        first_binding(&resp).unwrap().1
+    };
+    assert_eq!(read(&mut agent), SnmpValue::Counter32(1));
+
+    // More ticks happen while the agent is alive; the next poll sees them.
+    service.tick().unwrap();
+    service.tick().unwrap();
+    assert_eq!(read(&mut agent), SnmpValue::Counter32(3));
+}

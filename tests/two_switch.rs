@@ -130,7 +130,11 @@ fn rm_moves_fusion_off_the_congested_trunk() {
             break;
         }
     }
-    assert!(advice_seen, "RM never advised a move; history: {:?}", rm.history());
+    assert!(
+        advice_seen,
+        "RM never advised a move; history: {:?}",
+        rm.history()
+    );
     let archive = monitor.topology().node_by_name("archive").unwrap();
     assert_eq!(rm.allocation().host_of("fusion").unwrap(), archive);
 }
