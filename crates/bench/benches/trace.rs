@@ -1,0 +1,145 @@
+//! Tracing-overhead benches: the same ingest + path-evaluation workload
+//! as the `monitor` bench, run with no tracer, a disabled tracer (the
+//! production default — must cost < 5%), and an enabled tracer (the
+//! full span-recording price, paid only during forensics).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use netqos_monitor::poll::{DeviceSnapshot, IfSample};
+use netqos_monitor::NetworkMonitor;
+use netqos_telemetry::{FlightRecorder, Tracer};
+
+fn make_snapshot(
+    topo: &netqos_topology::NetworkTopology,
+    node: netqos_topology::NodeId,
+    k: u32,
+) -> DeviceSnapshot {
+    let n = topo.node(node).unwrap();
+    DeviceSnapshot {
+        uptime_ticks: k * 100,
+        interfaces: n
+            .interfaces
+            .iter()
+            .enumerate()
+            .map(|(i, iface)| IfSample {
+                if_index: i as u32 + 1,
+                descr: iface.local_name.clone(),
+                speed_bps: iface.speed_bps,
+                in_octets: k.wrapping_mul(125_000 + i as u32),
+                out_octets: k.wrapping_mul(12_500),
+                in_ucast_pkts: k * 100,
+                out_nucast_pkts: k,
+            })
+            .collect(),
+    }
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let model = netqos_spec::parse_and_validate(netqos_bench::LIRTSS_SPEC).unwrap();
+    let topo = model.topology.clone();
+    let snmp_nodes = model.snmp_nodes();
+    let mut group = c.benchmark_group("trace_overhead");
+
+    for (label, tracer) in [
+        ("ingest_paths_untraced", None),
+        ("ingest_paths_tracer_disabled", Some(Tracer::disabled())),
+        ("ingest_paths_tracer_enabled", Some(Tracer::new())),
+    ] {
+        let topo = topo.clone();
+        let snmp_nodes = snmp_nodes.clone();
+        let qos_paths = model.qos_paths.clone();
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut m = NetworkMonitor::new(topo.clone());
+                    if let Some(t) = &tracer {
+                        m.set_tracer(t.clone());
+                    }
+                    for &node in &snmp_nodes {
+                        m.ingest(node, make_snapshot(&topo, node, 1)).unwrap();
+                    }
+                    m
+                },
+                |mut m| {
+                    if let Some(t) = &tracer {
+                        t.begin_cycle();
+                    }
+                    for &node in &snmp_nodes {
+                        m.ingest(node, make_snapshot(&topo, node, 2)).unwrap();
+                    }
+                    for q in &qos_paths {
+                        let _ = m.path_bandwidth(q.from, q.to).unwrap();
+                    }
+                    if let Some(t) = &tracer {
+                        t.end_cycle()
+                    } else {
+                        Vec::new()
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_span_site(c: &mut Criterion) {
+    let mut group = c.benchmark_group("span_site");
+    // The cost of one instrumented site when tracing is off: one relaxed
+    // atomic load and an inert guard.
+    let disabled = Tracer::disabled();
+    group.bench_function("disabled_span", |b| {
+        b.iter(|| std::hint::black_box(disabled.span("bench", "noop")))
+    });
+    let enabled = Tracer::new();
+    enabled.begin_cycle();
+    group.bench_function("enabled_span", |b| {
+        b.iter(|| std::hint::black_box(enabled.span("bench", "noop")))
+    });
+    group.finish();
+}
+
+fn bench_flight_export(c: &mut Criterion) {
+    // Exporting a full ring (32 cycles of ~40 spans) to Chrome JSON —
+    // the cost of one violation snapshot, paid off the hot path.
+    let tracer = Tracer::new();
+    let flight = FlightRecorder::new(32);
+    for _ in 0..32 {
+        let trace_id = tracer.begin_cycle();
+        let start_ns = tracer.now_ns();
+        {
+            let _root = tracer.span("monitor", "cycle");
+            for _ in 0..10 {
+                let _outer = tracer.span("monitor.poll", "device");
+                let _inner = tracer.span("snmp.codec", "decode");
+                let _inner2 = tracer.span("monitor.delta", "ingest");
+                let _inner3 = tracer.span("topology.path", "bandwidth");
+            }
+        }
+        flight.push(netqos_telemetry::CycleTrace {
+            seq: 0,
+            trace_id,
+            start_ns,
+            end_ns: tracer.now_ns(),
+            spans: tracer.end_cycle(),
+            samples: Vec::new(),
+            events: Vec::new(),
+        });
+    }
+    let cycles = flight.snapshot();
+    let mut group = c.benchmark_group("flight_export");
+    group.bench_function("chrome_trace_32_cycles", |b| {
+        b.iter(|| netqos_telemetry::to_chrome_trace(std::hint::black_box(&cycles)))
+    });
+    group.bench_function("jsonl_32_cycles", |b| {
+        b.iter(|| netqos_telemetry::to_jsonl(std::hint::black_box(&cycles)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trace_overhead,
+    bench_span_site,
+    bench_flight_export
+);
+criterion_main!(benches);

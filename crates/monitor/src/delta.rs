@@ -10,16 +10,47 @@
 //! > between two polling processes can be found using the system uptime
 //! > data."
 
-/// Wrap-safe difference of two Counter32 samples.
+/// Wrap-safe difference of two Counter32 samples: the delta modulo 2^32,
+/// so a rollover (`new < old`) still yields the true increment as long as
+/// the counter wrapped at most once between polls.
 #[inline]
 pub fn counter_delta(old: u32, new: u32) -> u32 {
     new.wrapping_sub(old)
+}
+
+/// Whether two consecutive Counter32 samples crossed the 2^32 boundary.
+/// At 100 Mb/s an `ifInOctets` counter wraps every ~5.7 minutes, so this
+/// is routine operation, not an anomaly — but it is worth counting, since
+/// a poll period longer than one wrap interval silently undercounts.
+#[inline]
+pub fn counter_wrapped(old: u32, new: u32) -> bool {
+    new < old
 }
 
 /// Wrap-safe difference of two TimeTicks samples, in ticks (10 ms units).
 #[inline]
 pub fn ticks_delta(old: u32, new: u32) -> u32 {
     new.wrapping_sub(old)
+}
+
+/// Longest plausible gap between two polls of the same device: one hour
+/// in TimeTicks. Distinguishes the ~497-day `sysUpTime` wrap from a
+/// reboot: a genuine wrap crossed by a poll yields a wrapping delta of at
+/// most the poll interval (old hugs `u32::MAX`, new sits just past zero),
+/// while a reboot resets uptime to ~0 from an arbitrary point, making the
+/// wrapping delta `2^32 - old + new` — far beyond any real interval
+/// unless the device happened to reboot right at the wrap boundary,
+/// where the two cases are genuinely indistinguishable.
+const MAX_PLAUSIBLE_INTERVAL_TICKS: u32 = 360_000;
+
+/// Whether a `sysUpTime` step indicates the device rebooted between
+/// polls. Rates must not be formed across a reboot: the counters
+/// restarted from zero, so their deltas are garbage and the real elapsed
+/// time is unknowable (the uptime delta is non-positive in real time
+/// even though the wrapping tick delta is huge).
+#[inline]
+pub fn uptime_reset(old: u32, new: u32) -> bool {
+    new < old && ticks_delta(old, new) > MAX_PLAUSIBLE_INTERVAL_TICKS
 }
 
 /// Converts an octet delta over a tick interval into bits per second.
@@ -79,6 +110,41 @@ mod tests {
     fn pps_conversion() {
         assert_eq!(pps(500, 100), Some(500));
         assert_eq!(pps(500, 50), Some(1000));
+    }
+
+    #[test]
+    fn wrap_detection() {
+        assert!(!counter_wrapped(1000, 2500));
+        assert!(counter_wrapped(u32::MAX - 99, 100));
+        // A counter standing still did not wrap.
+        assert!(!counter_wrapped(500, 500));
+    }
+
+    #[test]
+    fn rate_across_wrap_boundary() {
+        // ifInOctets rolls over between polls: old near the top, new past
+        // zero. The modular delta is 125_000 octets over 1 s = 1 Mb/s —
+        // not the huge value a naive `new - old` as i64 would produce.
+        let old = u32::MAX - 100_000;
+        let new = 24_999u32;
+        assert!(counter_wrapped(old, new));
+        let d = counter_delta(old, new);
+        assert_eq!(d, 125_000);
+        assert_eq!(rate_bps(d, 100), Some(1_000_000));
+    }
+
+    #[test]
+    fn reboot_vs_genuine_uptime_wrap() {
+        // Reboot: uptime fell backwards from anywhere in the range.
+        assert!(uptime_reset(1_000_000, 50));
+        assert!(uptime_reset(u32::MAX / 2, 100));
+        assert!(uptime_reset(3_000_000_000, 0));
+        // Genuine 497-day wrap: old hugs the boundary, delta is small.
+        assert!(!uptime_reset(u32::MAX - 49, 50));
+        assert!(!uptime_reset(u32::MAX - 100, 359_000));
+        // Normal forward progress.
+        assert!(!uptime_reset(100, 200));
+        assert!(!uptime_reset(100, 100));
     }
 
     #[test]

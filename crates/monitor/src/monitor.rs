@@ -10,6 +10,7 @@
 use crate::delta;
 use crate::error::MonitorError;
 use crate::poll::DeviceSnapshot;
+use netqos_telemetry::{Counter, Tracer};
 use netqos_topology::bandwidth::{self, IfRates, MapRates, PathBandwidth, RateProvider};
 use netqos_topology::path::{self, CommPath};
 use netqos_topology::{IfIx, NetworkTopology, NodeId};
@@ -82,6 +83,11 @@ pub struct NetworkMonitor {
     polls_ingested: u64,
     interval_strategy: IntervalStrategy,
     smoothing: Smoothing,
+    tracer: Tracer,
+    /// Samples discarded because the device rebooted between polls.
+    uptime_resets: Counter,
+    /// Counter32 rollovers absorbed by the modular delta arithmetic.
+    counter_wraps: Counter,
 }
 
 impl NetworkMonitor {
@@ -96,7 +102,33 @@ impl NetworkMonitor {
             polls_ingested: 0,
             interval_strategy: IntervalStrategy::SysUpTime,
             smoothing: Smoothing::default(),
+            tracer: Tracer::disabled(),
+            uptime_resets: Counter::new(),
+            counter_wraps: Counter::new(),
         }
+    }
+
+    /// Routes this monitor's spans into `tracer` (a clone; spans land in
+    /// the same cycle buffer as the caller's).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Binds the health counters to registry-backed handles (the
+    /// standalone defaults keep unit tests registry-free).
+    pub fn set_health_counters(&mut self, uptime_resets: Counter, counter_wraps: Counter) {
+        self.uptime_resets = uptime_resets;
+        self.counter_wraps = counter_wraps;
+    }
+
+    /// Snapshots discarded because the device rebooted between polls.
+    pub fn uptime_resets(&self) -> u64 {
+        self.uptime_resets.get()
+    }
+
+    /// Counter32 rollovers absorbed by the modular delta arithmetic.
+    pub fn counter_wraps(&self) -> u64 {
+        self.counter_wraps.get()
     }
 
     /// Selects how poll intervals are measured (see [`IntervalStrategy`]).
@@ -150,10 +182,29 @@ impl NetworkMonitor {
     /// table (returns `true`).
     pub fn ingest(&mut self, node: NodeId, snapshot: DeviceSnapshot) -> Result<bool, MonitorError> {
         self.polls_ingested += 1;
+        let mut span = self.tracer.span("monitor.delta", "ingest");
+        if span.is_recording() {
+            if let Ok(n) = self.topology.node(node) {
+                span.set_attr("device", n.name.as_str());
+            }
+            span.set_attr("interfaces", snapshot.interfaces.len());
+        }
         let Some(prev) = self.previous.get(&node) else {
+            span.set_attr("baseline", true);
             self.previous.insert(node, snapshot);
             return Ok(false);
         };
+
+        // Device reboot between polls: the counters restarted from zero,
+        // so deltas are garbage and the true elapsed time is unknowable.
+        // Mark the sample stale (re-baseline) instead of dividing by a
+        // bogus interval.
+        if delta::uptime_reset(prev.uptime_ticks, snapshot.uptime_ticks) {
+            self.uptime_resets.inc();
+            span.set_attr("uptime_reset", true);
+            self.previous.insert(node, snapshot);
+            return Ok(false);
+        }
 
         let interval = match self.interval_strategy {
             IntervalStrategy::SysUpTime => {
@@ -167,11 +218,18 @@ impl NetworkMonitor {
             self.previous.insert(node, snapshot);
             return Ok(false);
         }
+        span.set_attr("interval_ticks", interval);
 
         for cur in &snapshot.interfaces {
             let Some(old) = prev.interfaces.iter().find(|p| p.if_index == cur.if_index) else {
                 continue; // interface appeared between polls
             };
+            if delta::counter_wrapped(old.in_octets, cur.in_octets) {
+                self.counter_wraps.inc();
+            }
+            if delta::counter_wrapped(old.out_octets, cur.out_octets) {
+                self.counter_wraps.inc();
+            }
             let ifix = self.map_interface(node, &cur.descr, cur.if_index)?;
             let in_bps =
                 delta::rate_bps(delta::counter_delta(old.in_octets, cur.in_octets), interval)
@@ -228,6 +286,7 @@ impl NetworkMonitor {
     /// Finds the communication path between two hosts (paper §3.3
     /// traversal).
     pub fn path(&self, from: NodeId, to: NodeId) -> Result<CommPath, MonitorError> {
+        let _span = self.tracer.span("topology.path", "traverse");
         Ok(path::find_path(&self.topology, from, to)?)
     }
 
@@ -235,12 +294,19 @@ impl NetworkMonitor {
     /// latest rates.
     pub fn path_bandwidth(&self, from: NodeId, to: NodeId) -> Result<PathBandwidth, MonitorError> {
         let p = self.path(from, to)?;
-        Ok(bandwidth::path_bandwidth(&self.topology, &p, &self.rates)?)
+        self.path_bandwidth_of(&p)
     }
 
     /// Computes the bandwidth of a precomputed path.
     pub fn path_bandwidth_of(&self, p: &CommPath) -> Result<PathBandwidth, MonitorError> {
-        Ok(bandwidth::path_bandwidth(&self.topology, p, &self.rates)?)
+        let mut span = self.tracer.span("topology.path", "bandwidth");
+        let bw = bandwidth::path_bandwidth(&self.topology, p, &self.rates)?;
+        if span.is_recording() {
+            span.set_attr("connections", bw.connections.len());
+            span.set_attr("used_bps", bw.used_bps);
+            span.set_attr("available_bps", bw.available_bps);
+        }
+        Ok(bw)
     }
 }
 
@@ -321,6 +387,60 @@ mod tests {
         m.ingest(a, snap(50, 125_000, 0)).unwrap(); // 100-tick interval
         let r = m.if_rates(a, IfIx(0)).unwrap();
         assert_eq!(r.in_bps, 1_000_000);
+    }
+
+    #[test]
+    fn reboot_marks_sample_stale_and_rebaselines() {
+        let (t, a, _) = topo();
+        let mut m = NetworkMonitor::new(t);
+        m.ingest(a, snap(500_000, 9_000_000, 0)).unwrap();
+        m.ingest(a, snap(500_100, 9_125_000, 0)).unwrap();
+        assert_eq!(m.if_rates(a, IfIx(0)).unwrap().in_bps, 1_000_000);
+        // The device reboots: uptime restarts near zero, counters reset.
+        // No rate is formed from the garbage deltas...
+        assert!(!m.ingest(a, snap(10, 2_000, 0)).unwrap());
+        assert_eq!(m.uptime_resets(), 1);
+        // ...and the stale pre-reboot rate is what remains until fresh
+        // post-reboot polls re-establish a baseline.
+        assert!(m.ingest(a, snap(110, 252_000, 0)).unwrap());
+        assert_eq!(m.if_rates(a, IfIx(0)).unwrap().in_bps, 2_000_000);
+        assert_eq!(m.uptime_resets(), 1);
+    }
+
+    #[test]
+    fn counter_wraps_are_counted() {
+        let (t, a, _) = topo();
+        let mut m = NetworkMonitor::new(t);
+        m.ingest(a, snap(0, u32::MAX - 100, u32::MAX - 50)).unwrap();
+        assert_eq!(m.counter_wraps(), 0);
+        // Both octet counters roll over in one interval.
+        m.ingest(a, snap(100, 124_899, 12_449)).unwrap();
+        assert_eq!(m.counter_wraps(), 2);
+        let r = m.if_rates(a, IfIx(0)).unwrap();
+        assert_eq!(r.in_bps, 1_000_000);
+        assert_eq!(r.out_bps, 100_000);
+        // A normal interval adds no wraps.
+        m.ingest(a, snap(200, 249_899, 24_949)).unwrap();
+        assert_eq!(m.counter_wraps(), 2);
+    }
+
+    #[test]
+    fn ingest_emits_spans_when_traced() {
+        use netqos_telemetry::Tracer;
+        let (t, a, _) = topo();
+        let mut m = NetworkMonitor::new(t);
+        let tracer = Tracer::new();
+        m.set_tracer(tracer.clone());
+        tracer.begin_cycle();
+        m.ingest(a, snap(0, 0, 0)).unwrap();
+        m.ingest(a, snap(100, 125_000, 0)).unwrap();
+        let spans = tracer.end_cycle();
+        let ingests: Vec<_> = spans.iter().filter(|s| s.name == "ingest").collect();
+        assert_eq!(ingests.len(), 2);
+        assert!(ingests[1]
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "interval_ticks" && *v == 100u64.into()));
     }
 
     #[test]

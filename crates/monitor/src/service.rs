@@ -20,12 +20,25 @@ use crate::telemetry::MonitorTelemetry;
 use bytes::Bytes;
 use netqos_sim::time::{SimDuration, SimTime};
 use netqos_sim::Ipv4Addr;
-use netqos_telemetry::{fields, EventSink, Level, Registry};
+use netqos_telemetry::{
+    fields, CycleTrace, EventSink, FlightRecorder, Level, QuantileBaseline, Registry,
+    SampleAnnotation, SnapshotPaths, Tracer, DEFAULT_FLIGHT_CAPACITY, DEFAULT_WINDOW,
+};
 use netqos_topology::path::CommPath;
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// SNMP trap port.
 pub const TRAP_PORT: u16 = 162;
+
+/// Baseline samples required before anomaly warnings can fire — a young
+/// baseline ranks everything at the extremes.
+pub const MIN_BASELINE_HISTORY: u64 = 16;
+
+/// Percentile rank above which a bandwidth sample is "anomalous vs.
+/// baseline" (a pre-violation warning, not a QoS violation).
+pub const ANOMALY_RANK: f64 = 0.99;
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -40,6 +53,14 @@ pub struct ServiceConfig {
     /// Maximum traps kept in the outbox; when full, the oldest trap is
     /// evicted (and counted as dropped in telemetry).
     pub trap_outbox_capacity: usize,
+    /// Cycle traces kept in the flight-recorder ring.
+    pub flight_capacity: usize,
+    /// If set, the flight recorder is snapshotted to this directory
+    /// (JSONL + Chrome `trace_event` JSON) whenever a QoS violation
+    /// begins.
+    pub flight_dir: Option<PathBuf>,
+    /// Samples per window of the per-connection bandwidth baselines.
+    pub baseline_window: u64,
 }
 
 impl Default for ServiceConfig {
@@ -49,6 +70,9 @@ impl Default for ServiceConfig {
             trap_community: "public".to_owned(),
             trap_destination: None,
             trap_outbox_capacity: 256,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            flight_dir: None,
+            baseline_window: DEFAULT_WINDOW,
         }
     }
 }
@@ -65,6 +89,14 @@ pub struct MonitoringService {
     traps: Vec<Vec<u8>>,
     telemetry: MonitorTelemetry,
     events: Arc<EventSink>,
+    tracer: Tracer,
+    flight: FlightRecorder,
+    /// Used-bandwidth baseline per qospath (the bottleneck sample the
+    /// recorder also tracks), so each tick can be ranked against recent
+    /// history.
+    path_baselines: HashMap<String, QuantileBaseline>,
+    /// Snapshots written this session (newest last).
+    snapshots: Vec<SnapshotPaths>,
 }
 
 impl MonitoringService {
@@ -123,6 +155,20 @@ impl MonitoringService {
         let recorder = SeriesRecorder::new(&names);
         let start = net.lan.now();
         let telemetry = net.telemetry().clone();
+        // One tracer, shared by every pipeline stage so their spans land
+        // in the same per-tick cycle buffer and nest causally. Disabled
+        // until `set_tracing(true)`: each stage then pays one relaxed
+        // atomic load per span site.
+        let tracer = Tracer::disabled();
+        let mut net = net;
+        net.set_tracer(tracer.clone());
+        let mut monitor = monitor;
+        monitor.set_tracer(tracer.clone());
+        monitor.set_health_counters(
+            telemetry.uptime_resets.clone(),
+            telemetry.counter_wraps.clone(),
+        );
+        let flight = FlightRecorder::new(config.flight_capacity);
         Ok(MonitoringService {
             net,
             monitor,
@@ -134,6 +180,10 @@ impl MonitoringService {
             traps: Vec::new(),
             telemetry,
             events: Arc::new(EventSink::null()),
+            tracer,
+            flight,
+            path_baselines: HashMap::new(),
+            snapshots: Vec::new(),
         })
     }
 
@@ -157,23 +207,101 @@ impl MonitoringService {
         &self.events
     }
 
+    /// Turns causal span recording on or off. Costs nothing measurable
+    /// when off (one relaxed atomic load per instrumented site).
+    pub fn set_tracing(&mut self, enabled: bool) {
+        self.tracer.set_enabled(enabled);
+    }
+
+    /// The pipeline-wide tracer (fork it for worker threads).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The flight-recorder ring of recent cycle traces.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Flight-recorder snapshots written to disk so far (newest last).
+    pub fn snapshots(&self) -> &[SnapshotPaths] {
+        &self.snapshots
+    }
+
+    /// The used-bandwidth baseline for a qospath, if any samples have
+    /// been recorded.
+    pub fn path_baseline(&self, path_name: &str) -> Option<&QuantileBaseline> {
+        self.path_baselines.get(path_name)
+    }
+
     /// Advances one poll period: runs the network, polls every agent,
     /// records samples, evaluates QoS, and emits traps for state changes.
     /// Returns the QoS events of this tick.
     pub fn tick(&mut self) -> Result<Vec<QosEvent>, MonitorError> {
         let wall_timer = self.telemetry.tick_ns.start_timer();
+        let trace_id = self.tracer.begin_cycle();
+        let cycle_start_ns = self.tracer.now_ns();
+        let cycle_span = self.tracer.span("monitor", "cycle");
         let next = self.net.lan.now() + self.config.poll_period;
         self.net.run_until(next);
         let polled = self.net.poll_round(&mut self.monitor)?;
 
         let t_s = self.net.lan.now().duration_since(self.start).as_secs_f64();
+        let mut samples = Vec::new();
+        let mut cycle_events = Vec::new();
+        let window = self.config.baseline_window;
+        let tracing = self.tracer.is_enabled();
         for (name, path) in &self.paths {
             if let Ok(bw) = self.monitor.path_bandwidth_of(path) {
                 self.recorder.push(name, PathSample::at(t_s, &bw));
+                // Rank against history *before* folding the sample in, so
+                // the sample cannot vouch for itself.
+                let baseline = self
+                    .path_baselines
+                    .entry(name.clone())
+                    .or_insert_with(|| QuantileBaseline::new(window));
+                let rank = baseline.rank(bw.used_bps);
+                let history = baseline.count();
+                let p50 = baseline.quantile(0.5);
+                let p99 = baseline.quantile(0.99);
+                baseline.record(bw.used_bps);
+                if history >= MIN_BASELINE_HISTORY && rank > ANOMALY_RANK {
+                    // Pre-violation warning: usage is extreme for *this*
+                    // connection even if no QoS rule has tripped yet.
+                    self.telemetry.anomaly_warnings.inc();
+                    self.events.emit(
+                        Level::Warn,
+                        "monitor.baseline",
+                        "anomalous",
+                        fields![
+                            "path" => name.as_str(),
+                            "used_bps" => bw.used_bps,
+                            "rank" => rank,
+                            "baseline_p99" => p99,
+                        ],
+                    );
+                    cycle_events.push(format!("baseline_anomaly {name}"));
+                }
+                if tracing {
+                    samples.push(SampleAnnotation {
+                        path: name.clone(),
+                        connection: self.monitor.topology().describe_connection(bw.bottleneck),
+                        used_bps: bw.used_bps,
+                        available_bps: bw.available_bps,
+                        used_rank: rank,
+                        baseline_p50: p50,
+                        baseline_p99: p99,
+                    });
+                }
             }
         }
 
-        let events = self.qos.evaluate(&self.monitor);
+        let events = {
+            let mut qos_span = self.tracer.span("monitor.qos", "evaluate");
+            let events = self.qos.evaluate(&self.monitor);
+            qos_span.set_attr("events", events.len());
+            events
+        };
         if !events.is_empty() {
             let monitor_node = self.net.monitor_node();
             let agent_addr = self
@@ -189,6 +317,7 @@ impl MonitoringService {
                 match event {
                     QosEvent::Violated { path_name, .. } => {
                         self.telemetry.qos_violations.inc();
+                        cycle_events.push(format!("qos_violation {path_name}"));
                         self.events.emit(
                             Level::Warn,
                             "monitor.qos",
@@ -198,6 +327,7 @@ impl MonitoringService {
                     }
                     QosEvent::Cleared { path_name, .. } => {
                         self.telemetry.qos_cleared.inc();
+                        cycle_events.push(format!("qos_cleared {path_name}"));
                         self.events.emit(
                             Level::Info,
                             "monitor.qos",
@@ -241,6 +371,51 @@ impl MonitoringService {
         self.telemetry
             .trap_outbox_depth
             .set(self.traps.len() as i64);
+
+        drop(cycle_span);
+        if tracing {
+            let cycle = CycleTrace {
+                seq: 0, // assigned by the recorder
+                trace_id,
+                start_ns: cycle_start_ns,
+                end_ns: self.tracer.now_ns(),
+                spans: self.tracer.end_cycle(),
+                samples,
+                events: cycle_events,
+            };
+            // Push before snapshotting so the violating cycle itself is
+            // part of the forensic record.
+            let seq = self.flight.push(cycle);
+            let violated = events
+                .iter()
+                .any(|e| matches!(e, QosEvent::Violated { .. }));
+            if violated {
+                if let Some(dir) = self.config.flight_dir.clone() {
+                    match netqos_telemetry::write_snapshot(&dir, seq, &self.flight.snapshot()) {
+                        Ok(paths) => {
+                            self.telemetry.flight_snapshots.inc();
+                            self.events.emit(
+                                Level::Info,
+                                "monitor.flight",
+                                "snapshot",
+                                fields![
+                                    "cycles" => self.flight.len(),
+                                    "path" => paths.chrome.display().to_string(),
+                                ],
+                            );
+                            self.snapshots.push(paths);
+                        }
+                        Err(e) => self.events.emit(
+                            Level::Warn,
+                            "monitor.flight",
+                            "snapshot_failed",
+                            fields!["error" => e.to_string()],
+                        ),
+                    }
+                }
+            }
+        }
+
         let wall = wall_timer.stop();
         self.events.emit(
             Level::Debug,
@@ -360,6 +535,56 @@ mod tests {
             let (last, _) = qos::decode_trap(svc.traps().last().unwrap()).unwrap();
             assert_eq!(last, qos::TRAP_QOS_CLEARED);
         }
+    }
+
+    #[test]
+    fn traced_ticks_fill_flight_ring_with_nested_cycles() {
+        let mut svc = idle_service();
+        svc.set_tracing(true);
+        svc.run_ticks(3).unwrap();
+        assert_eq!(svc.flight().len(), 3);
+        let cycles = svc.flight().snapshot();
+        for cycle in &cycles {
+            assert_ne!(cycle.trace_id, 0);
+            let root = cycle
+                .spans
+                .iter()
+                .find(|s| s.name == "cycle")
+                .expect("root span");
+            assert!(root.parent.is_none());
+            // Poll round, per-device polls, codec stages, path bandwidth,
+            // and QoS evaluation all land in the same cycle.
+            for name in [
+                "round",
+                "device",
+                "encode",
+                "decode",
+                "evaluate",
+                "bandwidth",
+            ] {
+                assert!(
+                    cycle.spans.iter().any(|s| s.name == name),
+                    "missing span {name}"
+                );
+            }
+            // Every non-root span's parent exists in the same cycle.
+            for s in &cycle.spans {
+                if let Some(p) = s.parent {
+                    assert!(cycle.spans.iter().any(|t| t.span_id == p));
+                }
+            }
+        }
+        // The first tick has no rates yet (rates need two polls); every
+        // later cycle carries the qospath's annotated sample.
+        assert!(cycles[0].samples.is_empty());
+        let last = cycles.last().unwrap();
+        assert_eq!(last.samples.len(), 1, "one qospath sample per tick");
+        assert_eq!(last.samples[0].path, "mw");
+        assert!(last.samples[0].used_rank >= 0.0);
+        // Disabled tracing stops recording (and costs nothing).
+        svc.set_tracing(false);
+        svc.run_ticks(2).unwrap();
+        assert_eq!(svc.flight().len(), 3);
     }
 
     #[test]

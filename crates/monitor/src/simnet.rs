@@ -24,6 +24,7 @@ use netqos_snmp::client;
 use netqos_snmp::mib::ScalarMib;
 use netqos_snmp::mib2::{self, IfEntry, SystemInfo};
 use netqos_spec::SpecModel;
+use netqos_telemetry::{QuantileBaseline, Tracer};
 use netqos_topology::{NodeId, NodeKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -180,6 +181,10 @@ pub struct SimNetwork {
     /// Polls that timed out (for diagnostics).
     pub timeouts: u64,
     telemetry: crate::telemetry::MonitorTelemetry,
+    tracer: Tracer,
+    /// Per-device poll-RTT baseline (simulated microseconds), so traces
+    /// can rank each RTT against the device's recent history.
+    rtt_baselines: HashMap<NodeId, QuantileBaseline>,
 }
 
 /// UDP port the manager mailbox listens on.
@@ -313,7 +318,24 @@ impl SimNetwork {
             poll_timeout: options.poll_timeout,
             timeouts: 0,
             telemetry,
+            tracer: Tracer::disabled(),
+            rtt_baselines: HashMap::new(),
         })
+    }
+
+    /// Routes this network's poll-pipeline spans into `tracer`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The tracer the poll pipeline records into.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The poll-RTT baseline of a device, if it has been polled.
+    pub fn rtt_baseline(&self, node: NodeId) -> Option<&QuantileBaseline> {
+        self.rtt_baselines.get(&node)
     }
 
     /// The poll runtime's telemetry handles (and through them, the
@@ -360,17 +382,36 @@ impl SimNetwork {
                     .unwrap_or_else(|_| node.to_string());
                 MonitorError::NotPollable(name)
             })?;
+        let node_name = self.model.topology.node(node)?.name.clone();
+        let mut poll_span = self.tracer.span("monitor.poll", "device");
+        poll_span.set_attr("device", node_name.as_str());
         let if_count = self.model.topology.node(node)?.interfaces.len() as u32;
         let oids = poll::poll_oids(if_count);
         let request_id = self.next_request_id;
         self.next_request_id = self.next_request_id.wrapping_add(1).max(1);
-        let req = client::build_get(&community, request_id, &oids)
-            .map_err(|e| MonitorError::Snmp(e.to_string()))?;
+        let req = {
+            let mut encode_span = self.tracer.span("snmp.codec", "encode");
+            let req = client::build_get(&community, request_id, &oids)
+                .map_err(|e| MonitorError::Snmp(e.to_string()))?;
+            encode_span.set_attr("bytes", req.len());
+            encode_span.set_attr("oids", oids.len());
+            req
+        };
         let sent_at = self.lan.now();
-        let resp = self.exchange(node, req, request_id)?;
-        self.telemetry
-            .poll_rtt_us
-            .record(self.lan.now().duration_since(sent_at).as_micros());
+        let resp = {
+            let _exchange_span = self.tracer.span("snmp.client", "exchange");
+            self.exchange(node, req, request_id)?
+        };
+        let rtt_us = self.lan.now().duration_since(sent_at).as_micros();
+        self.telemetry.poll_rtt_us.record(rtt_us);
+        // Rank this RTT against the device's own history before folding
+        // it into the baseline.
+        let baseline = self.rtt_baselines.entry(node).or_default();
+        if poll_span.is_recording() {
+            poll_span.set_attr("rtt_us", rtt_us);
+            poll_span.set_attr("rtt_rank", baseline.rank(rtt_us));
+        }
+        baseline.record(rtt_us);
         // Drop stale datagrams (late duplicates from retransmitted polls)
         // so the inbox cannot grow without bound across long experiments.
         {
@@ -379,11 +420,14 @@ impl SimNetwork {
                 .borrow_mut()
                 .retain(|(t, _)| now.duration_since(*t) < SimDuration::from_secs(10));
         }
+        let mut decode_span = self.tracer.span("snmp.codec", "decode");
         let bindings = resp.into_result().map_err(|e| {
             self.telemetry.poll_failures.inc();
             MonitorError::Snmp(e.to_string())
         })?;
+        decode_span.set_attr("bindings", bindings.len());
         let snapshot = poll::parse_snapshot(&bindings, if_count);
+        drop(decode_span);
         match &snapshot {
             Ok(_) => self.telemetry.polls.inc(),
             Err(_) => self.telemetry.poll_failures.inc(),
@@ -397,7 +441,9 @@ impl SimNetwork {
         &mut self,
         monitor: &mut crate::monitor::NetworkMonitor,
     ) -> Result<usize, MonitorError> {
+        let mut round_span = self.tracer.span("monitor.poll", "round");
         let nodes = self.pollable_nodes();
+        round_span.set_attr("devices", nodes.len());
         let mut ok = 0;
         for node in nodes {
             match self.poll_device(node) {
@@ -409,6 +455,7 @@ impl SimNetwork {
                 Err(e) => return Err(e),
             }
         }
+        round_span.set_attr("ok", ok);
         Ok(ok)
     }
 

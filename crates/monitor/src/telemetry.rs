@@ -46,6 +46,14 @@ pub struct MonitorTelemetry {
     pub path_rtt_us: Histogram,
     /// Echo probes lost (no reply before timeout).
     pub probes_lost: Counter,
+    /// Samples discarded because a device rebooted between polls.
+    pub uptime_resets: Counter,
+    /// Counter32 rollovers absorbed by the modular delta arithmetic.
+    pub counter_wraps: Counter,
+    /// "Anomalous vs. baseline" pre-violation warnings emitted.
+    pub anomaly_warnings: Counter,
+    /// Flight-recorder snapshots written to disk.
+    pub flight_snapshots: Counter,
 }
 
 impl MonitorTelemetry {
@@ -67,6 +75,10 @@ impl MonitorTelemetry {
             trap_outbox_depth: r.gauge("netqos_monitor_trap_outbox_depth"),
             path_rtt_us: r.histogram("netqos_monitor_path_rtt_us"),
             probes_lost: r.counter("netqos_monitor_probes_lost_total"),
+            uptime_resets: r.counter("netqos_monitor_uptime_resets_total"),
+            counter_wraps: r.counter("netqos_monitor_counter_wraps_total"),
+            anomaly_warnings: r.counter("netqos_monitor_anomaly_warnings_total"),
+            flight_snapshots: r.counter("netqos_monitor_flight_snapshots_total"),
             registry,
         }
     }

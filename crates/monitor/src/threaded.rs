@@ -12,7 +12,7 @@ use crate::poll::{self, DeviceSnapshot};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use netqos_snmp::client::SnmpClient;
 use netqos_snmp::transport::UdpTransport;
-use netqos_telemetry::{Counter, Gauge, Histogram, Registry};
+use netqos_telemetry::{Counter, Gauge, Histogram, Registry, SpanRecord, Tracer};
 use netqos_topology::NodeId;
 use parking_lot::Mutex;
 use std::net::SocketAddr;
@@ -60,7 +60,12 @@ pub struct DistributedPoller {
     rx: Receiver<PollMessage>,
     stats: Arc<Mutex<PollerStats>>,
     queue_depth: Gauge,
+    worker_spans: Arc<Mutex<Vec<SpanRecord>>>,
 }
+
+/// Upper bound on buffered worker spans awaiting collection; beyond
+/// this, the oldest spans are dropped (forensics favours recency).
+const WORKER_SPAN_CAP: usize = 4096;
 
 /// Aggregate poller statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -99,14 +104,41 @@ impl DistributedPoller {
         period: Duration,
         registry: &Registry,
     ) -> Self {
+        Self::spawn_inner(targets, period, registry, &Tracer::disabled())
+    }
+
+    /// Like [`DistributedPoller::spawn_with_registry`], but each worker
+    /// thread records causal spans into a fork of `tracer` (sharing its
+    /// enable switch, not its cycle buffer — workers are concurrent, so
+    /// each poll becomes its own trace). Drained spans accumulate up to
+    /// [`WORKER_SPAN_CAP`]; collect them with
+    /// [`DistributedPoller::take_spans`].
+    pub fn spawn_traced(
+        targets: Vec<AgentTarget>,
+        period: Duration,
+        registry: &Registry,
+        tracer: &Tracer,
+    ) -> Self {
+        Self::spawn_inner(targets, period, registry, tracer)
+    }
+
+    fn spawn_inner(
+        targets: Vec<AgentTarget>,
+        period: Duration,
+        registry: &Registry,
+        tracer: &Tracer,
+    ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(Mutex::new(PollerStats::default()));
+        let worker_spans = Arc::new(Mutex::new(Vec::new()));
         let (tx, rx): (Sender<PollMessage>, Receiver<PollMessage>) = unbounded();
         let mut threads = Vec::with_capacity(targets.len());
         for (i, target) in targets.into_iter().enumerate() {
             let stop = stop.clone();
             let tx = tx.clone();
             let stats = stats.clone();
+            let tracer = tracer.fork();
+            let spans = worker_spans.clone();
             let telemetry = WorkerTelemetry {
                 successes: registry.counter("netqos_threaded_polls_total"),
                 failures: registry.counter("netqos_threaded_poll_failures_total"),
@@ -115,7 +147,7 @@ impl DistributedPoller {
                 worker_poll_ns: registry.histogram(&format!("netqos_threaded_worker_{i}_poll_ns")),
             };
             threads.push(std::thread::spawn(move || {
-                poll_loop(target, period, stop, tx, stats, telemetry)
+                poll_loop(target, period, stop, tx, stats, telemetry, tracer, spans)
             }));
         }
         DistributedPoller {
@@ -124,7 +156,15 @@ impl DistributedPoller {
             rx,
             stats,
             queue_depth: registry.gauge("netqos_threaded_queue_depth"),
+            worker_spans,
         }
+    }
+
+    /// Takes every span the worker threads have recorded since the last
+    /// call (empty unless spawned via [`DistributedPoller::spawn_traced`]
+    /// with tracing enabled).
+    pub fn take_spans(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.worker_spans.lock())
     }
 
     /// The message channel to drain.
@@ -175,6 +215,7 @@ impl Drop for DistributedPoller {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn poll_loop(
     target: AgentTarget,
     period: Duration,
@@ -182,6 +223,8 @@ fn poll_loop(
     tx: Sender<PollMessage>,
     stats: Arc<Mutex<PollerStats>>,
     telemetry: WorkerTelemetry,
+    tracer: Tracer,
+    spans: Arc<Mutex<Vec<SpanRecord>>>,
 ) {
     let oids = poll::poll_oids(target.if_count);
     let transport = match UdpTransport::connect(target.addr) {
@@ -199,13 +242,33 @@ fn poll_loop(
         }
     };
     let mut client = SnmpClient::new(transport, &target.community);
+    client.set_tracer(tracer.clone());
     while !stop.load(Ordering::Relaxed) {
+        // Each poll is its own trace: workers are concurrent, so their
+        // spans cannot share the service's per-tick cycle buffer.
+        tracer.begin_cycle();
+        let mut poll_span = tracer.span("monitor.poll", "device");
+        if poll_span.is_recording() {
+            poll_span.set_attr("device", target.node.to_string());
+            poll_span.set_attr("addr", target.addr.to_string());
+        }
         let poll_start = Instant::now();
         let result = client
             .get_many(&oids)
             .map_err(MonitorError::from)
             .and_then(|bindings| poll::parse_snapshot(&bindings, target.if_count));
         let elapsed = poll_start.elapsed();
+        poll_span.set_attr("ok", result.is_ok());
+        drop(poll_span);
+        let drained = tracer.end_cycle();
+        if !drained.is_empty() {
+            let mut buf = spans.lock();
+            buf.extend(drained);
+            let len = buf.len();
+            if len > WORKER_SPAN_CAP {
+                buf.drain(..len - WORKER_SPAN_CAP);
+            }
+        }
         telemetry.poll_ns.record_duration(elapsed);
         telemetry.worker_poll_ns.record_duration(elapsed);
         let msg = match result {

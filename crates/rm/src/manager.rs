@@ -4,7 +4,7 @@ use crate::app::Allocation;
 use netqos_monitor::qos::{QosEvent, QosMonitor, ViolationKind};
 use netqos_monitor::{MonitorError, NetworkMonitor};
 use netqos_spec::QosPathSpec;
-use netqos_telemetry::{Counter, Histogram};
+use netqos_telemetry::{Counter, Histogram, Tracer};
 use netqos_topology::bandwidth;
 use netqos_topology::path;
 use netqos_topology::{ConnId, NodeId};
@@ -67,6 +67,7 @@ pub struct ResourceManager {
     advice_issued: Counter,
     no_remedy: Counter,
     decision_ns: Histogram,
+    tracer: Tracer,
 }
 
 impl ResourceManager {
@@ -87,7 +88,14 @@ impl ResourceManager {
             advice_issued: r.counter("netqos_rm_advice_total"),
             no_remedy: r.counter("netqos_rm_no_remedy_total"),
             decision_ns: r.histogram("netqos_rm_decision_latency_ns"),
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Routes this manager's causal spans into `tracer` (disabled by
+    /// default).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Re-resolves this manager's metric handles against `registry`
@@ -145,6 +153,7 @@ impl ResourceManager {
     /// paper's real-time control loop, so its own decision latency is a
     /// monitored quantity.
     pub fn evaluate(&mut self, monitor: &NetworkMonitor) -> Vec<RmEvent> {
+        let mut span = self.tracer.span("rm.manager", "decision");
         let decision_timer = self.decision_ns.start_timer();
         self.evaluations.inc();
         let mut out = Vec::new();
@@ -179,6 +188,7 @@ impl ResourceManager {
         }
         self.history.extend(out.iter().cloned());
         drop(decision_timer);
+        span.set_attr("events", out.len());
         out
     }
 

@@ -13,6 +13,7 @@ use crate::pdu::{ErrorStatus, Pdu, PduType, VarBind};
 use crate::telemetry::ClientTelemetry;
 use crate::transport::Transport;
 use crate::value::SnmpValue;
+use netqos_telemetry::Tracer;
 use std::time::Instant;
 
 /// Builds an encoded `GetRequest` message.
@@ -103,6 +104,7 @@ pub struct SnmpClient<T: Transport> {
     /// before giving up.
     stale_tolerance: u32,
     telemetry: ClientTelemetry,
+    tracer: Tracer,
 }
 
 impl<T: Transport> SnmpClient<T> {
@@ -114,6 +116,7 @@ impl<T: Transport> SnmpClient<T> {
             next_id: 1,
             stale_tolerance: 4,
             telemetry: ClientTelemetry::global(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -121,6 +124,12 @@ impl<T: Transport> SnmpClient<T> {
     /// process-wide registry (used by services with their own registry).
     pub fn set_telemetry(&mut self, telemetry: ClientTelemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Routes this client's causal spans into `tracer` (disabled by
+    /// default, which costs one atomic load per request).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Access to the underlying transport (e.g. to adjust timeouts).
@@ -177,8 +186,21 @@ impl<T: Transport> SnmpClient<T> {
     /// request order.
     pub fn get_many(&mut self, oids: &[Oid]) -> Result<Vec<VarBind>, SnmpError> {
         let id = self.fresh_id();
-        let req = build_get(&self.community, id, oids)?;
-        self.exchange_checked(&req, id)?.into_result()
+        let req = {
+            let mut span = self.tracer.span("snmp.codec", "encode");
+            let req = build_get(&self.community, id, oids)?;
+            span.set_attr("bytes", req.len());
+            span.set_attr("oids", oids.len());
+            req
+        };
+        let resp = {
+            let _span = self.tracer.span("snmp.client", "exchange");
+            self.exchange_checked(&req, id)?
+        };
+        let mut span = self.tracer.span("snmp.codec", "decode");
+        let bindings = resp.into_result()?;
+        span.set_attr("bindings", bindings.len());
+        Ok(bindings)
     }
 
     /// `GetRequest` for one object.

@@ -1,0 +1,149 @@
+//! Incremental quantile baselines over a sliding sample window.
+//!
+//! A [`QuantileBaseline`] answers two questions about a fresh sample in
+//! O(1)/O(buckets) time without retaining raw samples: *where does this
+//! value rank against recent history?* (percentile rank) and *what are
+//! the recent p50/p99?* (quantile readout). It reuses the telemetry
+//! crate's log-bucketed [`Histogram`] — the incremental-quantile role
+//! that P² plays in Chambers et al. — and ages data with two rotating
+//! windows: samples land in the *active* histogram, and when the active
+//! window fills it becomes the *previous* window and a fresh one starts.
+//! Queries merge both windows, so the effective history is between one
+//! and two windows — old traffic patterns fall away instead of
+//! permanently skewing the baseline.
+
+use crate::metrics::Histogram;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Default samples per window: at 1 s/cycle, two windows ≈ 10 minutes of
+/// history, matching the "p99.8 of last 10 min" framing in the issue.
+pub const DEFAULT_WINDOW: u64 = 300;
+
+struct BaselineWindows {
+    active: Histogram,
+    previous: Histogram,
+}
+
+/// A self-aging quantile estimator for one monitored series (a
+/// connection's used bandwidth, a device's poll RTT). Cheap to clone;
+/// clones share the same windows.
+#[derive(Clone)]
+pub struct QuantileBaseline {
+    window: u64,
+    inner: Arc<Mutex<BaselineWindows>>,
+}
+
+impl Default for QuantileBaseline {
+    fn default() -> Self {
+        Self::new(DEFAULT_WINDOW)
+    }
+}
+
+impl QuantileBaseline {
+    /// A baseline rotating after `window` samples (min 1).
+    pub fn new(window: u64) -> Self {
+        QuantileBaseline {
+            window: window.max(1),
+            inner: Arc::new(Mutex::new(BaselineWindows {
+                active: Histogram::new(),
+                previous: Histogram::new(),
+            })),
+        }
+    }
+
+    /// Records a sample, rotating the windows when the active one fills.
+    pub fn record(&self, v: u64) {
+        let mut w = self.inner.lock();
+        if w.active.count() >= self.window {
+            w.previous = std::mem::take(&mut w.active);
+        }
+        w.active.record(v);
+    }
+
+    /// Percentile rank of `v` against the merged windows, in [0, 1].
+    /// 0.0 when no history exists yet.
+    pub fn rank(&self, v: u64) -> f64 {
+        let w = self.inner.lock();
+        let total = w.active.count() + w.previous.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let le = w.active.count_le(v) + w.previous.count_le(v);
+        (le.min(total) as f64) / total as f64
+    }
+
+    /// The value at quantile `q` over the merged windows (0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let w = self.inner.lock();
+        if w.previous.count() == 0 {
+            return w.active.quantile(q);
+        }
+        let merged = Histogram::new();
+        merged.merge_from(&w.active);
+        merged.merge_from(&w.previous);
+        merged.quantile(q)
+    }
+
+    /// Total samples across both windows.
+    pub fn count(&self) -> u64 {
+        let w = self.inner.lock();
+        w.active.count() + w.previous.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_baseline_is_neutral() {
+        let b = QuantileBaseline::new(10);
+        assert_eq!(b.rank(1_000), 0.0);
+        assert_eq!(b.quantile(0.99), 0);
+        assert_eq!(b.count(), 0);
+    }
+
+    #[test]
+    fn rank_and_quantile_agree() {
+        let b = QuantileBaseline::new(1_000);
+        for v in 1..=500u64 {
+            b.record(v * 100);
+        }
+        let p50 = b.quantile(0.5);
+        let r = b.rank(p50);
+        assert!((r - 0.5).abs() < 0.1, "rank({p50}) = {r}");
+        assert!(b.rank(100_000) > 0.99);
+        assert!(b.rank(1) < 0.05);
+    }
+
+    #[test]
+    fn windows_rotate_and_history_ages_out() {
+        let b = QuantileBaseline::new(100);
+        // Old regime: low values fill one full window.
+        for _ in 0..100 {
+            b.record(10);
+        }
+        // New regime: high values. First rotation keeps the low window
+        // as `previous`; the second rotation drops it entirely.
+        for _ in 0..200 {
+            b.record(1_000_000);
+        }
+        assert!(
+            b.count() <= 200,
+            "count() = {} retains stale windows",
+            b.count()
+        );
+        // All history is now the new regime: a low sample ranks at 0.
+        assert!(b.rank(10) < 0.05, "old regime should have aged out");
+        assert!(b.quantile(0.5) > 500_000);
+    }
+
+    #[test]
+    fn clones_share_windows() {
+        let a = QuantileBaseline::new(50);
+        let b = a.clone();
+        a.record(7);
+        assert_eq!(b.count(), 1);
+    }
+}

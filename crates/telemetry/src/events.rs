@@ -72,6 +72,32 @@ pub enum FieldValue {
     Str(String),
 }
 
+impl FieldValue {
+    /// Appends this value as JSON (non-finite floats become `null`).
+    pub fn write_json_into(&self, s: &mut String) {
+        match self {
+            FieldValue::U64(n) => {
+                let _ = write!(s, "{n}");
+            }
+            FieldValue::I64(n) => {
+                let _ = write!(s, "{n}");
+            }
+            FieldValue::F64(f) if f.is_finite() => {
+                let _ = write!(s, "{f}");
+            }
+            FieldValue::F64(_) => s.push_str("null"),
+            FieldValue::Bool(b) => {
+                let _ = write!(s, "{b}");
+            }
+            FieldValue::Str(t) => {
+                s.push('"');
+                escape_json_into(s, t);
+                s.push('"');
+            }
+        }
+    }
+}
+
 impl From<u64> for FieldValue {
     fn from(v: u64) -> Self {
         FieldValue::U64(v)
@@ -133,7 +159,7 @@ pub struct Event {
     pub fields: Vec<(String, FieldValue)>,
 }
 
-fn escape_json_into(out: &mut String, s: &str) {
+pub(crate) fn escape_json_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -170,26 +196,7 @@ impl Event {
             s.push('"');
             escape_json_into(&mut s, k);
             s.push_str("\":");
-            match v {
-                FieldValue::U64(n) => {
-                    let _ = write!(s, "{n}");
-                }
-                FieldValue::I64(n) => {
-                    let _ = write!(s, "{n}");
-                }
-                FieldValue::F64(f) if f.is_finite() => {
-                    let _ = write!(s, "{f}");
-                }
-                FieldValue::F64(_) => s.push_str("null"),
-                FieldValue::Bool(b) => {
-                    let _ = write!(s, "{b}");
-                }
-                FieldValue::Str(t) => {
-                    s.push('"');
-                    escape_json_into(&mut s, t);
-                    s.push('"');
-                }
-            }
+            v.write_json_into(&mut s);
         }
         s.push_str("}}");
         s

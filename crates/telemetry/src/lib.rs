@@ -16,12 +16,30 @@
 //!
 //! Structured events ride alongside metrics through [`EventSink`]
 //! (JSONL with per-target level filtering).
+//!
+//! Causal observability builds on the same crate: [`Tracer`] records a
+//! span tree per poll cycle, [`FlightRecorder`] rings the last N cycles
+//! for violation forensics (JSONL + Chrome `trace_event` export), and
+//! [`QuantileBaseline`] ages streaming quantiles so samples can be
+//! ranked against recent history.
 
+mod baseline;
 mod events;
+mod flight;
+mod json;
 mod metrics;
+mod trace;
 
+pub use baseline::{QuantileBaseline, DEFAULT_WINDOW};
 pub use events::{Event, EventSink, FieldValue, Level};
+pub use flight::{
+    cycles_from_jsonl, parsed_to_chrome_trace, to_chrome_trace, to_jsonl, validate_chrome_trace,
+    write_snapshot, ChromeTraceStats, CycleTrace, FlightRecorder, ParsedCycle, ParsedSpan,
+    SampleAnnotation, SnapshotPaths, DEFAULT_FLIGHT_CAPACITY,
+};
+pub use json::{parse_json, JsonError, JsonValue};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, HistogramTimer, BUCKETS};
+pub use trace::{SpanGuard, SpanId, SpanRecord, TraceId, Tracer};
 
 use parking_lot::RwLock;
 use std::collections::BTreeMap;

@@ -236,6 +236,28 @@ impl Histogram {
         self.max()
     }
 
+    /// Number of recorded samples whose bucket is at or below the bucket
+    /// of `v`. With [`Histogram::count`] this yields a percentile rank
+    /// with the same ≤ 6.25% bucket-resolution error as `quantile`.
+    pub fn count_le(&self, v: u64) -> u64 {
+        let idx = bucket_index(v);
+        let mut cum = 0u64;
+        for i in 0..=idx {
+            cum += self.core.buckets[i].load(Ordering::Relaxed);
+        }
+        cum
+    }
+
+    /// The fraction of recorded samples ≤ `v` (bucket-resolution), in
+    /// [0, 1]. Returns 0.0 when empty.
+    pub fn rank_of(&self, v: u64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.count_le(v).min(total) as f64) / total as f64
+    }
+
     /// Folds another histogram's samples into this one. Merging is
     /// associative and commutative, so per-thread histograms can be
     /// combined in any order.
@@ -381,6 +403,23 @@ mod tests {
         for q in [0.1, 0.5, 0.9, 0.99] {
             assert_eq!(a.quantile(q), whole.quantile(q));
         }
+    }
+
+    #[test]
+    fn rank_tracks_quantiles() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(Histogram::new().rank_of(5), 0.0);
+        for (v, exact) in [(5_000u64, 0.5), (9_000, 0.9), (9_900, 0.99)] {
+            let got = h.rank_of(v);
+            assert!(
+                (got - exact).abs() <= 0.0625 + 1e-9,
+                "rank_of({v}) = {got}, exact {exact}"
+            );
+        }
+        assert_eq!(h.rank_of(u64::MAX / 2), 1.0);
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //!                       [--telemetry PATH]   write PATH.prom + PATH.jsonl
 //! netqos stats   <spec> [--duration N]       run quietly, print Prometheus metrics
 //! netqos audit   <spec>                      verify spec against forwarding evidence
+//! netqos trace   <spec> [--duration N]       run with causal tracing, snapshot the
+//!                       [--load ...]         flight recorder to --out DIR
+//!                       [--out DIR]
+//! netqos flight  dump|show|check PATH        inspect flight-recorder snapshots
 //! ```
 //!
 //! Exit codes: 0 success, 1 usage error, 2 validation/runtime failure.
@@ -21,6 +25,7 @@ use netqos::monitor::NetworkMonitor;
 use netqos::sim::time::SimDuration;
 use netqos::spec;
 use netqos_telemetry::{EventSink, Level};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -37,6 +42,8 @@ fn main() -> ExitCode {
         "monitor" => cmd_monitor(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
+        "flight" => cmd_flight(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -60,7 +67,15 @@ const USAGE: &str = "usage:
                         [--telemetry PATH]   also write PATH.prom + PATH.jsonl
   netqos stats   <spec> [--duration N]       run the monitor quietly, print
                                              its own telemetry (Prometheus text)
-  netqos audit   <spec>                      verify spec against forwarding evidence";
+  netqos audit   <spec>                      verify spec against forwarding evidence
+  netqos trace   <spec> [--duration N] [--load FROM:TO:KBPS[:START:END]]...
+                        [--out DIR]          run with causal tracing; write the
+                                             flight recorder to DIR (default flight/)
+  netqos flight  dump  PATH.jsonl            convert a JSONL snapshot to Chrome
+                                             trace_event JSON on stdout
+  netqos flight  show  PATH.jsonl            summarize a snapshot's cycles
+  netqos flight  check PATH.trace.json       validate Chrome trace JSON (nesting,
+                                             required keys); nonzero exit on failure";
 
 fn read_spec(args: &[String]) -> Result<(String, String), String> {
     let path = args
@@ -151,11 +166,12 @@ fn parse_load(s: &str) -> Result<(String, String, LoadProfile), String> {
     }
 }
 
-/// Options shared by `monitor` and `stats`.
+/// Options shared by `monitor`, `stats`, and `trace`.
 struct MonitorOptions {
     duration: u64,
     loads: Vec<(String, String, LoadProfile)>,
     telemetry: Option<String>,
+    out: Option<PathBuf>,
 }
 
 fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
@@ -163,6 +179,7 @@ fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
         duration: 30,
         loads: Vec::new(),
         telemetry: None,
+        out: None,
     };
     let mut i = 1;
     while i < args.len() {
@@ -188,6 +205,12 @@ fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
                         .clone(),
                 );
             }
+            "--out" => {
+                i += 1;
+                opts.out = Some(PathBuf::from(
+                    args.get(i).ok_or("--out needs a directory path")?,
+                ));
+            }
             other => return Err(format!("unknown option `{other}`\n{USAGE}")),
         }
         i += 1;
@@ -202,6 +225,7 @@ fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
 fn build_service(
     model: spec::SpecModel,
     opts: &MonitorOptions,
+    config: ServiceConfig,
 ) -> Result<MonitoringService, String> {
     let topology = model.topology.clone();
     let monitor_host = model
@@ -218,11 +242,8 @@ fn build_service(
         ..SimNetworkOptions::default()
     };
     let loads = opts.loads.clone();
-    let mut service = MonitoringService::from_model_with(
-        model,
-        net_options,
-        ServiceConfig::default(),
-        |builder, map, m| {
+    let mut service =
+        MonitoringService::from_model_with(model, net_options, config, |builder, map, m| {
             for (from, to, profile) in &loads {
                 let (Ok(f), Ok(t)) = (m.topology.node_by_name(from), m.topology.node_by_name(to))
                 else {
@@ -236,9 +257,8 @@ fn build_service(
                     );
                 }
             }
-        },
-    )
-    .map_err(|e| e.to_string())?;
+        })
+        .map_err(|e| e.to_string())?;
     if let Some(prefix) = &opts.telemetry {
         let sink = EventSink::to_file(format!("{prefix}.jsonl"))
             .map_err(|e| format!("cannot open {prefix}.jsonl: {e}"))?;
@@ -291,7 +311,7 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         return Err("the spec declares no qospath to monitor".into());
     }
     let opts = parse_monitor_options(args)?;
-    let mut service = build_service(model, &opts)?;
+    let mut service = build_service(model, &opts, ServiceConfig::default())?;
 
     // Header.
     print!("t_s");
@@ -342,7 +362,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     }
     let qos_paths = model.qos_paths.clone();
     let opts = parse_monitor_options(args)?;
-    let mut service = build_service(model, &opts)?;
+    let mut service = build_service(model, &opts, ServiceConfig::default())?;
     for _ in 0..opts.duration {
         service.tick().map_err(|e| e.to_string())?;
     }
@@ -408,4 +428,132 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+/// Runs the monitor with causal tracing on and writes the flight
+/// recorder to `--out DIR` (default `flight/`): `last.jsonl` +
+/// `last.trace.json` always hold the newest snapshot, and each QoS
+/// violation additionally leaves a tagged `flight-<seq>.*` pair behind.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let (_, text) = read_spec(args)?;
+    let model = spec::parse_and_validate(&text).map_err(|e| e.to_string())?;
+    if model.qos_paths.is_empty() {
+        return Err("the spec declares no qospath to trace".into());
+    }
+    let qos_paths = model.qos_paths.clone();
+    let opts = parse_monitor_options(args)?;
+    let out = opts.out.clone().unwrap_or_else(|| PathBuf::from("flight"));
+    let config = ServiceConfig {
+        flight_dir: Some(out.clone()),
+        ..ServiceConfig::default()
+    };
+    let mut service = build_service(model, &opts, config)?;
+    service.set_tracing(true);
+    let mut violations = 0usize;
+    for _ in 0..opts.duration {
+        for event in service.tick().map_err(|e| e.to_string())? {
+            if matches!(event, netqos::monitor::qos::QosEvent::Violated { .. }) {
+                violations += 1;
+            }
+        }
+    }
+    let cycles = service.flight().snapshot();
+    if cycles.is_empty() {
+        return Err("no cycles were traced (duration 0?)".into());
+    }
+    // Final snapshot regardless of violations, so every run leaves a
+    // loadable trace behind.
+    let tag = cycles.last().map(|c| c.seq).unwrap_or(0);
+    let paths = netqos_telemetry::write_snapshot(&out, tag, &cycles)
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    let spans: usize = cycles.iter().map(|c| c.spans.len()).sum();
+    println!(
+        "traced {} cycles ({spans} spans), {violations} violation(s), {} snapshot(s) on violation",
+        cycles.len(),
+        service.snapshots().len(),
+    );
+    for q in &qos_paths {
+        if let Some(b) = service.path_baseline(&q.name) {
+            println!(
+                "baseline {}: p50 {:.1} kB/s, p99 {:.1} kB/s over {} samples",
+                q.name,
+                b.quantile(0.5) as f64 / 8000.0,
+                b.quantile(0.99) as f64 / 8000.0,
+                b.count(),
+            );
+        }
+    }
+    println!("jsonl:  {}", paths.jsonl.display());
+    println!("chrome: {}", paths.chrome.display());
+    if let Some(prefix) = &opts.telemetry {
+        write_telemetry_files(&service, prefix)?;
+    }
+    Ok(())
+}
+
+/// Inspects flight-recorder snapshots: `dump` re-emits a JSONL snapshot
+/// as Chrome `trace_event` JSON, `show` prints a per-cycle summary, and
+/// `check` validates a Chrome trace file (used by CI).
+fn cmd_flight(args: &[String]) -> Result<(), String> {
+    let sub = args
+        .first()
+        .ok_or_else(|| format!("missing flight subcommand\n{USAGE}"))?;
+    let path = args
+        .get(1)
+        .ok_or_else(|| format!("missing PATH argument\n{USAGE}"))?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    match sub.as_str() {
+        "dump" => {
+            let cycles =
+                netqos_telemetry::cycles_from_jsonl(&src).map_err(|e| format!("{path}: {e}"))?;
+            print!("{}", netqos_telemetry::parsed_to_chrome_trace(&cycles));
+            Ok(())
+        }
+        "show" => {
+            let cycles =
+                netqos_telemetry::cycles_from_jsonl(&src).map_err(|e| format!("{path}: {e}"))?;
+            println!("{} cycle(s) in {path}", cycles.len());
+            for c in &cycles {
+                let dur_us = c.end_ns.saturating_sub(c.start_ns) / 1_000;
+                println!(
+                    "cycle {:>4}  trace {:#018x}  {:>7} µs  {:>3} spans",
+                    c.seq,
+                    c.trace_id,
+                    dur_us,
+                    c.spans.len()
+                );
+                for s in &c.samples {
+                    println!(
+                        "    {}: used {:.1} kB/s (rank {:.3}, baseline p50 {:.1} p99 {:.1}) on {}",
+                        s.path,
+                        s.used_bps as f64 / 8000.0,
+                        s.used_rank,
+                        s.baseline_p50 as f64 / 8000.0,
+                        s.baseline_p99 as f64 / 8000.0,
+                        s.connection,
+                    );
+                }
+                for e in &c.events {
+                    println!("    ! {e}");
+                }
+            }
+            Ok(())
+        }
+        "check" => {
+            let stats = validate_trace_file(path, &src)?;
+            println!(
+                "{path}: OK — {} events, {} spans, {} cycles",
+                stats.events, stats.spans, stats.cycles
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown flight subcommand `{other}`\n{USAGE}")),
+    }
+}
+
+fn validate_trace_file(
+    path: &str,
+    src: &str,
+) -> Result<netqos_telemetry::ChromeTraceStats, String> {
+    netqos_telemetry::validate_chrome_trace(src).map_err(|e| format!("{path}: {e}"))
 }

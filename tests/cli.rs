@@ -151,6 +151,56 @@ fn stats_prints_prometheus_snapshot() {
 }
 
 #[test]
+fn trace_writes_validatable_flight_snapshots() {
+    let dir = std::env::temp_dir().join(format!("netqos-cli-trace-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let out = run(&[
+        "trace",
+        "specs/two-switch.spec",
+        "--duration",
+        "10",
+        "--load",
+        "sensor1:console:9000",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("traced 10 cycles"), "{stdout}");
+    assert!(stdout.contains("violation(s)"), "{stdout}");
+    assert!(stdout.contains("baseline feed1"), "{stdout}");
+
+    // `flight check` validates the Chrome trace the run produced.
+    let chrome = dir.join("last.trace.json");
+    let out = run(&["flight", "check", chrome.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("OK"), "{stdout}");
+
+    // `flight show` summarizes the JSONL snapshot with baseline ranks.
+    let jsonl = dir.join("last.jsonl");
+    let out = run(&["flight", "show", jsonl.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cycle"), "{stdout}");
+    assert!(stdout.contains("rank"), "{stdout}");
+
+    // `flight dump` converts JSONL back into valid Chrome trace JSON.
+    let out = run(&["flight", "dump", jsonl.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let roundtrip = String::from_utf8(out.stdout).unwrap();
+    netqos_telemetry::validate_chrome_trace(&roundtrip).expect("dump output is a valid trace");
+
+    // `flight check` rejects garbage.
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{\"traceEvents\":[{\"ph\":\"X\"}]}").unwrap();
+    let out = run(&["flight", "check", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn monitor_telemetry_flag_writes_prom_and_jsonl() {
     let dir = std::env::temp_dir().join(format!("netqos-cli-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
