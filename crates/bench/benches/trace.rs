@@ -118,6 +118,7 @@ fn bench_flight_export(c: &mut Criterion) {
         flight.push(netqos_telemetry::CycleTrace {
             seq: 0,
             trace_id,
+            epoch_unix_ns: 1_722_000_000_000_000_000,
             start_ns,
             end_ns: tracer.now_ns(),
             spans: tracer.end_cycle(),
@@ -132,6 +133,9 @@ fn bench_flight_export(c: &mut Criterion) {
     });
     group.bench_function("jsonl_32_cycles", |b| {
         b.iter(|| netqos_telemetry::to_jsonl(std::hint::black_box(&cycles)))
+    });
+    group.bench_function("otlp_32_cycles", |b| {
+        b.iter(|| netqos_telemetry::to_otlp(std::hint::black_box(&cycles)))
     });
     group.finish();
 }

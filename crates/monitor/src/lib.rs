@@ -45,6 +45,7 @@ pub mod delta;
 pub mod discovery;
 pub mod error;
 pub mod latency;
+pub mod live;
 pub mod monitor;
 pub mod poll;
 pub mod qos;

@@ -1,0 +1,187 @@
+//! Live export plane: the status shared between the tick loop and the
+//! HTTP endpoints.
+//!
+//! [`LiveStatus`] is the bridge between the single-threaded
+//! [`MonitoringService`](crate::service::MonitoringService) and the
+//! telemetry crate's [`HttpServer`](netqos_telemetry::HttpServer), whose
+//! handlers run on connection threads: every tick publishes its outcome
+//! (wall-clock instant, a pre-rendered JSON digest of path bandwidths
+//! and baselines) into atomics and a mutex-guarded string, and the
+//! router built by [`build_router`] reads them without ever touching the
+//! service. Three endpoints:
+//!
+//! * `GET /metrics` — Prometheus text exposition of the shared registry;
+//! * `GET /healthz` — tick-loop liveness: age of the last tick against a
+//!   staleness budget (`503` when stale, `200` otherwise);
+//! * `GET /snapshot` — the latest tick digest (paths, baselines, flight
+//!   recorder and sampler state) as JSON.
+
+use netqos_telemetry::{HttpResponse, Registry, Router};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Nanoseconds since the Unix epoch, saturating (never panics even on a
+/// pre-1970 clock).
+pub fn unix_now_ns() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+/// Default staleness budget for `/healthz`: a tick loop quiet for longer
+/// than this is reported unhealthy (unless it finished cleanly).
+pub const DEFAULT_STALE_AFTER_NS: u64 = 2_000_000_000;
+
+/// Tick-loop status shared with HTTP handler threads.
+pub struct LiveStatus {
+    started_unix_ns: u64,
+    stale_after_ns: AtomicU64,
+    last_tick_unix_ns: AtomicU64,
+    ticks: AtomicU64,
+    finished: AtomicBool,
+    snapshot_json: Mutex<String>,
+}
+
+impl LiveStatus {
+    /// A fresh status anchored at the current wall clock.
+    pub fn new() -> Arc<Self> {
+        Arc::new(LiveStatus {
+            started_unix_ns: unix_now_ns(),
+            stale_after_ns: AtomicU64::new(DEFAULT_STALE_AFTER_NS),
+            last_tick_unix_ns: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
+            finished: AtomicBool::new(false),
+            snapshot_json: Mutex::new(String::from("{\"ticks\":0,\"paths\":[]}")),
+        })
+    }
+
+    /// Adjusts the `/healthz` staleness budget (e.g. to a multiple of
+    /// the loop's wall-clock pacing). Zero means "never stale".
+    pub fn set_stale_after_ns(&self, ns: u64) {
+        self.stale_after_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Publishes one tick's outcome.
+    pub fn record_tick(&self, unix_ns: u64, snapshot_json: String) {
+        self.last_tick_unix_ns.store(unix_ns, Ordering::Relaxed);
+        self.ticks.fetch_add(1, Ordering::Relaxed);
+        *self.snapshot_json.lock() = snapshot_json;
+    }
+
+    /// Marks the run as cleanly finished: `/healthz` stays `200` even
+    /// though no further ticks will arrive.
+    pub fn mark_finished(&self) {
+        self.finished.store(true, Ordering::Relaxed);
+    }
+
+    /// Ticks published so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// The `/healthz` response as of `now_unix_ns`.
+    pub fn healthz(&self, now_unix_ns: u64) -> HttpResponse {
+        let ticks = self.ticks();
+        let last = self.last_tick_unix_ns.load(Ordering::Relaxed);
+        let reference = if ticks == 0 {
+            self.started_unix_ns
+        } else {
+            last
+        };
+        let age_ns = now_unix_ns.saturating_sub(reference);
+        let budget = self.stale_after_ns.load(Ordering::Relaxed);
+        let finished = self.finished.load(Ordering::Relaxed);
+        let status = if finished {
+            "finished"
+        } else if budget > 0 && age_ns > budget {
+            "stale"
+        } else if ticks == 0 {
+            "starting"
+        } else {
+            "ok"
+        };
+        let code = if status == "stale" { 503 } else { 200 };
+        let body = format!(
+            "{{\"status\":\"{status}\",\"ticks\":{ticks},\
+             \"last_tick_age_ms\":{},\"stale_after_ms\":{}}}\n",
+            age_ns / 1_000_000,
+            budget / 1_000_000,
+        );
+        HttpResponse::json(code, body)
+    }
+
+    /// The `/snapshot` response: the latest published tick digest.
+    pub fn snapshot_response(&self) -> HttpResponse {
+        let mut body = self.snapshot_json.lock().clone();
+        if !body.ends_with('\n') {
+            body.push('\n');
+        }
+        HttpResponse::json(200, body)
+    }
+}
+
+/// Builds the endpoint router for [`HttpServer::serve`]
+/// (`netqos_telemetry::HttpServer`): `/metrics`, `/healthz`,
+/// `/snapshot`, and `/` (a tiny index). Unknown paths return `None`
+/// (404).
+pub fn build_router(registry: Arc<Registry>, live: Arc<LiveStatus>) -> Arc<Router> {
+    Arc::new(move |path: &str| match path {
+        "/metrics" => Some(HttpResponse::prometheus(registry.render_prometheus())),
+        "/healthz" => Some(live.healthz(unix_now_ns())),
+        "/snapshot" => Some(live.snapshot_response()),
+        "/" => Some(HttpResponse::json(
+            200,
+            "{\"endpoints\":[\"/metrics\",\"/healthz\",\"/snapshot\"]}\n".into(),
+        )),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netqos_telemetry::parse_json;
+
+    #[test]
+    fn healthz_lifecycle() {
+        let live = LiveStatus::new();
+        let t0 = live.started_unix_ns;
+        // Before any tick, within budget: starting.
+        let r = live.healthz(t0 + 1_000_000);
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"status\":\"starting\""));
+        // A tick arrives: ok.
+        live.record_tick(t0 + 5_000_000, "{\"ticks\":1}".into());
+        let r = live.healthz(t0 + 6_000_000);
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"status\":\"ok\""));
+        // Budget exceeded: stale, 503.
+        let r = live.healthz(t0 + 5_000_000 + DEFAULT_STALE_AFTER_NS + 1);
+        assert_eq!(r.status, 503);
+        assert!(r.body.contains("\"status\":\"stale\""));
+        // A clean finish overrides staleness.
+        live.mark_finished();
+        let r = live.healthz(t0 + 60 * DEFAULT_STALE_AFTER_NS);
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"status\":\"finished\""));
+    }
+
+    #[test]
+    fn router_serves_all_endpoints() {
+        let registry = Registry::new();
+        registry.counter("netqos_monitor_ticks_total").add(3);
+        let live = LiveStatus::new();
+        live.record_tick(unix_now_ns(), "{\"ticks\":1,\"paths\":[]}".into());
+        let router = build_router(registry, live);
+        let metrics = router("/metrics").unwrap();
+        assert_eq!(metrics.status, 200);
+        assert!(metrics.body.contains("netqos_monitor_ticks_total 3"));
+        assert_eq!(router("/healthz").unwrap().status, 200);
+        let snap = router("/snapshot").unwrap();
+        assert!(parse_json(&snap.body).is_ok(), "snapshot must be JSON");
+        assert!(router("/nope").is_none());
+    }
+}

@@ -12,6 +12,7 @@
 //! [`tick`]: MonitoringService::tick
 
 use crate::error::MonitorError;
+use crate::live::{unix_now_ns, LiveStatus};
 use crate::monitor::NetworkMonitor;
 use crate::qos::{self, QosEvent, QosMonitor};
 use crate::report::{PathSample, SeriesRecorder};
@@ -22,10 +23,12 @@ use netqos_sim::time::{SimDuration, SimTime};
 use netqos_sim::Ipv4Addr;
 use netqos_telemetry::{
     fields, CycleTrace, EventSink, FlightRecorder, Level, QuantileBaseline, Registry,
-    SampleAnnotation, SnapshotPaths, Tracer, DEFAULT_FLIGHT_CAPACITY, DEFAULT_WINDOW,
+    RetentionPolicy, SampleAnnotation, SampleConfig, SampleDecision, Sampler, SnapshotPaths,
+    Tracer, DEFAULT_FLIGHT_CAPACITY, DEFAULT_WINDOW,
 };
 use netqos_topology::path::CommPath;
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -61,7 +64,20 @@ pub struct ServiceConfig {
     pub flight_dir: Option<PathBuf>,
     /// Samples per window of the per-connection bandwidth baselines.
     pub baseline_window: u64,
+    /// Cap on on-disk flight snapshots (count and bytes), enforced after
+    /// every snapshot write. The newest snapshot is never deleted.
+    pub retention: RetentionPolicy,
+    /// Head/tail trace sampling thresholds. The default keeps every
+    /// cycle (the pre-sampling behaviour).
+    pub sample: SampleConfig,
+    /// If set, per-path bandwidth baselines are restored from this file
+    /// at startup and saved back periodically and via
+    /// [`MonitoringService::persist_baselines`].
+    pub baseline_state: Option<PathBuf>,
 }
+
+/// Ticks between automatic baseline saves when `baseline_state` is set.
+const BASELINE_SAVE_EVERY: u64 = 60;
 
 impl Default for ServiceConfig {
     fn default() -> Self {
@@ -73,6 +89,9 @@ impl Default for ServiceConfig {
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
             flight_dir: None,
             baseline_window: DEFAULT_WINDOW,
+            retention: RetentionPolicy::default(),
+            sample: SampleConfig::keep_all(),
+            baseline_state: None,
         }
     }
 }
@@ -97,6 +116,16 @@ pub struct MonitoringService {
     path_baselines: HashMap<String, QuantileBaseline>,
     /// Snapshots written this session (newest last).
     snapshots: Vec<SnapshotPaths>,
+    /// Wall-clock nanoseconds of the tracer's origin: added to monotonic
+    /// span offsets to place traces on the Unix timeline (OTLP export).
+    epoch_unix_ns: u64,
+    /// Head/tail trace sampling state.
+    sampler: Sampler,
+    /// Status shared with HTTP endpoint threads.
+    live: Arc<LiveStatus>,
+    /// Why restoring `baseline_state` failed, if it did (the service
+    /// starts cold rather than refusing to run).
+    baseline_load_warning: Option<String>,
 }
 
 impl MonitoringService {
@@ -169,6 +198,22 @@ impl MonitoringService {
             telemetry.counter_wraps.clone(),
         );
         let flight = FlightRecorder::new(config.flight_capacity);
+        // Anchor the tracer's monotonic origin on the Unix timeline once;
+        // every cycle carries this epoch so OTLP timestamps are absolute.
+        let epoch_unix_ns = unix_now_ns().saturating_sub(tracer.now_ns());
+        let sampler = Sampler::new(config.sample);
+        // Restore persisted baselines (if configured and present); a
+        // missing or corrupt state file degrades to a cold start.
+        let mut path_baselines = HashMap::new();
+        let mut baseline_load_warning = None;
+        if let Some(state_path) = &config.baseline_state {
+            if state_path.exists() {
+                match netqos_telemetry::load_baselines(state_path) {
+                    Ok(loaded) => path_baselines.extend(loaded),
+                    Err(e) => baseline_load_warning = Some(e),
+                }
+            }
+        }
         Ok(MonitoringService {
             net,
             monitor,
@@ -182,8 +227,12 @@ impl MonitoringService {
             events: Arc::new(EventSink::null()),
             tracer,
             flight,
-            path_baselines: HashMap::new(),
+            path_baselines,
             snapshots: Vec::new(),
+            epoch_unix_ns,
+            sampler,
+            live: LiveStatus::new(),
+            baseline_load_warning,
         })
     }
 
@@ -234,6 +283,92 @@ impl MonitoringService {
         self.path_baselines.get(path_name)
     }
 
+    /// The trace sampler (decision counters for tests and status).
+    pub fn sampler(&self) -> &Sampler {
+        &self.sampler
+    }
+
+    /// The status handle the HTTP endpoints read; share it with
+    /// [`crate::live::build_router`] to serve `/healthz` and `/snapshot`.
+    pub fn live(&self) -> &Arc<LiveStatus> {
+        &self.live
+    }
+
+    /// Why restoring `baseline_state` failed at startup, if it did.
+    pub fn baseline_load_warning(&self) -> Option<&str> {
+        self.baseline_load_warning.as_deref()
+    }
+
+    /// Number of baselines restored from `baseline_state` at startup.
+    pub fn restored_baselines(&self) -> usize {
+        self.path_baselines.len()
+    }
+
+    /// Saves the per-path baselines to `config.baseline_state` (atomic
+    /// write). Returns `Ok(false)` when no state path is configured.
+    pub fn persist_baselines(&self) -> std::io::Result<bool> {
+        let Some(path) = &self.config.baseline_state else {
+            return Ok(false);
+        };
+        let mut entries: Vec<(&str, &QuantileBaseline)> = self
+            .path_baselines
+            .iter()
+            .map(|(n, b)| (n.as_str(), b))
+            .collect();
+        entries.sort_by_key(|(n, _)| *n);
+        netqos_telemetry::save_baselines(path, entries)?;
+        Ok(true)
+    }
+
+    /// Renders the `/snapshot` JSON digest for the current tick.
+    fn status_json(
+        &self,
+        t_s: f64,
+        path_status: &[(String, u64, u64, f64, u64, u64, u64)],
+    ) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"t_s\":{t_s:.3},\"ticks\":{}",
+            self.telemetry.ticks.get()
+        );
+        out.push_str(",\"paths\":[");
+        for (i, (name, used, avail, rank, count, p50, p99)) in path_status.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{name:?},\"used_bps\":{used},\"available_bps\":{avail},\
+                 \"rank\":{rank:.4},\"baseline\":{{\"count\":{count},\"p50\":{p50},\
+                 \"p99\":{p99}}}}}"
+            );
+        }
+        out.push_str("],\"violated\":[");
+        for (i, name) in self.qos.violated_paths().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{name:?}");
+        }
+        let _ = write!(
+            out,
+            "],\"flight\":{{\"cycles\":{},\"capacity\":{},\"snapshots\":{}}}",
+            self.flight.len(),
+            self.config.flight_capacity,
+            self.snapshots.len(),
+        );
+        let _ = write!(
+            out,
+            ",\"sampler\":{{\"seen\":{},\"kept_head\":{},\"kept_tail\":{},\"dropped\":{}}}}}",
+            self.sampler.cycles_seen(),
+            self.sampler.kept_head(),
+            self.sampler.kept_tail(),
+            self.sampler.dropped(),
+        );
+        out
+    }
+
     /// Advances one poll period: runs the network, polls every agent,
     /// records samples, evaluates QoS, and emits traps for state changes.
     /// Returns the QoS events of this tick.
@@ -249,6 +384,8 @@ impl MonitoringService {
         let t_s = self.net.lan.now().duration_since(self.start).as_secs_f64();
         let mut samples = Vec::new();
         let mut cycle_events = Vec::new();
+        let mut path_status = Vec::with_capacity(self.paths.len());
+        let mut max_rank = 0.0f64;
         let window = self.config.baseline_window;
         let tracing = self.tracer.is_enabled();
         for (name, path) in &self.paths {
@@ -265,6 +402,20 @@ impl MonitoringService {
                 let p50 = baseline.quantile(0.5);
                 let p99 = baseline.quantile(0.99);
                 baseline.record(bw.used_bps);
+                path_status.push((
+                    name.clone(),
+                    bw.used_bps,
+                    bw.available_bps,
+                    rank,
+                    history + 1,
+                    p50,
+                    p99,
+                ));
+                // A mature baseline's rank feeds the sampler's tail
+                // trigger; a young one ranks everything at the extremes.
+                if history >= MIN_BASELINE_HISTORY {
+                    max_rank = max_rank.max(rank);
+                }
                 if history >= MIN_BASELINE_HISTORY && rank > ANOMALY_RANK {
                     // Pre-violation warning: usage is extreme for *this*
                     // connection even if no QoS rule has tripped yet.
@@ -374,49 +525,117 @@ impl MonitoringService {
 
         drop(cycle_span);
         if tracing {
-            let cycle = CycleTrace {
-                seq: 0, // assigned by the recorder
-                trace_id,
-                start_ns: cycle_start_ns,
-                end_ns: self.tracer.now_ns(),
-                spans: self.tracer.end_cycle(),
-                samples,
-                events: cycle_events,
-            };
-            // Push before snapshotting so the violating cycle itself is
-            // part of the forensic record.
-            let seq = self.flight.push(cycle);
-            let violated = events
-                .iter()
-                .any(|e| matches!(e, QosEvent::Violated { .. }));
-            if violated {
-                if let Some(dir) = self.config.flight_dir.clone() {
-                    match netqos_telemetry::write_snapshot(&dir, seq, &self.flight.snapshot()) {
-                        Ok(paths) => {
-                            self.telemetry.flight_snapshots.inc();
-                            self.events.emit(
-                                Level::Info,
+            let cycle_end_ns = self.tracer.now_ns();
+            // The sampler decides *after* the cycle completes: tail
+            // triggers need its outcome (duration, ranks, QoS events).
+            let decision = self.sampler.decide(
+                cycle_end_ns.saturating_sub(cycle_start_ns),
+                max_rank,
+                !cycle_events.is_empty(),
+            );
+            match decision {
+                SampleDecision::Head => self.telemetry.trace_kept_head.inc(),
+                SampleDecision::Tail(trigger) => {
+                    self.telemetry.trace_kept_tail.inc();
+                    self.events.emit(
+                        Level::Debug,
+                        "monitor.trace",
+                        "tail_sampled",
+                        fields!["trigger" => trigger],
+                    );
+                }
+                SampleDecision::Drop => self.telemetry.trace_dropped.inc(),
+            }
+            let spans = self.tracer.end_cycle();
+            if decision.keep() {
+                let cycle = CycleTrace {
+                    seq: 0, // assigned by the recorder
+                    trace_id,
+                    start_ns: cycle_start_ns,
+                    end_ns: cycle_end_ns,
+                    epoch_unix_ns: self.epoch_unix_ns,
+                    spans,
+                    samples,
+                    events: cycle_events,
+                };
+                // Push before snapshotting so the violating cycle itself
+                // is part of the forensic record.
+                let seq = self.flight.push(cycle);
+                let violated = events
+                    .iter()
+                    .any(|e| matches!(e, QosEvent::Violated { .. }));
+                if violated {
+                    if let Some(dir) = self.config.flight_dir.clone() {
+                        match netqos_telemetry::write_snapshot(&dir, seq, &self.flight.snapshot()) {
+                            Ok(paths) => {
+                                self.telemetry.flight_snapshots.inc();
+                                self.events.emit(
+                                    Level::Info,
+                                    "monitor.flight",
+                                    "snapshot",
+                                    fields![
+                                        "cycles" => self.flight.len(),
+                                        "path" => paths.chrome.display().to_string(),
+                                    ],
+                                );
+                                self.snapshots.push(paths);
+                            }
+                            Err(e) => self.events.emit(
+                                Level::Warn,
                                 "monitor.flight",
-                                "snapshot",
-                                fields![
-                                    "cycles" => self.flight.len(),
-                                    "path" => paths.chrome.display().to_string(),
-                                ],
-                            );
-                            self.snapshots.push(paths);
+                                "snapshot_failed",
+                                fields!["error" => e.to_string()],
+                            ),
                         }
-                        Err(e) => self.events.emit(
-                            Level::Warn,
-                            "monitor.flight",
-                            "snapshot_failed",
-                            fields!["error" => e.to_string()],
-                        ),
+                        // Keep the snapshot directory within budget now
+                        // that a new snapshot landed.
+                        match netqos_telemetry::enforce_retention(&dir, self.config.retention) {
+                            Ok(0) => {}
+                            Ok(deleted) => {
+                                self.telemetry.flight_retention_deleted.add(deleted as u64);
+                                self.events.emit(
+                                    Level::Info,
+                                    "monitor.flight",
+                                    "retention",
+                                    fields!["deleted" => deleted as u64],
+                                );
+                            }
+                            Err(e) => self.events.emit(
+                                Level::Warn,
+                                "monitor.flight",
+                                "retention_failed",
+                                fields!["error" => e.to_string()],
+                            ),
+                        }
                     }
                 }
             }
         }
 
         let wall = wall_timer.stop();
+        // Publish this tick to the live endpoints and, periodically, the
+        // baselines to their state file.
+        let status = self.status_json(t_s, &path_status);
+        self.live.record_tick(
+            self.epoch_unix_ns.saturating_add(self.tracer.now_ns()),
+            status,
+        );
+        if self.config.baseline_state.is_some()
+            && self
+                .telemetry
+                .ticks
+                .get()
+                .is_multiple_of(BASELINE_SAVE_EVERY)
+        {
+            if let Err(e) = self.persist_baselines() {
+                self.events.emit(
+                    Level::Warn,
+                    "monitor.baseline",
+                    "persist_failed",
+                    fields!["error" => e.to_string()],
+                );
+            }
+        }
         self.events.emit(
             Level::Debug,
             "monitor.tick",
@@ -585,6 +804,115 @@ mod tests {
         svc.set_tracing(false);
         svc.run_ticks(2).unwrap();
         assert_eq!(svc.flight().len(), 3);
+    }
+
+    #[test]
+    fn sampler_thins_flight_ring_but_keeps_qos_cycles() {
+        let model = netqos_spec::parse_and_validate(SPEC).unwrap();
+        let options = SimNetworkOptions {
+            monitor_host: "M".into(),
+            ..SimNetworkOptions::default()
+        };
+        let config = ServiceConfig {
+            sample: netqos_telemetry::SampleConfig {
+                head_every: 4,
+                slow_tick_ns: 0,
+                tail_rank: f64::INFINITY,
+            },
+            ..ServiceConfig::default()
+        };
+        let mut svc = MonitoringService::from_model(model, options, config).unwrap();
+        svc.set_tracing(true);
+        svc.run_ticks(8).unwrap();
+        // Head keeps ticks 0 and 4; the other six are dropped.
+        assert_eq!(svc.flight().len(), 2);
+        assert_eq!(svc.sampler().kept_head(), 2);
+        assert_eq!(svc.sampler().dropped(), 6);
+        assert_eq!(svc.telemetry().trace_dropped.get(), 6);
+        // Force a violation: the qos_event tail trigger must keep it.
+        let m = svc.monitor().topology().node_by_name("M").unwrap();
+        let m_dev = svc.net_mut().device_of(m).unwrap();
+        for _ in 0..40 {
+            svc.net_mut()
+                .lan
+                .post_udp(
+                    m_dev,
+                    5000,
+                    "10.0.0.2".parse().unwrap(),
+                    9,
+                    vec![0u8; 50_000].into(),
+                )
+                .unwrap();
+        }
+        let before = svc.flight().len();
+        let events = svc.run_ticks(3).unwrap();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, QosEvent::Violated { .. })));
+        assert!(
+            svc.sampler().kept_tail() >= 1,
+            "violation cycle sampled out"
+        );
+        assert!(svc.flight().len() > before);
+        let violation_kept = svc
+            .flight()
+            .snapshot()
+            .iter()
+            .any(|c| c.events.iter().any(|e| e.starts_with("qos_violation")));
+        assert!(violation_kept, "violating cycle missing from the ring");
+    }
+
+    #[test]
+    fn live_status_publishes_snapshot_json() {
+        let mut svc = idle_service();
+        svc.run_ticks(3).unwrap();
+        let live = svc.live().clone();
+        assert_eq!(live.ticks(), 3);
+        let snap = live.snapshot_response();
+        assert_eq!(snap.status, 200);
+        let doc = netqos_telemetry::parse_json(&snap.body).unwrap();
+        assert_eq!(doc.get("ticks").and_then(|v| v.as_u64()), Some(3));
+        let paths = doc.get("paths").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(
+            paths[0].get("name").and_then(|v| v.as_str()),
+            Some("mw"),
+            "snapshot lists the qospath"
+        );
+        assert!(doc.get("sampler").is_some());
+        // Healthz sees the recent tick.
+        let h = live.healthz(crate::live::unix_now_ns());
+        assert_eq!(h.status, 200);
+    }
+
+    #[test]
+    fn baselines_survive_a_service_restart() {
+        let dir = std::env::temp_dir().join(format!("netqos-svc-baseline-{}", std::process::id()));
+        let state = dir.join("baselines.json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = netqos_spec::parse_and_validate(SPEC).unwrap();
+        let options = || SimNetworkOptions {
+            monitor_host: "M".into(),
+            ..SimNetworkOptions::default()
+        };
+        let config = ServiceConfig {
+            baseline_state: Some(state.clone()),
+            ..ServiceConfig::default()
+        };
+        let mut svc =
+            MonitoringService::from_model(model.clone(), options(), config.clone()).unwrap();
+        assert_eq!(svc.restored_baselines(), 0);
+        svc.run_ticks(5).unwrap();
+        let count = svc.path_baseline("mw").unwrap().count();
+        assert!(count > 0);
+        assert!(svc.persist_baselines().unwrap());
+
+        // "Restart": a fresh service from the same config resumes with
+        // the recorded history instead of a cold baseline.
+        let svc2 = MonitoringService::from_model(model, options(), config).unwrap();
+        assert_eq!(svc2.baseline_load_warning(), None);
+        assert_eq!(svc2.restored_baselines(), 1);
+        assert_eq!(svc2.path_baseline("mw").unwrap().count(), count);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -54,6 +54,14 @@ pub struct MonitorTelemetry {
     pub anomaly_warnings: Counter,
     /// Flight-recorder snapshots written to disk.
     pub flight_snapshots: Counter,
+    /// Stale snapshot files deleted by the retention policy.
+    pub flight_retention_deleted: Counter,
+    /// Traced cycles kept by the sampler's head rate.
+    pub trace_kept_head: Counter,
+    /// Traced cycles kept by a sampler tail trigger.
+    pub trace_kept_tail: Counter,
+    /// Traced cycles dropped by the sampler.
+    pub trace_dropped: Counter,
 }
 
 impl MonitorTelemetry {
@@ -79,6 +87,10 @@ impl MonitorTelemetry {
             counter_wraps: r.counter("netqos_monitor_counter_wraps_total"),
             anomaly_warnings: r.counter("netqos_monitor_anomaly_warnings_total"),
             flight_snapshots: r.counter("netqos_monitor_flight_snapshots_total"),
+            flight_retention_deleted: r.counter("netqos_monitor_flight_retention_deleted_total"),
+            trace_kept_head: r.counter("netqos_monitor_trace_kept_head_total"),
+            trace_kept_tail: r.counter("netqos_monitor_trace_kept_tail_total"),
+            trace_dropped: r.counter("netqos_monitor_trace_dropped_total"),
             registry,
         }
     }

@@ -8,11 +8,14 @@
 //! treat an unresponsive host as a failure-detection signal.
 
 use crate::error::MonitorError;
+use crate::live::unix_now_ns;
 use crate::poll::{self, DeviceSnapshot};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use netqos_snmp::client::SnmpClient;
 use netqos_snmp::transport::UdpTransport;
-use netqos_telemetry::{Counter, Gauge, Histogram, Registry, SpanRecord, Tracer};
+use netqos_telemetry::{
+    Counter, CycleTrace, FlightRecorder, Gauge, Histogram, Registry, SpanRecord, Tracer,
+};
 use netqos_topology::NodeId;
 use parking_lot::Mutex;
 use std::net::SocketAddr;
@@ -104,7 +107,7 @@ impl DistributedPoller {
         period: Duration,
         registry: &Registry,
     ) -> Self {
-        Self::spawn_inner(targets, period, registry, &Tracer::disabled())
+        Self::spawn_inner(targets, period, registry, &Tracer::disabled(), None)
     }
 
     /// Like [`DistributedPoller::spawn_with_registry`], but each worker
@@ -119,7 +122,21 @@ impl DistributedPoller {
         registry: &Registry,
         tracer: &Tracer,
     ) -> Self {
-        Self::spawn_inner(targets, period, registry, tracer)
+        Self::spawn_inner(targets, period, registry, tracer, None)
+    }
+
+    /// Like [`DistributedPoller::spawn_traced`], additionally pushing
+    /// each worker poll as its own [`CycleTrace`] into `flight`, so
+    /// real-UDP polls land in the same forensic ring (and OTLP/Chrome
+    /// snapshots) as the simulated pipeline's cycles.
+    pub fn spawn_traced_with_flight(
+        targets: Vec<AgentTarget>,
+        period: Duration,
+        registry: &Registry,
+        tracer: &Tracer,
+        flight: Arc<FlightRecorder>,
+    ) -> Self {
+        Self::spawn_inner(targets, period, registry, tracer, Some(flight))
     }
 
     fn spawn_inner(
@@ -127,6 +144,7 @@ impl DistributedPoller {
         period: Duration,
         registry: &Registry,
         tracer: &Tracer,
+        flight: Option<Arc<FlightRecorder>>,
     ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(Mutex::new(PollerStats::default()));
@@ -139,6 +157,7 @@ impl DistributedPoller {
             let stats = stats.clone();
             let tracer = tracer.fork();
             let spans = worker_spans.clone();
+            let flight = flight.clone();
             let telemetry = WorkerTelemetry {
                 successes: registry.counter("netqos_threaded_polls_total"),
                 failures: registry.counter("netqos_threaded_poll_failures_total"),
@@ -147,7 +166,9 @@ impl DistributedPoller {
                 worker_poll_ns: registry.histogram(&format!("netqos_threaded_worker_{i}_poll_ns")),
             };
             threads.push(std::thread::spawn(move || {
-                poll_loop(target, period, stop, tx, stats, telemetry, tracer, spans)
+                poll_loop(
+                    target, period, stop, tx, stats, telemetry, tracer, spans, flight,
+                )
             }));
         }
         DistributedPoller {
@@ -225,7 +246,12 @@ fn poll_loop(
     telemetry: WorkerTelemetry,
     tracer: Tracer,
     spans: Arc<Mutex<Vec<SpanRecord>>>,
+    flight: Option<Arc<FlightRecorder>>,
 ) {
+    // Each fork has its own monotonic origin; anchor it on the Unix
+    // timeline once so this worker's flight cycles export as OTLP with
+    // absolute timestamps.
+    let epoch_unix_ns = unix_now_ns().saturating_sub(tracer.now_ns());
     let oids = poll::poll_oids(target.if_count);
     let transport = match UdpTransport::connect(target.addr) {
         Ok(mut t) => {
@@ -246,7 +272,8 @@ fn poll_loop(
     while !stop.load(Ordering::Relaxed) {
         // Each poll is its own trace: workers are concurrent, so their
         // spans cannot share the service's per-tick cycle buffer.
-        tracer.begin_cycle();
+        let trace_id = tracer.begin_cycle();
+        let cycle_start_ns = tracer.now_ns();
         let mut poll_span = tracer.span("monitor.poll", "device");
         if poll_span.is_recording() {
             poll_span.set_attr("device", target.node.to_string());
@@ -262,6 +289,18 @@ fn poll_loop(
         drop(poll_span);
         let drained = tracer.end_cycle();
         if !drained.is_empty() {
+            if let Some(flight) = &flight {
+                flight.push(CycleTrace {
+                    seq: 0, // assigned by the recorder
+                    trace_id,
+                    start_ns: cycle_start_ns,
+                    end_ns: tracer.now_ns(),
+                    epoch_unix_ns,
+                    spans: drained.clone(),
+                    samples: Vec::new(),
+                    events: Vec::new(),
+                });
+            }
             let mut buf = spans.lock();
             buf.extend(drained);
             let len = buf.len();
@@ -371,6 +410,60 @@ mod tests {
         assert!(poller.stats().successes >= 2);
         poller.stop();
         server.stop();
+    }
+
+    #[test]
+    fn traced_worker_polls_land_in_flight_recorder() {
+        let server = spawn_growing_agent(125_000, 100);
+        let (topo, node) = one_node_topology();
+        let registry = Registry::new();
+        let tracer = Tracer::new(); // enabled
+        let flight = Arc::new(FlightRecorder::new(16));
+        let poller = DistributedPoller::spawn_traced_with_flight(
+            vec![AgentTarget {
+                node,
+                addr: server.local_addr(),
+                community: "public".into(),
+                if_count: 1,
+            }],
+            Duration::from_millis(30),
+            &registry,
+            &tracer,
+            flight.clone(),
+        );
+        let mut monitor = NetworkMonitor::new(topo);
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        while flight.len() < 2 {
+            assert!(std::time::Instant::now() < deadline, "no flight cycles");
+            poller.drain_into(&mut monitor);
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        poller.stop();
+        server.stop();
+        let cycles = flight.snapshot();
+        assert!(cycles.len() >= 2);
+        for c in &cycles {
+            assert_ne!(c.trace_id, 0);
+            // Worker epochs anchor the cycle on the Unix timeline
+            // (clearly after 2020-01-01 in nanoseconds).
+            assert!(c.epoch_unix_ns > 1_577_836_800_000_000_000);
+            let device = c
+                .spans
+                .iter()
+                .find(|s| s.target == "monitor.poll")
+                .expect("poll span in flight cycle");
+            assert!(device.attrs.iter().any(|(k, _)| k == "device"));
+            // The SNMP client's spans nest under the poll span.
+            assert!(
+                c.spans.iter().any(|s| s.parent == Some(device.span_id)),
+                "expected child spans under the poll span"
+            );
+        }
+        // The worker-span buffer API still works alongside the ring.
+        // (Spans were drained into both.)
+        let exported = netqos_telemetry::to_otlp(&cycles);
+        let stats = netqos_telemetry::validate_otlp(&exported).unwrap();
+        assert_eq!(stats.traces, cycles.len());
     }
 
     #[test]

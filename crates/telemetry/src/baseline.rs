@@ -12,8 +12,11 @@
 //! and two windows — old traffic patterns fall away instead of
 //! permanently skewing the baseline.
 
-use crate::metrics::Histogram;
+use crate::json::{parse_json, JsonValue};
+use crate::metrics::{Histogram, HistogramState};
 use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Default samples per window: at 1 s/cycle, two windows ≈ 10 minutes of
@@ -90,6 +93,186 @@ impl QuantileBaseline {
         let w = self.inner.lock();
         w.active.count() + w.previous.count()
     }
+
+    /// A serializable copy of both windows.
+    pub fn to_state(&self) -> BaselineState {
+        let w = self.inner.lock();
+        BaselineState {
+            window: self.window,
+            active: w.active.to_state(),
+            previous: w.previous.to_state(),
+        }
+    }
+
+    /// Rebuilds a baseline from a saved state.
+    pub fn from_state(state: &BaselineState) -> Self {
+        QuantileBaseline {
+            window: state.window.max(1),
+            inner: Arc::new(Mutex::new(BaselineWindows {
+                active: Histogram::from_state(&state.active),
+                previous: Histogram::from_state(&state.previous),
+            })),
+        }
+    }
+}
+
+/// Full persistable state of one [`QuantileBaseline`]: the rotation
+/// window plus both histogram windows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BaselineState {
+    /// Samples per rotation window.
+    pub window: u64,
+    /// The filling window.
+    pub active: HistogramState,
+    /// The previous (full) window.
+    pub previous: HistogramState,
+}
+
+// ---- persistence ----------------------------------------------------
+//
+// Baselines take one to two windows of live traffic (minutes at a
+// 1 s poll period) to mature; a restart that forgets them re-opens the
+// anomaly-detection blind spot every time the service is rolled. The
+// state file is a single JSON object so it can be written atomically
+// (temp file + rename) and inspected by hand. All u64 fields are
+// serialized as strings: epoch-scale sums exceed 2^53 and the reader
+// parses numbers through f64.
+
+fn write_histogram_state(out: &mut String, h: &HistogramState) {
+    let _ = write!(
+        out,
+        "{{\"count\":\"{}\",\"sum\":\"{}\",\"min\":\"{}\",\"max\":\"{}\",\"buckets\":[",
+        h.count, h.sum, h.min, h.max
+    );
+    for (i, (idx, n)) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{idx},\"{n}\"]");
+    }
+    out.push_str("]}");
+}
+
+fn read_u64_str(v: &JsonValue, key: &str) -> Result<u64, String> {
+    match v.get(key) {
+        Some(JsonValue::String(s)) => s.parse().map_err(|_| format!("bad {key}: {s:?}")),
+        Some(other) => other.as_u64().ok_or_else(|| format!("bad {key}")),
+        None => Err(format!("missing {key}")),
+    }
+}
+
+fn read_histogram_state(v: &JsonValue) -> Result<HistogramState, String> {
+    let mut state = HistogramState {
+        count: read_u64_str(v, "count")?,
+        sum: read_u64_str(v, "sum")?,
+        min: read_u64_str(v, "min")?,
+        max: read_u64_str(v, "max")?,
+        buckets: Vec::new(),
+    };
+    let buckets = v
+        .get("buckets")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing buckets")?;
+    for b in buckets {
+        let pair = b.as_array().ok_or("bucket entry is not a pair")?;
+        let idx = pair
+            .first()
+            .and_then(JsonValue::as_u64)
+            .ok_or("bad bucket index")? as u32;
+        let n = match pair.get(1) {
+            Some(JsonValue::String(s)) => s.parse().map_err(|_| "bad bucket count")?,
+            Some(other) => other.as_u64().ok_or("bad bucket count")?,
+            None => return Err("bucket entry missing count".into()),
+        };
+        state.buckets.push((idx, n));
+    }
+    Ok(state)
+}
+
+/// Serializes named baselines to JSON text (see [`save_baselines`]).
+pub fn baselines_to_json<'a, I>(entries: I) -> String
+where
+    I: IntoIterator<Item = (&'a str, &'a QuantileBaseline)>,
+{
+    let mut out = String::from("{\"version\":1,\"baselines\":{");
+    for (i, (name, baseline)) in entries.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        crate::events::escape_json_into(&mut out, name);
+        out.push_str("\":");
+        let state = baseline.to_state();
+        let _ = write!(out, "{{\"window\":{},\"active\":", state.window);
+        write_histogram_state(&mut out, &state.active);
+        out.push_str(",\"previous\":");
+        write_histogram_state(&mut out, &state.previous);
+        out.push('}');
+    }
+    out.push_str("}}\n");
+    out
+}
+
+/// Parses the output of [`baselines_to_json`], returning
+/// `(name, baseline)` pairs sorted by name.
+pub fn baselines_from_json(src: &str) -> Result<Vec<(String, QuantileBaseline)>, String> {
+    let doc = parse_json(src).map_err(|e| e.to_string())?;
+    let map = match doc.get("baselines") {
+        Some(JsonValue::Object(m)) => m,
+        _ => return Err("missing baselines object".into()),
+    };
+    let mut out = Vec::with_capacity(map.len());
+    for (name, entry) in map {
+        let window = entry
+            .get("window")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("baseline {name}: missing window"))?;
+        let active = read_histogram_state(
+            entry
+                .get("active")
+                .ok_or_else(|| format!("baseline {name}: missing active"))?,
+        )
+        .map_err(|e| format!("baseline {name}: {e}"))?;
+        let previous = read_histogram_state(
+            entry
+                .get("previous")
+                .ok_or_else(|| format!("baseline {name}: missing previous"))?,
+        )
+        .map_err(|e| format!("baseline {name}: {e}"))?;
+        out.push((
+            name.clone(),
+            QuantileBaseline::from_state(&BaselineState {
+                window,
+                active,
+                previous,
+            }),
+        ));
+    }
+    Ok(out)
+}
+
+/// Writes named baselines to `path` atomically (temp file + rename), so
+/// a crash mid-save never leaves a truncated state file.
+pub fn save_baselines<'a, I>(path: &Path, entries: I) -> std::io::Result<()>
+where
+    I: IntoIterator<Item = (&'a str, &'a QuantileBaseline)>,
+{
+    let json = baselines_to_json(entries);
+    let tmp = path.with_extension("tmp");
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(&tmp, &json)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Reads baselines previously written by [`save_baselines`].
+pub fn load_baselines(path: &Path) -> Result<Vec<(String, QuantileBaseline)>, String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    baselines_from_json(&src).map_err(|e| format!("{}: {e}", path.display()))
 }
 
 #[cfg(test)]
@@ -137,6 +320,39 @@ mod tests {
         // All history is now the new regime: a low sample ranks at 0.
         assert!(b.rank(10) < 0.05, "old regime should have aged out");
         assert!(b.quantile(0.5) > 500_000);
+    }
+
+    #[test]
+    fn save_load_round_trip_preserves_quantiles() {
+        let b = QuantileBaseline::new(100);
+        for v in 1..=250u64 {
+            b.record(v * 1_000);
+        }
+        let feed2 = QuantileBaseline::new(100);
+        feed2.record(77);
+
+        let dir = std::env::temp_dir().join(format!("netqos-baseline-{}", std::process::id()));
+        let path = dir.join("state.json");
+        save_baselines(&path, [("feed1", &b), ("feed2", &feed2)]).unwrap();
+        let loaded = load_baselines(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(loaded.len(), 2);
+        let restored = &loaded.iter().find(|(n, _)| n == "feed1").unwrap().1;
+        assert_eq!(restored.count(), b.count());
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(restored.quantile(q), b.quantile(q), "quantile {q}");
+        }
+        assert_eq!(restored.rank(200_000), b.rank(200_000));
+        // Rotation picks up where it left off: the window survives too.
+        assert_eq!(restored.to_state(), b.to_state());
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(baselines_from_json("not json").is_err());
+        assert!(baselines_from_json("{}").is_err());
+        assert!(baselines_from_json("{\"baselines\":{\"x\":{}}}").is_err());
     }
 
     #[test]

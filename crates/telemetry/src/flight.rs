@@ -55,6 +55,10 @@ pub struct CycleTrace {
     pub seq: u64,
     /// The tracer's id for this cycle (0 when tracing was disabled).
     pub trace_id: TraceId,
+    /// Wall-clock nanoseconds since the Unix epoch corresponding to the
+    /// tracer's origin (offset 0), so exports can place the cycle's
+    /// monotonic span offsets on the real timeline. 0 when unknown.
+    pub epoch_unix_ns: u64,
     /// Cycle start, nanoseconds since the tracer's origin.
     pub start_ns: u64,
     /// Cycle end, nanoseconds since the tracer's origin.
@@ -152,10 +156,12 @@ fn write_attrs_json(out: &mut String, attrs: &[(String, FieldValue)]) {
 pub fn to_jsonl(cycles: &[CycleTrace]) -> String {
     let mut out = String::new();
     for c in cycles {
+        // The epoch is serialized as a string: epoch nanoseconds exceed
+        // 2^53, and the JSONL reader parses numbers through f64.
         let _ = write!(
             out,
-            "{{\"seq\":{},\"trace_id\":{},\"start_ns\":{},\"end_ns\":{},\"spans\":[",
-            c.seq, c.trace_id, c.start_ns, c.end_ns
+            "{{\"seq\":{},\"trace_id\":{},\"epoch_unix_ns\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"spans\":[",
+            c.seq, c.trace_id, c.epoch_unix_ns, c.start_ns, c.end_ns
         );
         for (i, s) in c.spans.iter().enumerate() {
             if i > 0 {
@@ -356,6 +362,9 @@ pub struct ParsedCycle {
     pub seq: u64,
     /// Trace id.
     pub trace_id: u64,
+    /// Unix-epoch nanoseconds of the tracer's origin (0 when the
+    /// snapshot predates epoch stamping).
+    pub epoch_unix_ns: u64,
     /// Cycle start, ns.
     pub start_ns: u64,
     /// Cycle end, ns.
@@ -399,9 +408,17 @@ pub fn cycles_from_jsonl(src: &str) -> Result<Vec<ParsedCycle>, String> {
         }
         let v = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
         let num = |key: &str| v.get(key).and_then(JsonValue::as_u64).unwrap_or(0);
+        // String-encoded (new snapshots) or absent (old ones); a bare
+        // number is accepted too, at f64 precision.
+        let epoch_unix_ns = match v.get("epoch_unix_ns") {
+            Some(JsonValue::String(s)) => s.parse::<u64>().unwrap_or(0),
+            Some(other) => other.as_u64().unwrap_or(0),
+            None => 0,
+        };
         let mut cycle = ParsedCycle {
             seq: num("seq"),
             trace_id: num("trace_id"),
+            epoch_unix_ns,
             start_ns: num("start_ns"),
             end_ns: num("end_ns"),
             ..ParsedCycle::default()
@@ -624,12 +641,15 @@ pub struct SnapshotPaths {
     pub jsonl: PathBuf,
     /// The per-violation Chrome trace file.
     pub chrome: PathBuf,
+    /// The per-violation OTLP/JSON file.
+    pub otlp: PathBuf,
 }
 
-/// Persists a ring snapshot to `dir` as `flight-<tag>.jsonl` and
-/// `flight-<tag>.trace.json`, also refreshing the stable aliases
-/// `last.jsonl` / `last.trace.json` (what CI and quick tooling read).
-/// Creates `dir` if needed.
+/// Persists a ring snapshot to `dir` as `flight-<tag>.jsonl`,
+/// `flight-<tag>.trace.json`, and `flight-<tag>.otlp.json`, also
+/// refreshing the stable aliases `last.jsonl` / `last.trace.json` /
+/// `last.otlp.json` (what CI and quick tooling read). Creates `dir` if
+/// needed.
 pub fn write_snapshot(
     dir: &Path,
     tag: u64,
@@ -638,16 +658,117 @@ pub fn write_snapshot(
     std::fs::create_dir_all(dir)?;
     let jsonl = to_jsonl(cycles);
     let chrome = to_chrome_trace(cycles);
+    let otlp = crate::otlp::to_otlp(cycles);
     let jsonl_path = dir.join(format!("flight-{tag}.jsonl"));
     let chrome_path = dir.join(format!("flight-{tag}.trace.json"));
+    let otlp_path = dir.join(format!("flight-{tag}.otlp.json"));
     std::fs::write(&jsonl_path, &jsonl)?;
     std::fs::write(&chrome_path, &chrome)?;
+    std::fs::write(&otlp_path, &otlp)?;
     std::fs::write(dir.join("last.jsonl"), &jsonl)?;
     std::fs::write(dir.join("last.trace.json"), &chrome)?;
+    std::fs::write(dir.join("last.otlp.json"), &otlp)?;
     Ok(SnapshotPaths {
         jsonl: jsonl_path,
         chrome: chrome_path,
+        otlp: otlp_path,
     })
+}
+
+/// Disk budget for tagged `flight-<seq>.*` snapshot files.
+///
+/// A violation storm writes one snapshot trio per violation onset;
+/// without a cap that fills the disk exactly when the system is least
+/// healthy. [`enforce_retention`] deletes the oldest tagged snapshots
+/// (lowest sequence number first) until both limits hold. The `last.*`
+/// aliases are never counted or deleted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Maximum tagged snapshots kept (each is a jsonl/chrome/otlp
+    /// trio). 0 means unlimited.
+    pub max_snapshots: usize,
+    /// Maximum total bytes across all tagged snapshot files. 0 means
+    /// unlimited.
+    pub max_bytes: u64,
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        RetentionPolicy {
+            max_snapshots: 32,
+            max_bytes: 64 * 1024 * 1024,
+        }
+    }
+}
+
+impl RetentionPolicy {
+    /// No limits — nothing is ever deleted.
+    pub fn unlimited() -> Self {
+        RetentionPolicy {
+            max_snapshots: 0,
+            max_bytes: 0,
+        }
+    }
+}
+
+/// The tag of `flight-<tag>.<ext>`, or `None` for anything else
+/// (including the `last.*` aliases).
+fn snapshot_tag(file_name: &str) -> Option<u64> {
+    file_name
+        .strip_prefix("flight-")?
+        .split('.')
+        .next()?
+        .parse()
+        .ok()
+}
+
+/// Deletes the oldest tagged `flight-<seq>.*` files in `dir` until the
+/// policy's count and byte budgets both hold. The newest snapshot is
+/// never deleted, even when it alone exceeds the byte budget — it is
+/// the forensic record of the most recent violation. Returns the number
+/// of snapshots (tag groups) deleted. Files that vanish concurrently
+/// are skipped, not errors.
+pub fn enforce_retention(dir: &Path, policy: RetentionPolicy) -> std::io::Result<usize> {
+    if policy.max_snapshots == 0 && policy.max_bytes == 0 {
+        return Ok(0);
+    }
+    // Group tagged files by sequence number, totalling their bytes.
+    let mut groups: std::collections::BTreeMap<u64, (u64, Vec<PathBuf>)> =
+        std::collections::BTreeMap::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(tag) = snapshot_tag(&name.to_string_lossy()) else {
+            continue;
+        };
+        let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+        let g = groups.entry(tag).or_default();
+        g.0 += bytes;
+        g.1.push(entry.path());
+    }
+    let mut total_bytes: u64 = groups.values().map(|(b, _)| *b).sum();
+    let mut deleted = 0usize;
+    // BTreeMap iterates tags ascending = oldest first; spare the newest.
+    let mut tags: Vec<u64> = groups.keys().copied().collect();
+    tags.pop();
+    for tag in tags {
+        let over_count = policy.max_snapshots > 0 && groups.len() - deleted > policy.max_snapshots;
+        let over_bytes = policy.max_bytes > 0 && total_bytes > policy.max_bytes;
+        if !over_count && !over_bytes {
+            break;
+        }
+        let (bytes, paths) = &groups[&tag];
+        for p in paths {
+            match std::fs::remove_file(p) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        total_bytes = total_bytes.saturating_sub(*bytes);
+        deleted += 1;
+    }
+    Ok(deleted)
 }
 
 #[cfg(test)]
@@ -673,6 +794,7 @@ mod tests {
             trace_id,
             start_ns,
             end_ns,
+            epoch_unix_ns: 1_722_000_000_000_000_000,
             spans: t.end_cycle(),
             samples: vec![SampleAnnotation {
                 path: "feed1".into(),
@@ -766,8 +888,78 @@ mod tests {
         assert!(validate_chrome_trace(&chrome).is_ok());
         let jsonl = std::fs::read_to_string(&paths.jsonl).unwrap();
         assert_eq!(cycles_from_jsonl(&jsonl).unwrap().len(), 1);
+        let otlp = std::fs::read_to_string(&paths.otlp).unwrap();
+        assert!(crate::otlp::validate_otlp(&otlp).is_ok());
         assert!(dir.join("last.trace.json").exists());
         assert!(dir.join("last.jsonl").exists());
+        assert!(dir.join("last.otlp.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn epoch_survives_the_jsonl_round_trip_exactly() {
+        let t = Tracer::new();
+        let mut cycle = traced_cycle(&t);
+        // A realistic epoch: > 2^53, would corrupt through an f64.
+        cycle.epoch_unix_ns = 1_722_000_000_123_456_789;
+        let parsed = cycles_from_jsonl(&to_jsonl(&[cycle.clone()])).unwrap();
+        assert_eq!(parsed[0].epoch_unix_ns, cycle.epoch_unix_ns);
+    }
+
+    #[test]
+    fn retention_deletes_oldest_snapshots_by_count_and_bytes() {
+        let t = Tracer::new();
+        let dir = std::env::temp_dir().join(format!("netqos-retention-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        for tag in 0..6u64 {
+            write_snapshot(&dir, tag, &[traced_cycle(&t)]).unwrap();
+        }
+        // Count cap: keep the 3 newest snapshot trios.
+        let deleted = enforce_retention(
+            &dir,
+            RetentionPolicy {
+                max_snapshots: 3,
+                max_bytes: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(deleted, 3);
+        for tag in 0..3u64 {
+            assert!(!dir.join(format!("flight-{tag}.jsonl")).exists(), "{tag}");
+        }
+        for tag in 3..6u64 {
+            assert!(dir.join(format!("flight-{tag}.jsonl")).exists(), "{tag}");
+            assert!(dir.join(format!("flight-{tag}.otlp.json")).exists());
+        }
+        // The stable aliases are never touched.
+        assert!(dir.join("last.jsonl").exists());
+
+        // Byte cap: tiny budget forces everything but the newest out.
+        let one = std::fs::metadata(dir.join("flight-5.jsonl")).unwrap().len();
+        let deleted = enforce_retention(
+            &dir,
+            RetentionPolicy {
+                max_snapshots: 0,
+                max_bytes: one * 4,
+            },
+        )
+        .unwrap();
+        assert!(deleted >= 1, "byte budget should evict something");
+        assert!(dir.join("flight-5.jsonl").exists(), "newest must survive");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_unlimited_is_a_no_op() {
+        let t = Tracer::new();
+        let dir = std::env::temp_dir().join(format!("netqos-retention-nop-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        write_snapshot(&dir, 1, &[traced_cycle(&t)]).unwrap();
+        assert_eq!(
+            enforce_retention(&dir, RetentionPolicy::unlimited()).unwrap(),
+            0
+        );
+        assert!(dir.join("flight-1.jsonl").exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

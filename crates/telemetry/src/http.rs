@@ -1,0 +1,296 @@
+//! A minimal hand-rolled HTTP/1.1 server for the live export plane.
+//!
+//! The build environment forbids new dependencies, so this is a small,
+//! std-only server: one accept thread on a [`std::net::TcpListener`],
+//! one short-lived thread per connection, `Connection: close` semantics.
+//! It exists to serve the monitor's three read-only endpoints
+//! (`/metrics`, `/healthz`, `/snapshot`) — it is deliberately not a
+//! general web server: GET/HEAD only, no keep-alive, no chunked
+//! encoding, request bodies ignored, and a read timeout so a stalled
+//! client cannot pin a thread.
+//!
+//! Routing is a caller-supplied closure from request path to
+//! [`HttpResponse`]; `None` becomes a 404. The server itself answers
+//! 405 for non-GET methods and 400 for unparseable request lines.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a connection may take to deliver its request head.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A response the router hands back: status, content type, body.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// HTTP status code (200, 404, 503, ...).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// A 200 response with `text/plain; version=0.0.4` (the Prometheus
+    /// exposition content type).
+    pub fn prometheus(body: String) -> Self {
+        HttpResponse {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body,
+        }
+    }
+
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: String) -> Self {
+        HttpResponse {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+}
+
+/// Maps a request path (`/metrics`) to a response; `None` means 404.
+pub type Router = dyn Fn(&str) -> Option<HttpResponse> + Send + Sync;
+
+/// A running HTTP server. Dropping (or calling [`HttpServer::stop`])
+/// shuts the accept loop down and joins it.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// serves `router` until stopped.
+    pub fn serve<A: ToSocketAddrs>(addr: A, router: Arc<Router>) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let requests = Arc::new(AtomicU64::new(0));
+        let accept_stop = stop.clone();
+        let accept_requests = requests.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let router = router.clone();
+                let requests = accept_requests.clone();
+                // One short-lived thread per connection: the endpoints
+                // render in microseconds, so threads never accumulate.
+                std::thread::spawn(move || {
+                    requests.fetch_add(1, Ordering::Relaxed);
+                    handle_connection(stream, &*router);
+                });
+            }
+        });
+        Ok(HttpServer {
+            addr,
+            stop,
+            requests,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves the actual port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stops the accept loop and joins its thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // The accept loop is blocked in `incoming()`; poke it awake with
+        // a throwaway connection so it observes the stop flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Status",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, head_only: bool, resp: &HttpResponse) {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    if !head_only {
+        let _ = stream.write_all(resp.body.as_bytes());
+    }
+    let _ = stream.flush();
+}
+
+fn handle_connection(mut stream: TcpStream, router: &Router) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers so well-behaved clients see a clean close.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => {
+            let resp = HttpResponse::json(400, "{\"error\":\"bad request\"}".into());
+            write_response(&mut stream, false, &resp);
+            return;
+        }
+    };
+    if method != "GET" && method != "HEAD" {
+        let resp = HttpResponse::json(405, "{\"error\":\"method not allowed\"}".into());
+        write_response(&mut stream, false, &resp);
+        return;
+    }
+    // Ignore any query string: `/metrics?x=1` routes as `/metrics`.
+    let path = path.split('?').next().unwrap_or(path);
+    let resp = router(path).unwrap_or_else(|| {
+        HttpResponse::json(404, format!("{{\"error\":\"no such endpoint {path:?}\"}}"))
+    });
+    write_response(&mut stream, method == "HEAD", &resp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let (head, body) = raw.split_once("\r\n\r\n").unwrap();
+        let status: u16 = head
+            .lines()
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        (status, head.to_string(), body.to_string())
+    }
+
+    fn test_server() -> HttpServer {
+        let router: Arc<Router> = Arc::new(|path| match path {
+            "/metrics" => Some(HttpResponse::prometheus("metric_a 1\n".into())),
+            "/healthz" => Some(HttpResponse::json(200, "{\"status\":\"ok\"}".into())),
+            _ => None,
+        });
+        HttpServer::serve("127.0.0.1:0", router).unwrap()
+    }
+
+    #[test]
+    fn serves_routes_with_content_type_and_length() {
+        let server = test_server();
+        let (status, head, body) = get(server.local_addr(), "/metrics");
+        assert_eq!(status, 200);
+        assert!(head.contains("Content-Type: text/plain; version=0.0.4"));
+        assert!(head.contains(&format!("Content-Length: {}", body.len())));
+        assert_eq!(body, "metric_a 1\n");
+
+        let (status, head, body) = get(server.local_addr(), "/healthz");
+        assert_eq!(status, 200);
+        assert!(head.contains("application/json"));
+        assert_eq!(body, "{\"status\":\"ok\"}");
+        assert!(server.requests_served() >= 2);
+        server.stop();
+    }
+
+    #[test]
+    fn unknown_path_is_404_and_query_strings_route() {
+        let server = test_server();
+        let (status, _, body) = get(server.local_addr(), "/nope");
+        assert_eq!(status, 404);
+        assert!(body.contains("no such endpoint"));
+        let (status, _, _) = get(server.local_addr(), "/metrics?scrape=1");
+        assert_eq!(status, 200);
+        server.stop();
+    }
+
+    #[test]
+    fn non_get_methods_are_405() {
+        let server = test_server();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        server.stop();
+    }
+
+    #[test]
+    fn stop_joins_the_accept_loop() {
+        let server = test_server();
+        let addr = server.local_addr();
+        server.stop();
+        // The listener is gone: either the connect or the read fails.
+        let alive = TcpStream::connect_timeout(&addr, Duration::from_millis(200))
+            .map(|mut s| {
+                let _ = write!(s, "GET /metrics HTTP/1.1\r\n\r\n");
+                let mut buf = String::new();
+                let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+                s.read_to_string(&mut buf)
+                    .map(|_| !buf.is_empty())
+                    .unwrap_or(false)
+            })
+            .unwrap_or(false);
+        assert!(!alive, "server still answering after stop()");
+    }
+}

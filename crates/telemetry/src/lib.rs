@@ -26,19 +26,31 @@
 mod baseline;
 mod events;
 mod flight;
+mod http;
 mod json;
 mod metrics;
+mod otlp;
+mod sample;
 mod trace;
 
-pub use baseline::{QuantileBaseline, DEFAULT_WINDOW};
+pub use baseline::{
+    baselines_from_json, baselines_to_json, load_baselines, save_baselines, BaselineState,
+    QuantileBaseline, DEFAULT_WINDOW,
+};
 pub use events::{Event, EventSink, FieldValue, Level};
 pub use flight::{
-    cycles_from_jsonl, parsed_to_chrome_trace, to_chrome_trace, to_jsonl, validate_chrome_trace,
-    write_snapshot, ChromeTraceStats, CycleTrace, FlightRecorder, ParsedCycle, ParsedSpan,
-    SampleAnnotation, SnapshotPaths, DEFAULT_FLIGHT_CAPACITY,
+    cycles_from_jsonl, enforce_retention, parsed_to_chrome_trace, to_chrome_trace, to_jsonl,
+    validate_chrome_trace, write_snapshot, ChromeTraceStats, CycleTrace, FlightRecorder,
+    ParsedCycle, ParsedSpan, RetentionPolicy, SampleAnnotation, SnapshotPaths,
+    DEFAULT_FLIGHT_CAPACITY,
 };
+pub use http::{HttpResponse, HttpServer, Router};
 pub use json::{parse_json, JsonError, JsonValue};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, HistogramTimer, BUCKETS};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramState, HistogramSummary, HistogramTimer, BUCKETS,
+};
+pub use otlp::{parsed_to_otlp, to_otlp, validate_otlp, OtlpStats, OTLP_SCOPE, OTLP_SERVICE};
+pub use sample::{SampleConfig, SampleDecision, Sampler};
 pub use trace::{SpanGuard, SpanId, SpanRecord, TraceId, Tracer};
 
 use parking_lot::RwLock;

@@ -275,6 +275,44 @@ impl Histogram {
         self.core.max.fetch_max(other.max(), Ordering::Relaxed);
     }
 
+    /// A serializable copy of the current state (for baseline
+    /// persistence). Concurrent recording during the copy can skew a
+    /// bucket by a sample or two — harmless for a baseline.
+    pub fn to_state(&self) -> HistogramState {
+        let mut buckets = Vec::new();
+        for i in 0..BUCKETS {
+            let n = self.core.buckets[i].load(Ordering::Relaxed);
+            if n != 0 {
+                buckets.push((i as u32, n));
+            }
+        }
+        HistogramState {
+            buckets,
+            count: self.count(),
+            sum: self.sum(),
+            min: self.core.min.load(Ordering::Relaxed),
+            max: self.max(),
+        }
+    }
+
+    /// Rebuilds a histogram from a saved state. Bucket indexes outside
+    /// the fixed layout are ignored (a state written by a future layout
+    /// degrades gracefully instead of panicking).
+    pub fn from_state(state: &HistogramState) -> Histogram {
+        let h = Histogram::new();
+        let c = &h.core;
+        for &(i, n) in &state.buckets {
+            if (i as usize) < BUCKETS {
+                c.buckets[i as usize].store(n, Ordering::Relaxed);
+            }
+        }
+        c.count.store(state.count, Ordering::Relaxed);
+        c.sum.store(state.sum, Ordering::Relaxed);
+        c.min.store(state.min, Ordering::Relaxed);
+        c.max.store(state.max, Ordering::Relaxed);
+        h
+    }
+
     /// An immutable summary of the current state.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -310,6 +348,23 @@ impl Drop for HistogramTimer {
     fn drop(&mut self) {
         self.hist.record_duration(self.start.elapsed());
     }
+}
+
+/// A histogram's full persistable state: sparse bucket counts plus the
+/// scalar aggregates. `min` keeps its raw `u64::MAX` "empty" sentinel so
+/// a restore is byte-faithful.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramState {
+    /// `(bucket_index, count)` for every non-zero bucket, ascending.
+    pub buckets: Vec<(u32, u64)>,
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Raw minimum cell (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
 }
 
 /// Point-in-time digest of a histogram.

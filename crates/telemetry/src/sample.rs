@@ -1,0 +1,216 @@
+//! Head/tail trace sampling so tracing can stay on in production.
+//!
+//! Tracing every cycle is fine in the simulator but unaffordable on a
+//! real deployment polling hundreds of devices: the flight ring churns
+//! and every violation snapshot is dominated by unremarkable cycles. A
+//! [`Sampler`] makes the keep/drop decision per cycle from two rules:
+//!
+//! * **Head sampling** — keep every Nth cycle unconditionally, so a
+//!   steady baseline of traces always exists (`head_every = 1` keeps
+//!   everything, the pre-sampling behaviour).
+//! * **Tail triggers** — always keep a cycle that turned out to be
+//!   interesting *after the fact*: its wall-clock tick exceeded
+//!   `slow_tick_ns`, a bandwidth sample ranked above `tail_rank`
+//!   against its baseline, or a QoS event fired. Tail decisions
+//!   override head drops, never the reverse — an interesting cycle is
+//!   never lost to the modulus.
+//!
+//! The decision is made *after* the cycle's spans are recorded (tail
+//! triggers need the cycle's outcome); sampling therefore saves ring
+//! memory, snapshot bytes, and export volume rather than span-recording
+//! cost, which is already ~9 ns/site.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Why a cycle was kept (or that it wasn't).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleDecision {
+    /// Kept by the head rate (cycle index ≡ 0 mod N).
+    Head,
+    /// Kept by a tail trigger, with the trigger's name
+    /// (`"slow_tick"`, `"bandwidth_rank"`, `"qos_event"`).
+    Tail(&'static str),
+    /// Dropped.
+    Drop,
+}
+
+impl SampleDecision {
+    /// Whether the cycle is retained.
+    pub fn keep(self) -> bool {
+        !matches!(self, SampleDecision::Drop)
+    }
+}
+
+/// Sampling thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleConfig {
+    /// Keep every Nth cycle (min 1 = keep all).
+    pub head_every: u64,
+    /// Tail trigger: keep any cycle whose tick took at least this many
+    /// wall-clock nanoseconds (0 disables).
+    pub slow_tick_ns: u64,
+    /// Tail trigger: keep any cycle where a bandwidth sample's baseline
+    /// rank reached this threshold (> 1.0 disables; ranks are in [0,1]).
+    pub tail_rank: f64,
+}
+
+impl Default for SampleConfig {
+    fn default() -> Self {
+        SampleConfig {
+            head_every: 1,
+            slow_tick_ns: 0,
+            tail_rank: 0.99,
+        }
+    }
+}
+
+impl SampleConfig {
+    /// The pre-sampling behaviour: keep every cycle, no tail logic.
+    pub fn keep_all() -> Self {
+        SampleConfig {
+            head_every: 1,
+            slow_tick_ns: 0,
+            tail_rank: f64::INFINITY,
+        }
+    }
+}
+
+/// The per-service sampling state: a cycle counter plus decision
+/// counters for telemetry. Thread-safe; decisions are made with relaxed
+/// atomics only.
+#[derive(Debug, Default)]
+pub struct Sampler {
+    config: SampleConfig,
+    cycles_seen: AtomicU64,
+    kept_head: AtomicU64,
+    kept_tail: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl Sampler {
+    /// A sampler with the given thresholds.
+    pub fn new(config: SampleConfig) -> Self {
+        Sampler {
+            config: SampleConfig {
+                head_every: config.head_every.max(1),
+                ..config
+            },
+            ..Sampler::default()
+        }
+    }
+
+    /// The active thresholds.
+    pub fn config(&self) -> SampleConfig {
+        self.config
+    }
+
+    /// Decides one cycle's fate. `tick_ns` is the cycle's wall-clock
+    /// duration, `max_rank` the highest baseline rank among its
+    /// bandwidth samples (0.0 when none), `qos_event` whether any QoS
+    /// violation/clear or baseline anomaly fired this cycle.
+    ///
+    /// The first cycle ever seen is always a head keep, so a freshly
+    /// started monitor is never blind for its first N cycles.
+    pub fn decide(&self, tick_ns: u64, max_rank: f64, qos_event: bool) -> SampleDecision {
+        let index = self.cycles_seen.fetch_add(1, Ordering::Relaxed);
+        let decision = if index.is_multiple_of(self.config.head_every) {
+            SampleDecision::Head
+        } else if qos_event {
+            SampleDecision::Tail("qos_event")
+        } else if self.config.slow_tick_ns > 0 && tick_ns >= self.config.slow_tick_ns {
+            SampleDecision::Tail("slow_tick")
+        } else if max_rank >= self.config.tail_rank {
+            SampleDecision::Tail("bandwidth_rank")
+        } else {
+            SampleDecision::Drop
+        };
+        match decision {
+            SampleDecision::Head => self.kept_head.fetch_add(1, Ordering::Relaxed),
+            SampleDecision::Tail(_) => self.kept_tail.fetch_add(1, Ordering::Relaxed),
+            SampleDecision::Drop => self.dropped.fetch_add(1, Ordering::Relaxed),
+        };
+        decision
+    }
+
+    /// Cycles decided so far.
+    pub fn cycles_seen(&self) -> u64 {
+        self.cycles_seen.load(Ordering::Relaxed)
+    }
+
+    /// Cycles kept by the head rate.
+    pub fn kept_head(&self) -> u64 {
+        self.kept_head.load(Ordering::Relaxed)
+    }
+
+    /// Cycles kept by a tail trigger.
+    pub fn kept_tail(&self) -> u64 {
+        self.kept_tail.load(Ordering::Relaxed)
+    }
+
+    /// Cycles dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keep_all_default_keeps_everything() {
+        let s = Sampler::new(SampleConfig::keep_all());
+        for _ in 0..10 {
+            assert!(s.decide(1_000, 0.5, false).keep());
+        }
+        assert_eq!(s.kept_head(), 10);
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn head_rate_is_one_in_n() {
+        let s = Sampler::new(SampleConfig {
+            head_every: 5,
+            slow_tick_ns: 0,
+            tail_rank: f64::INFINITY,
+        });
+        let kept: Vec<bool> = (0..20).map(|_| s.decide(0, 0.0, false).keep()).collect();
+        let expected: Vec<bool> = (0..20).map(|i| i % 5 == 0).collect();
+        assert_eq!(kept, expected);
+        assert_eq!(s.kept_head(), 4);
+        assert_eq!(s.dropped(), 16);
+    }
+
+    #[test]
+    fn tail_triggers_override_head_drops() {
+        let s = Sampler::new(SampleConfig {
+            head_every: 1_000_000,
+            slow_tick_ns: 50_000,
+            tail_rank: 0.99,
+        });
+        assert_eq!(s.decide(10, 0.0, false), SampleDecision::Head); // first cycle
+        assert_eq!(s.decide(10, 0.0, false), SampleDecision::Drop);
+        assert_eq!(
+            s.decide(60_000, 0.0, false),
+            SampleDecision::Tail("slow_tick")
+        );
+        assert_eq!(
+            s.decide(10, 0.995, false),
+            SampleDecision::Tail("bandwidth_rank")
+        );
+        assert_eq!(s.decide(10, 0.0, true), SampleDecision::Tail("qos_event"));
+        assert_eq!(s.kept_tail(), 3);
+    }
+
+    #[test]
+    fn zero_head_every_behaves_as_one() {
+        let s = Sampler::new(SampleConfig {
+            head_every: 0,
+            slow_tick_ns: 0,
+            tail_rank: f64::INFINITY,
+        });
+        for _ in 0..5 {
+            assert!(s.decide(0, 0.0, false).keep());
+        }
+    }
+}

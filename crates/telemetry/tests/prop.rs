@@ -1,8 +1,12 @@
-//! Property tests for the streaming histogram: quantile accuracy against
-//! an exact sorted reference, merge associativity, and concurrent
-//! recording.
+//! Property tests for the streaming histogram (quantile accuracy
+//! against an exact sorted reference, merge associativity, concurrent
+//! recording), the trace sampler (keep/drop invariants), and baseline
+//! persistence (JSON round trips preserve quantiles).
 
-use netqos_telemetry::Histogram;
+use netqos_telemetry::{
+    baselines_from_json, baselines_to_json, Histogram, QuantileBaseline, SampleConfig,
+    SampleDecision, Sampler,
+};
 use proptest::prelude::*;
 
 /// Exact quantile of a sorted sample set using the same nearest-rank
@@ -126,6 +130,110 @@ proptest! {
         prop_assert_eq!(shared.max(), reference.max());
         for q in [0.5, 0.9, 0.99] {
             prop_assert_eq!(shared.quantile(q), reference.quantile(q), "q={}", q);
+        }
+    }
+
+    /// A cycle with a QoS event is never dropped, whatever the
+    /// thresholds — losing the trace of the violation that triggered the
+    /// snapshot would defeat the flight recorder.
+    // Ranks are generated as integer thousandths (the vendored proptest
+    // has no f64 range strategy) and scaled into [0, 1].
+    #[test]
+    fn sampler_never_drops_qos_cycles(
+        head_every in 1u64..100,
+        slow_tick_ns in 0u64..1_000_000,
+        tail_rank_milli in 0u64..2000,
+        cycles in prop::collection::vec((0u64..2_000_000, 0u64..1000, any::<bool>()), 1..300),
+    ) {
+        let s = Sampler::new(SampleConfig {
+            head_every,
+            slow_tick_ns,
+            tail_rank: tail_rank_milli as f64 / 1000.0,
+        });
+        for &(tick_ns, rank_milli, qos) in &cycles {
+            let d = s.decide(tick_ns, rank_milli as f64 / 1000.0, qos);
+            if qos {
+                prop_assert!(d.keep(), "qos cycle dropped under {:?}", s.config());
+            }
+        }
+    }
+
+    /// With all tail triggers disabled, head sampling keeps exactly the
+    /// cycles at indices ≡ 0 (mod N) — ceil(n/N) of n — and the decision
+    /// counters partition the cycles seen.
+    #[test]
+    fn sampler_head_rate_is_exact(
+        head_every in 1u64..50,
+        n in 1u64..500,
+    ) {
+        let s = Sampler::new(SampleConfig {
+            head_every,
+            slow_tick_ns: 0,
+            tail_rank: f64::INFINITY,
+        });
+        let mut kept = 0u64;
+        for i in 0..n {
+            let d = s.decide(1_000, 0.5, false);
+            prop_assert_eq!(
+                d.keep(),
+                i % head_every == 0,
+                "cycle {} of head_every {}",
+                i,
+                head_every
+            );
+            prop_assert!(!matches!(d, SampleDecision::Tail(_)));
+            kept += d.keep() as u64;
+        }
+        prop_assert_eq!(kept, n.div_ceil(head_every));
+        prop_assert_eq!(s.cycles_seen(), n);
+        prop_assert_eq!(s.kept_head() + s.kept_tail() + s.dropped(), n);
+    }
+
+    /// The decision counters always partition the cycles seen, and every
+    /// keep is attributed to exactly one of head/tail.
+    #[test]
+    fn sampler_counters_partition_cycles(
+        head_every in 1u64..20,
+        slow_tick_ns in 0u64..100_000,
+        tail_rank_milli in 500u64..1500,
+        cycles in prop::collection::vec((0u64..200_000, 0u64..1000, any::<bool>()), 0..200),
+    ) {
+        let s = Sampler::new(SampleConfig {
+            head_every,
+            slow_tick_ns,
+            tail_rank: tail_rank_milli as f64 / 1000.0,
+        });
+        let mut keeps = 0u64;
+        for &(tick_ns, rank_milli, qos) in &cycles {
+            keeps += s.decide(tick_ns, rank_milli as f64 / 1000.0, qos).keep() as u64;
+        }
+        prop_assert_eq!(s.cycles_seen(), cycles.len() as u64);
+        prop_assert_eq!(s.kept_head() + s.kept_tail() + s.dropped(), cycles.len() as u64);
+        prop_assert_eq!(s.kept_head() + s.kept_tail(), keeps);
+    }
+
+    /// Baseline persistence: a JSON save/load round trip reproduces the
+    /// histogram exactly — same count, same quantiles, same ranks.
+    #[test]
+    fn baseline_json_round_trip_is_lossless(
+        samples in prop::collection::vec(0u64..2_000_000_000, 1..500),
+        window in 100u64..10_000,
+    ) {
+        let b = QuantileBaseline::new(window);
+        for &s in &samples {
+            b.record(s);
+        }
+        let json = baselines_to_json([("path", &b)]);
+        let restored = baselines_from_json(&json).unwrap();
+        prop_assert_eq!(restored.len(), 1);
+        let (name, r) = &restored[0];
+        prop_assert_eq!(name.as_str(), "path");
+        prop_assert_eq!(r.count(), b.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(r.quantile(q), b.quantile(q), "q={}", q);
+        }
+        for &probe in &[samples[0], samples[samples.len() / 2], 0, u64::MAX / 2] {
+            prop_assert!((r.rank(probe) - b.rank(probe)).abs() < 1e-12);
         }
     }
 }

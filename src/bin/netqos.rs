@@ -7,12 +7,17 @@
 //! netqos monitor <spec> [--duration N]       run the monitor in the simulator
 //!                       [--load FROM:TO:KBPS[:START:END]]...
 //!                       [--telemetry PATH]   write PATH.prom + PATH.jsonl
+//!                       [--serve ADDR]       live /metrics /healthz /snapshot
+//!                       [--pace-ms MS]       wall-clock pacing per tick
+//!                       [--trace-sample N]   trace with 1-in-N head sampling
+//!                       [--baseline-state PATH]  restore/save baselines
 //! netqos stats   <spec> [--duration N]       run quietly, print Prometheus metrics
 //! netqos audit   <spec>                      verify spec against forwarding evidence
 //! netqos trace   <spec> [--duration N]       run with causal tracing, snapshot the
 //!                       [--load ...]         flight recorder to --out DIR
 //!                       [--out DIR]
-//! netqos flight  dump|show|check PATH        inspect flight-recorder snapshots
+//! netqos flight  dump PATH [--otlp]          re-emit a snapshot (Chrome or OTLP)
+//! netqos flight  show|check PATH             inspect / validate snapshots
 //! ```
 //!
 //! Exit codes: 0 success, 1 usage error, 2 validation/runtime failure.
@@ -65,17 +70,25 @@ const USAGE: &str = "usage:
   netqos paths   <spec>                      show qospath traversals
   netqos monitor <spec> [--duration N] [--load FROM:TO:KBPS[:START:END]]...
                         [--telemetry PATH]   also write PATH.prom + PATH.jsonl
+                        [--serve ADDR]       serve GET /metrics /healthz /snapshot
+                                             (bound address printed to stderr)
+                        [--pace-ms MS]       sleep MS wall-clock ms per tick
+                        [--trace-sample N]   enable tracing, keep 1-in-N cycles
+                                             (tail triggers always kept)
+                        [--baseline-state PATH]  restore baselines from PATH at
+                                             start, save them back on exit
   netqos stats   <spec> [--duration N]       run the monitor quietly, print
                                              its own telemetry (Prometheus text)
   netqos audit   <spec>                      verify spec against forwarding evidence
   netqos trace   <spec> [--duration N] [--load FROM:TO:KBPS[:START:END]]...
                         [--out DIR]          run with causal tracing; write the
                                              flight recorder to DIR (default flight/)
-  netqos flight  dump  PATH.jsonl            convert a JSONL snapshot to Chrome
-                                             trace_event JSON on stdout
+                        [--trace-sample N] [--baseline-state PATH]   as above
+  netqos flight  dump  PATH.jsonl [--otlp]   convert a JSONL snapshot to Chrome
+                                             trace_event JSON (or OTLP/JSON) on stdout
   netqos flight  show  PATH.jsonl            summarize a snapshot's cycles
-  netqos flight  check PATH.trace.json       validate Chrome trace JSON (nesting,
-                                             required keys); nonzero exit on failure";
+  netqos flight  check PATH                  validate a Chrome trace or OTLP/JSON
+                                             export; nonzero exit on failure";
 
 fn read_spec(args: &[String]) -> Result<(String, String), String> {
     let path = args
@@ -172,6 +185,10 @@ struct MonitorOptions {
     loads: Vec<(String, String, LoadProfile)>,
     telemetry: Option<String>,
     out: Option<PathBuf>,
+    serve: Option<String>,
+    pace_ms: u64,
+    trace_sample: Option<u64>,
+    baseline_state: Option<PathBuf>,
 }
 
 fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
@@ -180,6 +197,10 @@ fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
         loads: Vec::new(),
         telemetry: None,
         out: None,
+        serve: None,
+        pace_ms: 0,
+        trace_sample: None,
+        baseline_state: None,
     };
     let mut i = 1;
     while i < args.len() {
@@ -211,11 +232,84 @@ fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
                     args.get(i).ok_or("--out needs a directory path")?,
                 ));
             }
+            "--serve" => {
+                i += 1;
+                opts.serve = Some(
+                    args.get(i)
+                        .ok_or("--serve needs a listen address (e.g. 127.0.0.1:9100)")?
+                        .clone(),
+                );
+            }
+            "--pace-ms" => {
+                i += 1;
+                opts.pace_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--pace-ms needs a number of milliseconds")?;
+            }
+            "--trace-sample" => {
+                i += 1;
+                opts.trace_sample = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--trace-sample needs a cycle count N (keep 1 in N)")?,
+                );
+            }
+            "--baseline-state" => {
+                i += 1;
+                opts.baseline_state = Some(PathBuf::from(
+                    args.get(i).ok_or("--baseline-state needs a file path")?,
+                ));
+            }
             other => return Err(format!("unknown option `{other}`\n{USAGE}")),
         }
         i += 1;
     }
     Ok(opts)
+}
+
+/// Folds the sampling/persistence options into a service config.
+fn apply_service_options(mut config: ServiceConfig, opts: &MonitorOptions) -> ServiceConfig {
+    if let Some(n) = opts.trace_sample {
+        config.sample = netqos_telemetry::SampleConfig {
+            head_every: n.max(1),
+            ..netqos_telemetry::SampleConfig::default()
+        };
+    }
+    config.baseline_state = opts.baseline_state.clone();
+    config
+}
+
+/// Serving state for `--serve`: the HTTP server plus the shared status
+/// handle the tick loop publishes into.
+struct ServePlane {
+    server: netqos_telemetry::HttpServer,
+    live: Arc<netqos::monitor::live::LiveStatus>,
+}
+
+/// Starts the export plane when `--serve` is given: binds ADDR, prints
+/// the bound address to stderr (`:0` picks an ephemeral port), and wires
+/// `/metrics`, `/healthz`, and `/snapshot` to the service's registry and
+/// live status.
+fn start_serve_plane(
+    service: &MonitoringService,
+    opts: &MonitorOptions,
+) -> Result<Option<ServePlane>, String> {
+    let Some(addr) = &opts.serve else {
+        return Ok(None);
+    };
+    let live = service.live().clone();
+    // The loop must be quiet for several paced ticks (or 2 s, whichever
+    // is larger) before /healthz reports stale.
+    live.set_stale_after_ns((opts.pace_ms.saturating_mul(10_000_000)).max(2_000_000_000));
+    let router = netqos::monitor::live::build_router(service.registry().clone(), live.clone());
+    let server = netqos_telemetry::HttpServer::serve(addr.as_str(), router)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    eprintln!(
+        "serving http://{}/ (metrics, healthz, snapshot)",
+        server.local_addr()
+    );
+    Ok(Some(ServePlane { server, live }))
 }
 
 /// Builds the assembled monitoring service for `monitor`/`stats`: the
@@ -311,7 +405,15 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         return Err("the spec declares no qospath to monitor".into());
     }
     let opts = parse_monitor_options(args)?;
-    let mut service = build_service(model, &opts, ServiceConfig::default())?;
+    let config = apply_service_options(ServiceConfig::default(), &opts);
+    let mut service = build_service(model, &opts, config)?;
+    if let Some(warning) = service.baseline_load_warning() {
+        eprintln!("netqos: baseline state ignored: {warning}");
+    }
+    if opts.trace_sample.is_some() {
+        service.set_tracing(true);
+    }
+    let plane = start_serve_plane(&service, &opts)?;
 
     // Header.
     print!("t_s");
@@ -341,12 +443,34 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
             }
         }
         println!();
+        if opts.pace_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(opts.pace_ms));
+        }
     }
 
     print_latency_summary(&mut service, &qos_paths)?;
+    if service
+        .persist_baselines()
+        .map_err(|e| format!("cannot save baseline state: {e}"))?
+    {
+        eprintln!(
+            "baseline state saved to {}",
+            opts.baseline_state.as_ref().unwrap().display()
+        );
+    }
     if let Some(prefix) = &opts.telemetry {
         write_telemetry_files(&service, prefix)?;
         eprintln!("telemetry written to {prefix}.prom and {prefix}.jsonl");
+    }
+    if let Some(plane) = plane {
+        plane.live.mark_finished();
+        // Linger so a scraper that started this run can still read the
+        // final state (the smoke job curls after the CSV ends).
+        if opts.pace_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(opts.pace_ms.min(500)));
+        }
+        eprintln!("served {} request(s)", plane.server.requests_served());
+        plane.server.stop();
     }
     Ok(())
 }
@@ -443,11 +567,17 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     let qos_paths = model.qos_paths.clone();
     let opts = parse_monitor_options(args)?;
     let out = opts.out.clone().unwrap_or_else(|| PathBuf::from("flight"));
-    let config = ServiceConfig {
-        flight_dir: Some(out.clone()),
-        ..ServiceConfig::default()
-    };
+    let config = apply_service_options(
+        ServiceConfig {
+            flight_dir: Some(out.clone()),
+            ..ServiceConfig::default()
+        },
+        &opts,
+    );
     let mut service = build_service(model, &opts, config)?;
+    if let Some(warning) = service.baseline_load_warning() {
+        eprintln!("netqos: baseline state ignored: {warning}");
+    }
     service.set_tracing(true);
     let mut violations = 0usize;
     for _ in 0..opts.duration {
@@ -485,6 +615,16 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     }
     println!("jsonl:  {}", paths.jsonl.display());
     println!("chrome: {}", paths.chrome.display());
+    println!("otlp:   {}", paths.otlp.display());
+    if service
+        .persist_baselines()
+        .map_err(|e| format!("cannot save baseline state: {e}"))?
+    {
+        eprintln!(
+            "baseline state saved to {}",
+            opts.baseline_state.as_ref().unwrap().display()
+        );
+    }
     if let Some(prefix) = &opts.telemetry {
         write_telemetry_files(&service, prefix)?;
     }
@@ -492,8 +632,9 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 }
 
 /// Inspects flight-recorder snapshots: `dump` re-emits a JSONL snapshot
-/// as Chrome `trace_event` JSON, `show` prints a per-cycle summary, and
-/// `check` validates a Chrome trace file (used by CI).
+/// as Chrome `trace_event` JSON (or OTLP/JSON with `--otlp`), `show`
+/// prints a per-cycle summary, and `check` validates a Chrome trace or
+/// OTLP export file (used by CI).
 fn cmd_flight(args: &[String]) -> Result<(), String> {
     let sub = args
         .first()
@@ -506,7 +647,13 @@ fn cmd_flight(args: &[String]) -> Result<(), String> {
         "dump" => {
             let cycles =
                 netqos_telemetry::cycles_from_jsonl(&src).map_err(|e| format!("{path}: {e}"))?;
-            print!("{}", netqos_telemetry::parsed_to_chrome_trace(&cycles));
+            if args.iter().any(|a| a == "--otlp") {
+                // No trailing newline: the output is byte-identical to
+                // the `*.otlp.json` the live run wrote.
+                print!("{}", netqos_telemetry::parsed_to_otlp(&cycles));
+            } else {
+                print!("{}", netqos_telemetry::parsed_to_chrome_trace(&cycles));
+            }
             Ok(())
         }
         "show" => {
@@ -540,11 +687,22 @@ fn cmd_flight(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         "check" => {
-            let stats = validate_trace_file(path, &src)?;
-            println!(
-                "{path}: OK — {} events, {} spans, {} cycles",
-                stats.events, stats.spans, stats.cycles
-            );
+            // Sniff the format: OTLP exports start with a resourceSpans
+            // document; everything else is treated as Chrome trace JSON.
+            if src.trim_start().starts_with("{\"resourceSpans\"") {
+                let stats =
+                    netqos_telemetry::validate_otlp(&src).map_err(|e| format!("{path}: {e}"))?;
+                println!(
+                    "{path}: OK — OTLP, {} spans, {} traces, {} child spans",
+                    stats.spans, stats.traces, stats.child_spans
+                );
+            } else {
+                let stats = validate_trace_file(path, &src)?;
+                println!(
+                    "{path}: OK — {} events, {} spans, {} cycles",
+                    stats.events, stats.spans, stats.cycles
+                );
+            }
             Ok(())
         }
         other => Err(format!("unknown flight subcommand `{other}`\n{USAGE}")),

@@ -201,6 +201,122 @@ fn trace_writes_validatable_flight_snapshots() {
 }
 
 #[test]
+fn flight_dump_otlp_round_trips_and_checks() {
+    let dir = std::env::temp_dir().join(format!("netqos-cli-otlp-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let out = run(&[
+        "trace",
+        "specs/two-switch.spec",
+        "--duration",
+        "10",
+        "--load",
+        "sensor1:console:9000",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("otlp:"),
+        "trace should report the OTLP snapshot path"
+    );
+    // The run itself wrote an OTLP snapshot alongside the JSONL.
+    let otlp_file = dir.join("last.otlp.json");
+    let on_disk = std::fs::read_to_string(&otlp_file).expect("last.otlp.json written");
+    netqos_telemetry::validate_otlp(&on_disk).expect("snapshot OTLP validates");
+
+    // `flight dump --otlp` re-derives the same document from the JSONL.
+    let jsonl = dir.join("last.jsonl");
+    let out = run(&["flight", "dump", jsonl.to_str().unwrap(), "--otlp"]);
+    assert!(out.status.success(), "{out:?}");
+    let dumped = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        dumped.trim_end(),
+        on_disk.trim_end(),
+        "dump --otlp must match the live export"
+    );
+
+    // `flight check` auto-detects the OTLP shape and validates it.
+    let out = run(&["flight", "check", otlp_file.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("OK") && stdout.contains("OTLP"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn baseline_state_accumulates_across_runs() {
+    let dir = std::env::temp_dir().join(format!("netqos-cli-baseline-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let state = dir.join("baselines.json");
+
+    let samples_of = |out: &Output| -> u64 {
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        let line = stdout
+            .lines()
+            .find(|l| l.contains("baseline feed1"))
+            .unwrap_or_else(|| panic!("no baseline line in {stdout}"));
+        // "... over N samples"
+        line.split_whitespace()
+            .rev()
+            .nth(1)
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable baseline line {line:?}"))
+    };
+    let flight_dir = dir.join("flight");
+    let trace = |extra: &[&str]| {
+        let mut args = vec![
+            "trace",
+            "specs/two-switch.spec",
+            "--duration",
+            "8",
+            "--out",
+            flight_dir.to_str().unwrap(),
+            "--baseline-state",
+            state.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        run(&args)
+    };
+
+    // First run starts cold and saves its histograms on exit.
+    let out = trace(&[]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("baseline state saved to"),
+        "{out:?}"
+    );
+    let first = samples_of(&out);
+    assert!(state.exists());
+
+    // Second run restores them: its baselines carry both runs' samples.
+    let out = trace(&[]);
+    assert!(out.status.success(), "{out:?}");
+    let second = samples_of(&out);
+    assert!(
+        second > first,
+        "restored baselines should accumulate: {first} then {second}"
+    );
+
+    // A corrupt state file is ignored with a warning, not a crash.
+    std::fs::write(&state, "not json at all").unwrap();
+    let out = trace(&[]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("baseline state ignored"),
+        "{out:?}"
+    );
+    assert_eq!(
+        samples_of(&out),
+        first,
+        "corrupt state must mean a cold start"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn monitor_telemetry_flag_writes_prom_and_jsonl() {
     let dir = std::env::temp_dir().join(format!("netqos-cli-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
