@@ -14,9 +14,17 @@
 //! * `GET /healthz` — tick-loop liveness: age of the last tick against a
 //!   staleness budget (`503` when stale, `200` otherwise);
 //! * `GET /snapshot` — the latest tick digest (paths, baselines, flight
-//!   recorder and sampler state) as JSON.
+//!   recorder and sampler state) as JSON; with `Accept:
+//!   text/event-stream` (or `?follow=1`) it upgrades to a server-sent
+//!   event stream delivering one event per tick, `id:` = tick number.
+//!
+//! [`shard_for`] adapts a `(name, registry, live)` triple into a
+//! federation [`Shard`](netqos_telemetry::Shard) so N of these planes
+//! can sit behind one merged export surface (`netqos federate`).
 
-use netqos_telemetry::{HttpResponse, Registry, Router};
+use netqos_telemetry::{
+    EventSource, HttpRequest, HttpResponse, HttpRoute, Registry, Router, Shard, ShardHealth,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -67,19 +75,33 @@ impl LiveStatus {
     /// Publishes one tick's outcome.
     pub fn record_tick(&self, unix_ns: u64, snapshot_json: String) {
         self.last_tick_unix_ns.store(unix_ns, Ordering::Relaxed);
-        self.ticks.fetch_add(1, Ordering::Relaxed);
+        // Snapshot first, tick count second: an SSE poller that sees
+        // tick N is guaranteed the snapshot is at least as new as N.
         *self.snapshot_json.lock() = snapshot_json;
+        self.ticks.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Marks the run as cleanly finished: `/healthz` stays `200` even
-    /// though no further ticks will arrive.
+    /// though no further ticks will arrive, and SSE followers are
+    /// released.
     pub fn mark_finished(&self) {
         self.finished.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the run finished cleanly.
+    pub fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::Relaxed)
     }
 
     /// Ticks published so far.
     pub fn ticks(&self) -> u64 {
         self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Whether the loop is currently healthy (starting, ticking within
+    /// budget, or cleanly finished) as of `now_unix_ns`.
+    pub fn is_healthy(&self, now_unix_ns: u64) -> bool {
+        self.healthz(now_unix_ns).status == 200
     }
 
     /// The `/healthz` response as of `now_unix_ns`.
@@ -121,29 +143,86 @@ impl LiveStatus {
         }
         HttpResponse::json(200, body)
     }
+
+    /// The latest snapshot document without response framing (what an
+    /// SSE event or a federation digest carries).
+    pub fn snapshot_json(&self) -> String {
+        self.snapshot_json.lock().clone()
+    }
+}
+
+/// `/snapshot?follow=1` streams ticks: the cursor is the tick count, so
+/// a follower never sees the same tick twice and picks up exactly where
+/// its last event left off.
+impl EventSource for LiveStatus {
+    fn next_after(&self, cursor: u64) -> Option<(u64, String)> {
+        let ticks = self.ticks();
+        if ticks <= cursor {
+            return None;
+        }
+        Some((ticks, self.snapshot_json()))
+    }
+
+    fn finished(&self) -> bool {
+        self.is_finished()
+    }
 }
 
 /// Builds the endpoint router for [`HttpServer::serve`]
 /// (`netqos_telemetry::HttpServer`): `/metrics`, `/healthz`,
-/// `/snapshot`, and `/` (a tiny index). Unknown paths return `None`
-/// (404).
+/// `/snapshot` (buffered or SSE), and `/` (a tiny index). Unknown
+/// paths return `None` (404).
 pub fn build_router(registry: Arc<Registry>, live: Arc<LiveStatus>) -> Arc<Router> {
-    Arc::new(move |path: &str| match path {
-        "/metrics" => Some(HttpResponse::prometheus(registry.render_prometheus())),
-        "/healthz" => Some(live.healthz(unix_now_ns())),
-        "/snapshot" => Some(live.snapshot_response()),
-        "/" => Some(HttpResponse::json(
-            200,
-            "{\"endpoints\":[\"/metrics\",\"/healthz\",\"/snapshot\"]}\n".into(),
-        )),
+    Arc::new(move |req: &HttpRequest| match req.path.as_str() {
+        "/metrics" => Some(HttpResponse::prometheus(registry.render_prometheus()).into()),
+        "/healthz" => Some(live.healthz(unix_now_ns()).into()),
+        "/snapshot" if req.wants_event_stream() => {
+            Some(HttpRoute::EventStream(live.clone() as Arc<dyn EventSource>))
+        }
+        "/snapshot" => Some(live.snapshot_response().into()),
+        "/" => Some(
+            HttpResponse::json(
+                200,
+                "{\"endpoints\":[\"/metrics\",\"/healthz\",\"/snapshot\"]}\n".into(),
+            )
+            .into(),
+        ),
         _ => None,
     })
+}
+
+/// Adapts one export plane into a federation member: health comes from
+/// the live `/healthz` verdict, the digest from the latest snapshot.
+pub fn shard_for(name: impl Into<String>, registry: Arc<Registry>, live: Arc<LiveStatus>) -> Shard {
+    let health_live = live.clone();
+    let snap_live = live.clone();
+    Shard::new(
+        name,
+        registry,
+        move || {
+            let resp = health_live.healthz(unix_now_ns());
+            ShardHealth {
+                healthy: resp.status == 200,
+                detail: resp.body.trim_end().to_string(),
+            }
+        },
+        move || snap_live.snapshot_json(),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use netqos_telemetry::parse_json;
+
+    fn get(path: &str) -> HttpRequest {
+        HttpRequest {
+            method: "GET".into(),
+            path: path.into(),
+            query: String::new(),
+            accept: String::new(),
+        }
+    }
 
     #[test]
     fn healthz_lifecycle() {
@@ -158,6 +237,7 @@ mod tests {
         let r = live.healthz(t0 + 6_000_000);
         assert_eq!(r.status, 200);
         assert!(r.body.contains("\"status\":\"ok\""));
+        assert!(live.is_healthy(t0 + 6_000_000));
         // Budget exceeded: stale, 503.
         let r = live.healthz(t0 + 5_000_000 + DEFAULT_STALE_AFTER_NS + 1);
         assert_eq!(r.status, 503);
@@ -176,12 +256,83 @@ mod tests {
         let live = LiveStatus::new();
         live.record_tick(unix_now_ns(), "{\"ticks\":1,\"paths\":[]}".into());
         let router = build_router(registry, live);
-        let metrics = router("/metrics").unwrap();
+        let Some(HttpRoute::Response(metrics)) = router(&get("/metrics")) else {
+            panic!("no /metrics route");
+        };
         assert_eq!(metrics.status, 200);
         assert!(metrics.body.contains("netqos_monitor_ticks_total 3"));
-        assert_eq!(router("/healthz").unwrap().status, 200);
-        let snap = router("/snapshot").unwrap();
+        let Some(HttpRoute::Response(health)) = router(&get("/healthz")) else {
+            panic!("no /healthz route");
+        };
+        assert_eq!(health.status, 200);
+        let Some(HttpRoute::Response(snap)) = router(&get("/snapshot")) else {
+            panic!("no /snapshot route");
+        };
         assert!(parse_json(&snap.body).is_ok(), "snapshot must be JSON");
-        assert!(router("/nope").is_none());
+        assert!(router(&get("/nope")).is_none());
+    }
+
+    #[test]
+    fn snapshot_follow_upgrades_to_event_stream() {
+        let live = LiveStatus::new();
+        let router = build_router(Registry::new(), live.clone());
+        let mut req = get("/snapshot");
+        req.query = "follow=1".into();
+        assert!(matches!(router(&req), Some(HttpRoute::EventStream(_))));
+        // Plain GET still buffers.
+        assert!(matches!(
+            router(&get("/snapshot")),
+            Some(HttpRoute::Response(_))
+        ));
+    }
+
+    #[test]
+    fn event_source_cursor_tracks_ticks() {
+        let live = LiveStatus::new();
+        assert!(live.next_after(0).is_none(), "no tick yet");
+        live.record_tick(unix_now_ns(), "{\"ticks\":1}".into());
+        let (cursor, payload) = live.next_after(0).unwrap();
+        assert_eq!(cursor, 1);
+        assert_eq!(payload, "{\"ticks\":1}");
+        assert!(live.next_after(cursor).is_none(), "tick 1 already seen");
+        live.record_tick(unix_now_ns(), "{\"ticks\":2}".into());
+        live.record_tick(unix_now_ns(), "{\"ticks\":3}".into());
+        // A slow follower skips to the freshest tick rather than
+        // replaying history.
+        let (cursor, payload) = live.next_after(cursor).unwrap();
+        assert_eq!(cursor, 3);
+        assert_eq!(payload, "{\"ticks\":3}");
+        assert!(!EventSource::finished(&*live));
+        live.mark_finished();
+        assert!(EventSource::finished(&*live));
+    }
+
+    #[test]
+    fn shard_for_reflects_live_state() {
+        let registry = Registry::new();
+        registry.counter("netqos_monitor_ticks_total").inc();
+        let live = LiveStatus::new();
+        live.record_tick(unix_now_ns(), "{\"ticks\":1,\"paths\":[]}".into());
+        let shard = shard_for("subnet-a", registry, live.clone());
+        assert_eq!(shard.name(), "subnet-a");
+        let fed = netqos_telemetry::ShardRegistry::new();
+        fed.register(shard).unwrap();
+        let text = fed.render_merged_prometheus();
+        assert!(
+            text.contains("netqos_monitor_ticks_total{shard=\"subnet-a\"} 1"),
+            "{text}"
+        );
+        let health = fed.healthz_response();
+        assert_eq!(health.status, 200, "{}", health.body);
+        let snap = fed.snapshot_response();
+        let doc = parse_json(&snap.body).unwrap();
+        let shards = doc.get("shards").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(
+            shards[0]
+                .get("snapshot")
+                .and_then(|s| s.get("ticks"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
     }
 }

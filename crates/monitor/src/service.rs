@@ -22,9 +22,10 @@ use bytes::Bytes;
 use netqos_sim::time::{SimDuration, SimTime};
 use netqos_sim::Ipv4Addr;
 use netqos_telemetry::{
-    fields, CycleTrace, EventSink, FlightRecorder, Level, QuantileBaseline, Registry,
-    RetentionPolicy, SampleAnnotation, SampleConfig, SampleDecision, Sampler, SnapshotPaths,
-    Tracer, DEFAULT_FLIGHT_CAPACITY, DEFAULT_WINDOW,
+    fields, to_otlp, AdaptiveConfig, CycleTrace, EventSink, FlightRecorder, Level, OtlpPusher,
+    PushConfig, PushCounters, QuantileBaseline, Registry, RetentionPolicy, SampleAnnotation,
+    SampleConfig, SampleDecision, Sampler, SnapshotPaths, Tracer, DEFAULT_FLIGHT_CAPACITY,
+    DEFAULT_WINDOW,
 };
 use netqos_topology::path::CommPath;
 use std::collections::HashMap;
@@ -70,6 +71,10 @@ pub struct ServiceConfig {
     /// Head/tail trace sampling thresholds. The default keeps every
     /// cycle (the pre-sampling behaviour).
     pub sample: SampleConfig,
+    /// If set, the sampler's head stride adapts to flight-ring
+    /// pressure: a window keeping too many cycles doubles `head_every`,
+    /// a quiet one halves it back toward the configured base rate.
+    pub adaptive_sample: Option<AdaptiveConfig>,
     /// If set, per-path bandwidth baselines are restored from this file
     /// at startup and saved back periodically and via
     /// [`MonitoringService::persist_baselines`].
@@ -91,6 +96,7 @@ impl Default for ServiceConfig {
             baseline_window: DEFAULT_WINDOW,
             retention: RetentionPolicy::default(),
             sample: SampleConfig::keep_all(),
+            adaptive_sample: None,
             baseline_state: None,
         }
     }
@@ -123,6 +129,8 @@ pub struct MonitoringService {
     sampler: Sampler,
     /// Status shared with HTTP endpoint threads.
     live: Arc<LiveStatus>,
+    /// Push-based OTLP delivery of flight snapshots at violation time.
+    pusher: Option<Arc<OtlpPusher>>,
     /// Why restoring `baseline_state` failed, if it did (the service
     /// starts cold rather than refusing to run).
     baseline_load_warning: Option<String>,
@@ -232,6 +240,7 @@ impl MonitoringService {
             epoch_unix_ns,
             sampler,
             live: LiveStatus::new(),
+            pusher: None,
             baseline_load_warning,
         })
     }
@@ -286,6 +295,26 @@ impl MonitoringService {
     /// The trace sampler (decision counters for tests and status).
     pub fn sampler(&self) -> &Sampler {
         &self.sampler
+    }
+
+    /// Starts a background OTLP pusher delivering the flight snapshot
+    /// whenever a QoS violation begins. Delivery counters land in this
+    /// service's registry (`netqos_monitor_otlp_*`). Implies nothing
+    /// about tracing — enable it too, or the snapshots will be empty.
+    pub fn enable_otlp_push(&mut self, config: PushConfig) -> Arc<OtlpPusher> {
+        let counters = PushCounters {
+            pushed: self.telemetry.otlp_pushed.clone(),
+            retries: self.telemetry.otlp_push_retries.clone(),
+            dropped: self.telemetry.otlp_push_dropped.clone(),
+        };
+        let pusher = Arc::new(OtlpPusher::start(config, counters));
+        self.pusher = Some(pusher.clone());
+        pusher
+    }
+
+    /// The OTLP pusher, when push delivery is enabled.
+    pub fn otlp_pusher(&self) -> Option<&Arc<OtlpPusher>> {
+        self.pusher.as_ref()
     }
 
     /// The status handle the HTTP endpoints read; share it with
@@ -360,11 +389,13 @@ impl MonitoringService {
         );
         let _ = write!(
             out,
-            ",\"sampler\":{{\"seen\":{},\"kept_head\":{},\"kept_tail\":{},\"dropped\":{}}}}}",
+            ",\"sampler\":{{\"seen\":{},\"kept_head\":{},\"kept_tail\":{},\"dropped\":{},\
+             \"head_every\":{}}}}}",
             self.sampler.cycles_seen(),
             self.sampler.kept_head(),
             self.sampler.kept_tail(),
             self.sampler.dropped(),
+            self.sampler.head_every().max(1),
         );
         out
     }
@@ -546,6 +577,22 @@ impl MonitoringService {
                 }
                 SampleDecision::Drop => self.telemetry.trace_dropped.inc(),
             }
+            // Feedback loop: under flight-ring pressure (too many kept
+            // cycles per window) the head stride backs off; when the
+            // keep rate falls again it relaxes toward the base rate.
+            if let Some(policy) = &self.config.adaptive_sample {
+                if let Some(next) = self.sampler.adapt(policy) {
+                    self.events.emit(
+                        Level::Info,
+                        "monitor.trace",
+                        "head_every_adapted",
+                        fields!["head_every" => next],
+                    );
+                }
+            }
+            self.telemetry
+                .trace_head_every
+                .set(self.sampler.head_every().min(i64::MAX as u64) as i64);
             let spans = self.tracer.end_cycle();
             if decision.keep() {
                 let cycle = CycleTrace {
@@ -565,6 +612,20 @@ impl MonitoringService {
                     .iter()
                     .any(|e| matches!(e, QosEvent::Violated { .. }));
                 if violated {
+                    if let Some(pusher) = &self.pusher {
+                        // Push the forensic record to the collector; a
+                        // full queue counts a drop instead of blocking
+                        // the tick.
+                        let body = to_otlp(&self.flight.snapshot());
+                        if pusher.enqueue(body) {
+                            self.events.emit(
+                                Level::Debug,
+                                "monitor.flight",
+                                "otlp_push_enqueued",
+                                fields!["cycles" => self.flight.len()],
+                            );
+                        }
+                    }
                     if let Some(dir) = self.config.flight_dir.clone() {
                         match netqos_telemetry::write_snapshot(&dir, seq, &self.flight.snapshot()) {
                             Ok(paths) => {
@@ -860,6 +921,42 @@ mod tests {
             .iter()
             .any(|c| c.events.iter().any(|e| e.starts_with("qos_violation")));
         assert!(violation_kept, "violating cycle missing from the ring");
+    }
+
+    #[test]
+    fn adaptive_sampling_backs_off_under_keep_pressure() {
+        let model = netqos_spec::parse_and_validate(SPEC).unwrap();
+        let options = SimNetworkOptions {
+            monitor_host: "M".into(),
+            ..SimNetworkOptions::default()
+        };
+        let config = ServiceConfig {
+            // keep_all keeps every cycle, so every 4-tick window is at
+            // 100% keep rate: the stride must double per window.
+            sample: SampleConfig::keep_all(),
+            adaptive_sample: Some(AdaptiveConfig {
+                window: 4,
+                raise_above: 0.4,
+                relax_below: 0.05,
+                max_head_every: 8,
+            }),
+            ..ServiceConfig::default()
+        };
+        let mut svc = MonitoringService::from_model(model, options, config).unwrap();
+        svc.set_tracing(true);
+        svc.run_ticks(8).unwrap();
+        // Two full windows of pure keeps: 1 -> 2 -> 4.
+        assert_eq!(svc.sampler().head_every(), 4);
+        assert_eq!(svc.telemetry().trace_head_every.get(), 4);
+        // The stride is visible in the live snapshot too.
+        let snap = svc.live().snapshot_response();
+        let doc = netqos_telemetry::parse_json(&snap.body).unwrap();
+        assert_eq!(
+            doc.get("sampler")
+                .and_then(|s| s.get("head_every"))
+                .and_then(|v| v.as_u64()),
+            Some(4)
+        );
     }
 
     #[test]

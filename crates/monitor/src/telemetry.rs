@@ -62,6 +62,16 @@ pub struct MonitorTelemetry {
     pub trace_kept_tail: Counter,
     /// Traced cycles dropped by the sampler.
     pub trace_dropped: Counter,
+    /// Current head sampling stride (`head_every`); moves when adaptive
+    /// sampling reacts to flight-ring pressure.
+    pub trace_head_every: Gauge,
+    /// Flight snapshots acknowledged by the OTLP push collector.
+    pub otlp_pushed: Counter,
+    /// OTLP push retry attempts (refused connections or non-2xx).
+    pub otlp_push_retries: Counter,
+    /// Flight snapshots dropped by the OTLP pusher (queue full or
+    /// retries exhausted).
+    pub otlp_push_dropped: Counter,
 }
 
 impl MonitorTelemetry {
@@ -91,6 +101,10 @@ impl MonitorTelemetry {
             trace_kept_head: r.counter("netqos_monitor_trace_kept_head_total"),
             trace_kept_tail: r.counter("netqos_monitor_trace_kept_tail_total"),
             trace_dropped: r.counter("netqos_monitor_trace_dropped_total"),
+            trace_head_every: r.gauge("netqos_monitor_trace_head_every"),
+            otlp_pushed: r.counter("netqos_monitor_otlp_pushed_total"),
+            otlp_push_retries: r.counter("netqos_monitor_otlp_push_retries_total"),
+            otlp_push_dropped: r.counter("netqos_monitor_otlp_push_dropped_total"),
             registry,
         }
     }

@@ -1,0 +1,489 @@
+//! Shard federation: one export plane over N monitoring shards.
+//!
+//! A production deployment runs one `MonitoringService` per subnet (one
+//! spec file each); centralized observability should receive *mergeable
+//! summaries* from them, not raw streams. Each shard hands the
+//! [`ShardRegistry`] three things: its metrics [`Registry`], a health
+//! probe, and a snapshot renderer. The federation then serves a single
+//! combined surface:
+//!
+//! * `/metrics` — every shard's series labelled `shard="..."`, plus an
+//!   unlabelled aggregate per family (counters and gauges summed,
+//!   log-bucketed histograms merged bucket-by-bucket, rendered with
+//!   full `_bucket{le="..."}` exposition);
+//! * `/healthz` — `503` if *any* shard reports unhealthy, with the
+//!   per-shard detail in the body;
+//! * `/snapshot` — an array of per-shard tick digests.
+//!
+//! Merging happens at scrape time from live handles — no copies are
+//! kept between scrapes, and a scrape never blocks a shard's hot path
+//! (reads are the same relaxed atomic loads the shard itself uses).
+
+use crate::http::{HttpRequest, HttpResponse, Router};
+use crate::{escape_label_value, render_histogram_into, sanitize_metric_name, Registry};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One shard's health as seen by its probe.
+#[derive(Debug, Clone)]
+pub struct ShardHealth {
+    /// Whether the shard's tick loop is live (a stalled shard turns the
+    /// whole federation's `/healthz` to 503).
+    pub healthy: bool,
+    /// The shard's own `/healthz` JSON document, embedded verbatim in
+    /// the federated body.
+    pub detail: String,
+}
+
+/// A member of the federation: a name, its metrics registry, and the
+/// two read closures the combined endpoints call at scrape time.
+pub struct Shard {
+    name: String,
+    registry: Arc<Registry>,
+    health: Arc<dyn Fn() -> ShardHealth + Send + Sync>,
+    snapshot: Arc<dyn Fn() -> String + Send + Sync>,
+}
+
+impl Shard {
+    /// A shard with live read hooks. `health` is polled by `/healthz`,
+    /// `snapshot` must return the shard's tick digest as a JSON
+    /// document.
+    pub fn new(
+        name: impl Into<String>,
+        registry: Arc<Registry>,
+        health: impl Fn() -> ShardHealth + Send + Sync + 'static,
+        snapshot: impl Fn() -> String + Send + Sync + 'static,
+    ) -> Self {
+        Shard {
+            name: name.into(),
+            registry,
+            health: Arc::new(health),
+            snapshot: Arc::new(snapshot),
+        }
+    }
+
+    /// A shard that is always healthy and has an empty snapshot — for
+    /// registries without a live tick loop behind them (tests, batch
+    /// jobs).
+    pub fn metrics_only(name: impl Into<String>, registry: Arc<Registry>) -> Self {
+        Shard::new(
+            name,
+            registry,
+            || ShardHealth {
+                healthy: true,
+                detail: "{\"status\":\"ok\"}".into(),
+            },
+            || "{}".into(),
+        )
+    }
+
+    /// The shard's name (the `shard` label value).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The federation: a set of registered shards and the merged read
+/// plane over them.
+#[derive(Default)]
+pub struct ShardRegistry {
+    shards: RwLock<Vec<Shard>>,
+    scrapes: AtomicU64,
+}
+
+impl ShardRegistry {
+    /// An empty federation.
+    pub fn new() -> Arc<Self> {
+        Arc::new(ShardRegistry::default())
+    }
+
+    /// Adds a shard. Duplicate names are rejected — the `shard` label
+    /// must identify exactly one member.
+    pub fn register(&self, shard: Shard) -> Result<(), String> {
+        let mut shards = self.shards.write();
+        if shards.iter().any(|s| s.name == shard.name) {
+            return Err(format!("duplicate shard name {:?}", shard.name));
+        }
+        shards.push(shard);
+        Ok(())
+    }
+
+    /// Number of registered shards.
+    pub fn len(&self) -> usize {
+        self.shards.read().len()
+    }
+
+    /// Whether no shards are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Combined `/metrics` scrapes served so far.
+    pub fn scrapes(&self) -> u64 {
+        self.scrapes.load(Ordering::Relaxed)
+    }
+
+    /// A registry holding the sum/merge of every shard's metrics —
+    /// counters and gauges added, histograms merged. A fresh merge per
+    /// call; shard registries are untouched.
+    pub fn merged(&self) -> Registry {
+        let merged = Registry::default();
+        for shard in self.shards.read().iter() {
+            merged.merge_from(&shard.registry);
+        }
+        merged
+    }
+
+    /// Renders the combined Prometheus exposition: per-shard series
+    /// labelled `shard="..."` followed by the unlabelled aggregate, one
+    /// `# TYPE` header per family, plus the federation's own
+    /// `netqos_federation_*` meta-series.
+    pub fn render_merged_prometheus(&self) -> String {
+        self.scrapes.fetch_add(1, Ordering::Relaxed);
+        let shards = self.shards.read();
+        let mut out = String::new();
+        let _ = writeln!(out, "# TYPE netqos_federation_shards gauge");
+        let _ = writeln!(out, "netqos_federation_shards {}", shards.len());
+        let _ = writeln!(out, "# TYPE netqos_federation_scrapes_total counter");
+        let _ = writeln!(
+            out,
+            "netqos_federation_scrapes_total {}",
+            self.scrapes.load(Ordering::Relaxed)
+        );
+
+        // Union each metric family across shards, keeping per-shard
+        // handles so the aggregate and the labelled series come from
+        // one pass.
+        let mut counters: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+        let mut gauges: BTreeMap<String, Vec<(String, i64)>> = BTreeMap::new();
+        let mut histograms: BTreeMap<String, Vec<(String, crate::Histogram)>> = BTreeMap::new();
+        for shard in shards.iter() {
+            for (name, c) in shard.registry.counter_entries() {
+                counters
+                    .entry(name)
+                    .or_default()
+                    .push((shard.name.clone(), c.get()));
+            }
+            for (name, g) in shard.registry.gauge_entries() {
+                gauges
+                    .entry(name)
+                    .or_default()
+                    .push((shard.name.clone(), g.get()));
+            }
+            for (name, h) in shard.registry.histogram_entries() {
+                histograms
+                    .entry(name)
+                    .or_default()
+                    .push((shard.name.clone(), h));
+            }
+        }
+
+        for (name, series) in &counters {
+            let name = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let mut total = 0u64;
+            for (shard, v) in series {
+                let _ = writeln!(out, "{name}{{shard=\"{}\"}} {v}", escape_label_value(shard));
+                total += v;
+            }
+            let _ = writeln!(out, "{name} {total}");
+        }
+        for (name, series) in &gauges {
+            let name = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let mut total = 0i64;
+            for (shard, v) in series {
+                let _ = writeln!(out, "{name}{{shard=\"{}\"}} {v}", escape_label_value(shard));
+                total += v;
+            }
+            let _ = writeln!(out, "{name} {total}");
+        }
+        for (name, series) in &histograms {
+            let name = sanitize_metric_name(name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let merged = crate::Histogram::new();
+            for (shard, h) in series {
+                render_histogram_into(&mut out, &name, Some(shard), h);
+                merged.merge_from(h);
+            }
+            render_histogram_into(&mut out, &name, None, &merged);
+        }
+        out
+    }
+
+    /// The federated `/healthz`: 200 only when every shard is healthy,
+    /// 503 otherwise, always with per-shard detail in the body.
+    pub fn healthz_response(&self) -> HttpResponse {
+        let shards = self.shards.read();
+        let mut body = String::from("{\"status\":");
+        let unhealthy: Vec<&str> = shards
+            .iter()
+            .filter(|s| !(s.health)().healthy)
+            .map(|s| s.name.as_str())
+            .collect();
+        let healthy = unhealthy.is_empty() && !shards.is_empty();
+        let _ = write!(
+            body,
+            "\"{}\",\"shards\":[",
+            if shards.is_empty() {
+                "empty"
+            } else if healthy {
+                "ok"
+            } else {
+                "degraded"
+            }
+        );
+        for (i, shard) in shards.iter().enumerate() {
+            let health = (shard.health)();
+            if i > 0 {
+                body.push(',');
+            }
+            let _ = write!(
+                body,
+                "{{\"shard\":{:?},\"healthy\":{},\"detail\":{}}}",
+                shard.name,
+                health.healthy,
+                embed_json(&health.detail),
+            );
+        }
+        body.push_str("]}\n");
+        HttpResponse::json(if healthy { 200 } else { 503 }, body)
+    }
+
+    /// The federated `/snapshot`: every shard's tick digest in one
+    /// array, newest state at scrape time.
+    pub fn snapshot_response(&self) -> HttpResponse {
+        let shards = self.shards.read();
+        let mut body = String::from("{\"shards\":[");
+        for (i, shard) in shards.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let _ = write!(
+                body,
+                "{{\"shard\":{:?},\"snapshot\":{}}}",
+                shard.name,
+                embed_json(&(shard.snapshot)()),
+            );
+        }
+        body.push_str("]}\n");
+        HttpResponse::json(200, body)
+    }
+
+    /// The endpoint router for [`HttpServer::serve`]
+    /// (`crate::HttpServer`): combined `/metrics`, `/healthz`,
+    /// `/snapshot`, and `/` index.
+    pub fn router(self: &Arc<Self>) -> Arc<Router> {
+        let fed = self.clone();
+        Arc::new(move |req: &HttpRequest| match req.path.as_str() {
+            "/metrics" => Some(HttpResponse::prometheus(fed.render_merged_prometheus()).into()),
+            "/healthz" => Some(fed.healthz_response().into()),
+            "/snapshot" => Some(fed.snapshot_response().into()),
+            "/" => Some(
+                HttpResponse::json(
+                    200,
+                    format!(
+                        "{{\"federation\":{{\"shards\":{}}},\
+                         \"endpoints\":[\"/metrics\",\"/healthz\",\"/snapshot\"]}}\n",
+                        fed.len()
+                    ),
+                )
+                .into(),
+            ),
+            _ => None,
+        })
+    }
+}
+
+/// Embeds a shard-supplied JSON document in a larger document: trimmed
+/// verbatim when it looks like JSON, re-quoted as a string otherwise so
+/// a misbehaving shard cannot corrupt the federated body.
+fn embed_json(doc: &str) -> String {
+    let trimmed = doc.trim();
+    if trimmed.starts_with('{') || trimmed.starts_with('[') {
+        trimmed.to_string()
+    } else {
+        let mut quoted = String::from("\"");
+        crate::events::escape_json_into(&mut quoted, trimmed);
+        quoted.push('"');
+        quoted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_json, HttpRoute};
+
+    fn two_shard_registry() -> Arc<ShardRegistry> {
+        let fed = ShardRegistry::new();
+        let a = Registry::new();
+        a.counter("netqos_monitor_ticks_total").add(3);
+        a.gauge("netqos_monitor_trap_outbox_depth").set(1);
+        a.histogram("netqos_monitor_tick_duration_ns").record(100);
+        let b = Registry::new();
+        b.counter("netqos_monitor_ticks_total").add(4);
+        b.counter("only_in_b_total").inc();
+        b.histogram("netqos_monitor_tick_duration_ns").record(300);
+        fed.register(Shard::metrics_only("subnet-a", a)).unwrap();
+        fed.register(Shard::metrics_only("subnet-b", b)).unwrap();
+        fed
+    }
+
+    #[test]
+    fn merged_metrics_carry_shard_labels_and_aggregates() {
+        let fed = two_shard_registry();
+        let text = fed.render_merged_prometheus();
+        assert!(text.contains("netqos_federation_shards 2"), "{text}");
+        // Per-shard labelled series plus the unlabelled sum.
+        assert!(
+            text.contains("netqos_monitor_ticks_total{shard=\"subnet-a\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("netqos_monitor_ticks_total{shard=\"subnet-b\"} 4"),
+            "{text}"
+        );
+        assert!(text.contains("\nnetqos_monitor_ticks_total 7\n"), "{text}");
+        // A family present in only one shard still aggregates.
+        assert!(text.contains("only_in_b_total{shard=\"subnet-b\"} 1"));
+        assert!(text.contains("\nonly_in_b_total 1\n"));
+        // Histograms: per-shard and merged bucket exposition.
+        assert!(
+            text.contains("netqos_monitor_tick_duration_ns_bucket{shard=\"subnet-a\",le="),
+            "{text}"
+        );
+        assert!(
+            text.contains("netqos_monitor_tick_duration_ns_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("netqos_monitor_tick_duration_ns_sum 400"),
+            "{text}"
+        );
+        // One TYPE header per family, shared by all label sets.
+        assert_eq!(
+            text.matches("# TYPE netqos_monitor_ticks_total counter")
+                .count(),
+            1
+        );
+        assert_eq!(fed.scrapes(), 1);
+    }
+
+    #[test]
+    fn merged_registry_preserves_totals() {
+        let fed = two_shard_registry();
+        let merged = fed.merged();
+        assert_eq!(merged.counter("netqos_monitor_ticks_total").get(), 7);
+        let h = merged.histogram("netqos_monitor_tick_duration_ns");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 400);
+    }
+
+    #[test]
+    fn healthz_is_503_when_any_shard_stalls() {
+        let fed = ShardRegistry::new();
+        fed.register(Shard::metrics_only("ok-shard", Registry::new()))
+            .unwrap();
+        fed.register(Shard::new(
+            "stalled-shard",
+            Registry::new(),
+            || ShardHealth {
+                healthy: false,
+                detail: "{\"status\":\"stale\",\"ticks\":9}".into(),
+            },
+            || "{}".into(),
+        ))
+        .unwrap();
+        let resp = fed.healthz_response();
+        assert_eq!(resp.status, 503);
+        let doc = parse_json(&resp.body).unwrap();
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("degraded"));
+        let shards = doc.get("shards").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(shards.len(), 2);
+        let stalled = shards
+            .iter()
+            .find(|s| s.get("shard").and_then(|v| v.as_str()) == Some("stalled-shard"))
+            .unwrap();
+        assert_eq!(
+            stalled
+                .get("detail")
+                .and_then(|d| d.get("status"))
+                .and_then(|v| v.as_str()),
+            Some("stale")
+        );
+    }
+
+    #[test]
+    fn snapshot_lists_every_shard_digest() {
+        let fed = ShardRegistry::new();
+        fed.register(Shard::new(
+            "a",
+            Registry::new(),
+            || ShardHealth {
+                healthy: true,
+                detail: "{}".into(),
+            },
+            || "{\"ticks\":5,\"paths\":[]}".into(),
+        ))
+        .unwrap();
+        let resp = fed.snapshot_response();
+        assert_eq!(resp.status, 200);
+        let doc = parse_json(&resp.body).unwrap();
+        let shards = doc.get("shards").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(
+            shards[0]
+                .get("snapshot")
+                .and_then(|s| s.get("ticks"))
+                .and_then(|v| v.as_u64()),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn duplicate_shard_names_are_rejected() {
+        let fed = ShardRegistry::new();
+        fed.register(Shard::metrics_only("x", Registry::new()))
+            .unwrap();
+        assert!(fed
+            .register(Shard::metrics_only("x", Registry::new()))
+            .is_err());
+    }
+
+    #[test]
+    fn router_serves_combined_endpoints() {
+        let fed = two_shard_registry();
+        let router = fed.router();
+        let req = |path: &str| HttpRequest {
+            method: "GET".into(),
+            path: path.into(),
+            query: String::new(),
+            accept: String::new(),
+        };
+        let Some(HttpRoute::Response(metrics)) = router(&req("/metrics")) else {
+            panic!("no /metrics route");
+        };
+        assert!(metrics.body.contains("shard=\"subnet-a\""));
+        let Some(HttpRoute::Response(health)) = router(&req("/healthz")) else {
+            panic!("no /healthz route");
+        };
+        assert_eq!(health.status, 200);
+        let Some(HttpRoute::Response(snap)) = router(&req("/snapshot")) else {
+            panic!("no /snapshot route");
+        };
+        assert!(parse_json(&snap.body).is_ok());
+        assert!(router(&req("/nope")).is_none());
+    }
+
+    #[test]
+    fn empty_federation_reports_empty_not_ok() {
+        let fed = ShardRegistry::new();
+        assert!(fed.is_empty());
+        let resp = fed.healthz_response();
+        assert_eq!(resp.status, 503, "an empty federation is not healthy");
+        assert!(resp.body.contains("\"empty\""));
+    }
+}

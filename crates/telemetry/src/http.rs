@@ -3,15 +3,20 @@
 //! The build environment forbids new dependencies, so this is a small,
 //! std-only server: one accept thread on a [`std::net::TcpListener`],
 //! one short-lived thread per connection, `Connection: close` semantics.
-//! It exists to serve the monitor's three read-only endpoints
-//! (`/metrics`, `/healthz`, `/snapshot`) — it is deliberately not a
-//! general web server: GET/HEAD only, no keep-alive, no chunked
-//! encoding, request bodies ignored, and a read timeout so a stalled
-//! client cannot pin a thread.
+//! It exists to serve the monitor's read-only endpoints (`/metrics`,
+//! `/healthz`, `/snapshot`) — it is deliberately not a general web
+//! server: GET/HEAD only, no keep-alive, no chunked encoding, request
+//! bodies ignored, and a read timeout so a stalled client cannot pin a
+//! thread.
 //!
-//! Routing is a caller-supplied closure from request path to
-//! [`HttpResponse`]; `None` becomes a 404. The server itself answers
-//! 405 for non-GET methods and 400 for unparseable request lines.
+//! Routing is a caller-supplied closure from [`HttpRequest`] (path,
+//! query string, `Accept` header) to [`HttpRoute`]; `None` becomes a
+//! 404. A route is either a buffered [`HttpResponse`] or an
+//! [`EventSource`] served as a server-sent-event stream (`Content-Type:
+//! text/event-stream`, one `data:` event per published tick) so
+//! dashboards can follow `/snapshot` without polling. The server itself
+//! answers 405 for non-GET methods and 400 for unparseable request
+//! lines.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -22,6 +27,9 @@ use std::time::Duration;
 
 /// How long a connection may take to deliver its request head.
 const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How long an event-stream connection sleeps between source polls.
+const STREAM_POLL: Duration = Duration::from_millis(20);
 
 /// A response the router hands back: status, content type, body.
 #[derive(Debug, Clone)]
@@ -55,8 +63,64 @@ impl HttpResponse {
     }
 }
 
-/// Maps a request path (`/metrics`) to a response; `None` means 404.
-pub type Router = dyn Fn(&str) -> Option<HttpResponse> + Send + Sync;
+/// A parsed request head, as much of it as routing needs.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// `GET` or `HEAD` (anything else is rejected before routing).
+    pub method: String,
+    /// Request path with the query string stripped (`/snapshot`).
+    pub path: String,
+    /// The query string after `?`, empty when absent (`follow=1`).
+    pub query: String,
+    /// The raw `Accept` header value, empty when absent.
+    pub accept: String,
+}
+
+impl HttpRequest {
+    /// Whether the client asked to follow the resource as a server-sent
+    /// event stream: `Accept: text/event-stream` or `?follow=1`.
+    pub fn wants_event_stream(&self) -> bool {
+        self.accept
+            .to_ascii_lowercase()
+            .contains("text/event-stream")
+            || self.query.split('&').any(|kv| kv == "follow=1")
+    }
+}
+
+/// A cursor-driven stream of events for SSE endpoints. The connection
+/// thread polls [`EventSource::next_after`] with the last cursor it
+/// delivered; the source returns the next `(cursor, payload)` pair when
+/// one exists. [`EventSource::finished`] ends the stream cleanly.
+pub trait EventSource: Send + Sync {
+    /// The next event strictly after `cursor`, or `None` if nothing new
+    /// has been published yet.
+    fn next_after(&self, cursor: u64) -> Option<(u64, String)>;
+
+    /// Whether the producer has finished: after draining, the stream
+    /// closes instead of waiting for more events.
+    fn finished(&self) -> bool {
+        false
+    }
+}
+
+/// What a router returns for a request: a buffered response or a
+/// server-sent-event stream.
+pub enum HttpRoute {
+    /// An ordinary buffered response.
+    Response(HttpResponse),
+    /// A `text/event-stream` fed from the source until it finishes, the
+    /// client disconnects, or the server stops.
+    EventStream(Arc<dyn EventSource>),
+}
+
+impl From<HttpResponse> for HttpRoute {
+    fn from(resp: HttpResponse) -> Self {
+        HttpRoute::Response(resp)
+    }
+}
+
+/// Maps a request to a route; `None` means 404.
+pub type Router = dyn Fn(&HttpRequest) -> Option<HttpRoute> + Send + Sync;
 
 /// A running HTTP server. Dropping (or calling [`HttpServer::stop`])
 /// shuts the accept loop down and joins it.
@@ -85,11 +149,13 @@ impl HttpServer {
                 let Ok(stream) = stream else { continue };
                 let router = router.clone();
                 let requests = accept_requests.clone();
-                // One short-lived thread per connection: the endpoints
-                // render in microseconds, so threads never accumulate.
+                let stop = accept_stop.clone();
+                // One short-lived thread per connection: buffered
+                // endpoints render in microseconds; event streams watch
+                // the stop flag so shutdown is never blocked on them.
                 std::thread::spawn(move || {
                     requests.fetch_add(1, Ordering::Relaxed);
-                    handle_connection(stream, &*router);
+                    handle_connection(stream, &*router, &stop);
                 });
             }
         });
@@ -161,7 +227,59 @@ fn write_response(stream: &mut TcpStream, head_only: bool, resp: &HttpResponse) 
     let _ = stream.flush();
 }
 
-fn handle_connection(mut stream: TcpStream, router: &Router) {
+/// Serves an SSE stream: headers, then one `id:`/`data:` event per
+/// source publication until the source finishes, the client goes away
+/// (write error), or the server stops.
+fn stream_events(
+    stream: &mut TcpStream,
+    head_only: bool,
+    source: &dyn EventSource,
+    stop: &AtomicBool,
+) {
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+                Cache-Control: no-cache\r\nConnection: close\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    if head_only {
+        let _ = stream.flush();
+        return;
+    }
+    // An opening comment flushes the headers through proxies and lets
+    // clients detect the stream before the first tick lands.
+    if stream.write_all(b": netqos event stream\n\n").is_err() {
+        return;
+    }
+    let _ = stream.flush();
+    let mut cursor = 0u64;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        match source.next_after(cursor) {
+            Some((next, payload)) => {
+                cursor = next;
+                let mut event = format!("id: {next}\n");
+                // SSE payloads are line-framed: multi-line payloads
+                // become consecutive `data:` lines of one event.
+                for line in payload.lines() {
+                    event.push_str("data: ");
+                    event.push_str(line);
+                    event.push('\n');
+                }
+                event.push('\n');
+                if stream.write_all(event.as_bytes()).is_err() {
+                    return;
+                }
+                let _ = stream.flush();
+            }
+            None if source.finished() => return,
+            None => std::thread::sleep(STREAM_POLL),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, router: &Router, stop: &AtomicBool) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
@@ -171,19 +289,27 @@ fn handle_connection(mut stream: TcpStream, router: &Router) {
     if reader.read_line(&mut request_line).is_err() {
         return;
     }
-    // Drain headers so well-behaved clients see a clean close.
+    // Drain headers (keeping `Accept`) so well-behaved clients see a
+    // clean close.
+    let mut accept = String::new();
     let mut header = String::new();
     loop {
         header.clear();
         match reader.read_line(&mut header) {
             Ok(0) => break,
             Ok(_) if header == "\r\n" || header == "\n" => break,
-            Ok(_) => continue,
+            Ok(_) => {
+                if let Some((name, value)) = header.split_once(':') {
+                    if name.trim().eq_ignore_ascii_case("accept") {
+                        accept = value.trim().to_string();
+                    }
+                }
+            }
             Err(_) => break,
         }
     }
     let mut parts = request_line.split_whitespace();
-    let (method, path) = match (parts.next(), parts.next()) {
+    let (method, target) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m, p),
         _ => {
             let resp = HttpResponse::json(400, "{\"error\":\"bad request\"}".into());
@@ -196,12 +322,28 @@ fn handle_connection(mut stream: TcpStream, router: &Router) {
         write_response(&mut stream, false, &resp);
         return;
     }
-    // Ignore any query string: `/metrics?x=1` routes as `/metrics`.
-    let path = path.split('?').next().unwrap_or(path);
-    let resp = router(path).unwrap_or_else(|| {
-        HttpResponse::json(404, format!("{{\"error\":\"no such endpoint {path:?}\"}}"))
-    });
-    write_response(&mut stream, method == "HEAD", &resp);
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let request = HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+        query: query.to_string(),
+        accept,
+    };
+    let head_only = method == "HEAD";
+    match router(&request) {
+        Some(HttpRoute::Response(resp)) => write_response(&mut stream, head_only, &resp),
+        Some(HttpRoute::EventStream(source)) => {
+            stream_events(&mut stream, head_only, &*source, stop)
+        }
+        None => {
+            let resp =
+                HttpResponse::json(404, format!("{{\"error\":\"no such endpoint {path:?}\"}}"));
+            write_response(&mut stream, head_only, &resp);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -228,9 +370,12 @@ mod tests {
     }
 
     fn test_server() -> HttpServer {
-        let router: Arc<Router> = Arc::new(|path| match path {
-            "/metrics" => Some(HttpResponse::prometheus("metric_a 1\n".into())),
-            "/healthz" => Some(HttpResponse::json(200, "{\"status\":\"ok\"}".into())),
+        let router: Arc<Router> = Arc::new(|req| match req.path.as_str() {
+            "/metrics" => Some(HttpResponse::prometheus("metric_a 1\n".into()).into()),
+            "/healthz" => Some(HttpResponse::json(200, "{\"status\":\"ok\"}".into()).into()),
+            "/query" => {
+                Some(HttpResponse::json(200, format!("{{\"query\":{:?}}}", req.query)).into())
+            }
             _ => None,
         });
         HttpServer::serve("127.0.0.1:0", router).unwrap()
@@ -254,13 +399,16 @@ mod tests {
     }
 
     #[test]
-    fn unknown_path_is_404_and_query_strings_route() {
+    fn unknown_path_is_404_and_query_strings_reach_the_router() {
         let server = test_server();
         let (status, _, body) = get(server.local_addr(), "/nope");
         assert_eq!(status, 404);
         assert!(body.contains("no such endpoint"));
         let (status, _, _) = get(server.local_addr(), "/metrics?scrape=1");
         assert_eq!(status, 200);
+        let (status, _, body) = get(server.local_addr(), "/query?a=1&b=2");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"a=1&b=2\""), "{body}");
         server.stop();
     }
 
@@ -273,6 +421,70 @@ mod tests {
         stream.read_to_string(&mut raw).unwrap();
         assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
         server.stop();
+    }
+
+    /// A fixed script of events, finishing after the last one.
+    struct ScriptedSource {
+        events: Vec<String>,
+    }
+
+    impl EventSource for ScriptedSource {
+        fn next_after(&self, cursor: u64) -> Option<(u64, String)> {
+            self.events
+                .get(cursor as usize)
+                .map(|e| (cursor + 1, e.clone()))
+        }
+
+        fn finished(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn event_stream_delivers_scripted_events_and_closes() {
+        let source = Arc::new(ScriptedSource {
+            events: vec!["{\"tick\":1}".into(), "line1\nline2".into()],
+        });
+        let router: Arc<Router> = Arc::new(move |req| {
+            (req.path == "/snapshot" && req.wants_event_stream())
+                .then(|| HttpRoute::EventStream(source.clone()))
+        });
+        let server = HttpServer::serve("127.0.0.1:0", router).unwrap();
+
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(
+            stream,
+            "GET /snapshot?follow=1 HTTP/1.1\r\nHost: t\r\nAccept: text/event-stream\r\n\r\n"
+        )
+        .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap(); // returns when the stream closes
+        assert!(raw.starts_with("HTTP/1.1 200"), "{raw}");
+        assert!(raw.contains("Content-Type: text/event-stream"), "{raw}");
+        assert!(raw.contains("id: 1\ndata: {\"tick\":1}\n\n"), "{raw}");
+        // Multi-line payloads become consecutive data: lines of one event.
+        assert!(raw.contains("id: 2\ndata: line1\ndata: line2\n\n"), "{raw}");
+        server.stop();
+    }
+
+    #[test]
+    fn wants_event_stream_detection() {
+        let base = HttpRequest {
+            method: "GET".into(),
+            path: "/snapshot".into(),
+            query: String::new(),
+            accept: String::new(),
+        };
+        assert!(!base.wants_event_stream());
+        let mut follow = base.clone();
+        follow.query = "follow=1".into();
+        assert!(follow.wants_event_stream());
+        let mut accept = base.clone();
+        accept.accept = "text/Event-Stream; q=0.9".into();
+        assert!(accept.wants_event_stream());
+        let mut other = base;
+        other.query = "follower=1".into();
+        assert!(!other.wants_event_stream());
     }
 
     #[test]

@@ -52,6 +52,14 @@ impl JsonValue {
         }
     }
 
+    /// The boolean, when this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The number, when this is a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {

@@ -25,11 +25,13 @@
 
 mod baseline;
 mod events;
+mod federation;
 mod flight;
 mod http;
 mod json;
 mod metrics;
 mod otlp;
+mod push;
 mod sample;
 mod trace;
 
@@ -38,19 +40,21 @@ pub use baseline::{
     QuantileBaseline, DEFAULT_WINDOW,
 };
 pub use events::{Event, EventSink, FieldValue, Level};
+pub use federation::{Shard, ShardHealth, ShardRegistry};
 pub use flight::{
     cycles_from_jsonl, enforce_retention, parsed_to_chrome_trace, to_chrome_trace, to_jsonl,
     validate_chrome_trace, write_snapshot, ChromeTraceStats, CycleTrace, FlightRecorder,
     ParsedCycle, ParsedSpan, RetentionPolicy, SampleAnnotation, SnapshotPaths,
     DEFAULT_FLIGHT_CAPACITY,
 };
-pub use http::{HttpResponse, HttpServer, Router};
+pub use http::{EventSource, HttpRequest, HttpResponse, HttpRoute, HttpServer, Router};
 pub use json::{parse_json, JsonError, JsonValue};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramState, HistogramSummary, HistogramTimer, BUCKETS,
 };
 pub use otlp::{parsed_to_otlp, to_otlp, validate_otlp, OtlpStats, OTLP_SCOPE, OTLP_SERVICE};
-pub use sample::{SampleConfig, SampleDecision, Sampler};
+pub use push::{parse_push_url, OtlpPusher, PushConfig, PushCounters, PushTarget};
+pub use sample::{AdaptiveConfig, SampleConfig, SampleDecision, Sampler};
 pub use trace::{SpanGuard, SpanId, SpanRecord, TraceId, Tracer};
 
 use parking_lot::RwLock;
@@ -145,35 +149,122 @@ impl Registry {
         }
     }
 
+    /// Name/handle pairs of every counter, sorted by name. Handles are
+    /// cheap clones sharing the live cells.
+    pub fn counter_entries(&self) -> Vec<(String, Counter)> {
+        self.counters
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Name/handle pairs of every gauge, sorted by name.
+    pub fn gauge_entries(&self) -> Vec<(String, Gauge)> {
+        self.gauges
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Name/handle pairs of every histogram, sorted by name.
+    pub fn histogram_entries(&self) -> Vec<(String, Histogram)> {
+        self.histograms
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Folds another registry's metrics into this one by name: counter
+    /// and gauge values are added, histogram buckets merged. The basis
+    /// of shard federation — merging K shard registries preserves
+    /// counter sums and histogram totals exactly.
+    pub fn merge_from(&self, other: &Registry) {
+        for (name, c) in other.counter_entries() {
+            self.counter(&name).add(c.get());
+        }
+        for (name, g) in other.gauge_entries() {
+            self.gauge(&name).add(g.get());
+        }
+        for (name, h) in other.histogram_entries() {
+            self.histogram(&name).merge_from(&h);
+        }
+    }
+
     /// Renders every metric in the Prometheus text exposition format.
-    /// Histograms are exposed summary-style: `{quantile="..."}` series
-    /// plus `_sum`, `_count`, `_min`, and `_max`.
+    /// Histograms are exposed as native Prometheus histograms —
+    /// cumulative `*_bucket{le="..."}` series over the log-bucketed
+    /// boundaries plus `*_sum` and `*_count` — so Prometheus computes
+    /// quantiles server-side; `*_min`/`*_max` ride along as untyped
+    /// convenience series.
     pub fn render_prometheus(&self) -> String {
-        let snap = self.snapshot();
         let mut out = String::new();
-        for (name, v) in &snap.counters {
-            let name = sanitize_metric_name(name);
+        for (name, c) in self.counter_entries() {
+            let name = sanitize_metric_name(&name);
             let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {v}");
+            let _ = writeln!(out, "{name} {}", c.get());
         }
-        for (name, v) in &snap.gauges {
-            let name = sanitize_metric_name(name);
+        for (name, g) in self.gauge_entries() {
+            let name = sanitize_metric_name(&name);
             let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {v}");
+            let _ = writeln!(out, "{name} {}", g.get());
         }
-        for (name, s) in &snap.histograms {
-            let name = sanitize_metric_name(name);
-            let _ = writeln!(out, "# TYPE {name} summary");
-            let _ = writeln!(out, "{name}{{quantile=\"0.5\"}} {}", s.p50);
-            let _ = writeln!(out, "{name}{{quantile=\"0.9\"}} {}", s.p90);
-            let _ = writeln!(out, "{name}{{quantile=\"0.99\"}} {}", s.p99);
-            let _ = writeln!(out, "{name}_sum {}", s.sum);
-            let _ = writeln!(out, "{name}_count {}", s.count);
-            let _ = writeln!(out, "{name}_min {}", s.min);
-            let _ = writeln!(out, "{name}_max {}", s.max);
+        for (name, h) in self.histogram_entries() {
+            let name = sanitize_metric_name(&name);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            render_histogram_into(&mut out, &name, None, &h);
         }
         out
     }
+}
+
+/// Writes one histogram's Prometheus exposition lines (`_bucket`,
+/// `_sum`, `_count`, `_min`, `_max`), optionally stamped with a
+/// `shard="..."` label. The `# TYPE` header is the caller's, so
+/// federated output can group several label sets under one family.
+pub(crate) fn render_histogram_into(
+    out: &mut String,
+    name: &str,
+    shard: Option<&str>,
+    h: &Histogram,
+) {
+    let label = |extra: &str| -> String {
+        match (shard, extra.is_empty()) {
+            (Some(s), false) => format!("{{shard=\"{}\",{extra}}}", escape_label_value(s)),
+            (Some(s), true) => format!("{{shard=\"{}\"}}", escape_label_value(s)),
+            (None, false) => format!("{{{extra}}}"),
+            (None, true) => String::new(),
+        }
+    };
+    let buckets = h.cumulative_buckets();
+    let count = h.count();
+    for &(le, cum) in &buckets {
+        let _ = writeln!(out, "{name}_bucket{} {cum}", label(&format!("le=\"{le}\"")));
+    }
+    // `+Inf` must equal `_count`; concurrent recording can leave the
+    // bucket walk a sample behind, so take the larger of the two.
+    let total = count.max(buckets.last().map(|&(_, c)| c).unwrap_or(0));
+    let _ = writeln!(out, "{name}_bucket{} {total}", label("le=\"+Inf\""));
+    let _ = writeln!(out, "{name}_sum{} {}", label(""), h.sum());
+    let _ = writeln!(out, "{name}_count{} {total}", label(""));
+    let _ = writeln!(out, "{name}_min{} {}", label(""), h.min());
+    let _ = writeln!(out, "{name}_max{} {}", label(""), h.max());
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+pub(crate) fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
 }
 
 /// Replaces characters Prometheus forbids in metric names.
@@ -235,10 +326,52 @@ mod tests {
         assert!(text.contains("netqos_polls_total 7"));
         assert!(text.contains("# TYPE netqos_queue_depth gauge"));
         assert!(text.contains("netqos_queue_depth 3"));
-        assert!(text.contains("# TYPE netqos_tick_ns summary"));
-        assert!(text.contains("netqos_tick_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("# TYPE netqos_tick_ns histogram"));
+        assert!(text.contains("netqos_tick_ns_bucket{le=\"+Inf\"} 5"));
         assert!(text.contains("netqos_tick_ns_count 5"));
         assert!(text.contains("netqos_tick_ns_sum 1100"));
+    }
+
+    #[test]
+    fn histogram_exposition_buckets_are_cumulative() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_ns");
+        for v in [1u64, 1, 2, 500] {
+            h.record(v);
+        }
+        let text = reg.render_prometheus();
+        // Exact sub-linear boundaries, cumulative counts, +Inf == count.
+        assert!(text.contains("lat_ns_bucket{le=\"1\"} 2"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"2\"} 3"), "{text}");
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(text.contains("lat_ns_sum 504"), "{text}");
+        // Bucket `le` boundaries ascend down the rendering.
+        let les: Vec<u64> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("lat_ns_bucket{le=\""))
+            .filter_map(|l| l.split('"').next())
+            .filter_map(|v| v.parse().ok())
+            .collect();
+        assert!(les.windows(2).all(|w| w[0] < w[1]), "{les:?}");
+    }
+
+    #[test]
+    fn merge_from_adds_and_folds() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("polls").add(3);
+        b.counter("polls").add(4);
+        b.counter("only_b").inc();
+        a.gauge("depth").set(2);
+        b.gauge("depth").set(5);
+        a.histogram("lat").record(10);
+        b.histogram("lat").record(30);
+        a.merge_from(&b);
+        assert_eq!(a.counter("polls").get(), 7);
+        assert_eq!(a.counter("only_b").get(), 1);
+        assert_eq!(a.gauge("depth").get(), 7);
+        assert_eq!(a.histogram("lat").count(), 2);
+        assert_eq!(a.histogram("lat").sum(), 40);
     }
 
     #[test]

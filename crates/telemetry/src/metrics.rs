@@ -133,6 +133,15 @@ fn bucket_low(i: usize) -> u64 {
     }
 }
 
+/// Inclusive upper bound of bucket `i` (the Prometheus `le` boundary).
+fn bucket_high(i: usize) -> u64 {
+    if i + 1 < BUCKETS {
+        bucket_low(i + 1) - 1
+    } else {
+        u64::MAX
+    }
+}
+
 /// The value reported for samples landing in bucket `i` (its midpoint).
 fn bucket_mid(i: usize) -> u64 {
     if i < LINEAR as usize {
@@ -313,6 +322,26 @@ impl Histogram {
         h
     }
 
+    /// Cumulative bucket counts for Prometheus histogram exposition:
+    /// one `(le, cumulative_count)` pair per *occupied* bucket, `le`
+    /// being the bucket's inclusive upper bound. Sparse on purpose — a
+    /// scrape carries only the boundaries that hold samples, and
+    /// Prometheus treats the missing interior boundaries as implied by
+    /// the cumulative counts. The final `+Inf` bucket is the caller's to
+    /// add (it equals [`Histogram::count`]).
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for i in 0..BUCKETS {
+            let n = self.core.buckets[i].load(Ordering::Relaxed);
+            if n != 0 {
+                cum += n;
+                out.push((bucket_high(i), cum));
+            }
+        }
+        out
+    }
+
     /// An immutable summary of the current state.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -475,6 +504,31 @@ mod tests {
             );
         }
         assert_eq!(h.rank_of(u64::MAX / 2), 1.0);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotonic_and_complete() {
+        let h = Histogram::new();
+        assert!(h.cumulative_buckets().is_empty());
+        for v in [0u64, 3, 3, 7, 100, 5_000, 1 << 40] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        // Monotonic in both boundary and cumulative count.
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0);
+            assert!(pair[0].1 < pair[1].1);
+        }
+        // The last cumulative count covers every sample.
+        assert_eq!(buckets.last().unwrap().1, h.count());
+        // Every boundary actually bounds its samples: counting samples
+        // ≤ le through the bucket API agrees.
+        for &(le, cum) in &buckets {
+            assert_eq!(h.count_le(le), cum, "le={le}");
+        }
+        // Exact sub-linear values get exact boundaries.
+        assert_eq!(buckets[0], (0, 1));
+        assert_eq!(buckets[1], (3, 3));
     }
 
     #[test]

@@ -75,33 +75,118 @@ impl SampleConfig {
     }
 }
 
+/// Feedback policy for adapting the head rate to flight-ring pressure.
+///
+/// Every `window` cycles the sampler looks at the fraction it kept over
+/// that window — a proxy for how fast the flight ring is churning. Above
+/// `raise_above` the ring is turning over faster than forensics can use,
+/// so `head_every` doubles (keep less); below `relax_below` the monitor
+/// is idle and `head_every` halves back toward the configured base (keep
+/// more). The rate never leaves `[base, max_head_every]`, and tail
+/// triggers are untouched — an interesting cycle is still never lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Cycles between adjustments.
+    pub window: u64,
+    /// Keep-fraction above which `head_every` doubles.
+    pub raise_above: f64,
+    /// Keep-fraction below which `head_every` halves.
+    pub relax_below: f64,
+    /// Ceiling on `head_every` (the floor is the configured base rate).
+    pub max_head_every: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            window: 32,
+            raise_above: 0.5,
+            relax_below: 0.125,
+            max_head_every: 1024,
+        }
+    }
+}
+
 /// The per-service sampling state: a cycle counter plus decision
 /// counters for telemetry. Thread-safe; decisions are made with relaxed
-/// atomics only.
+/// atomics only. The head rate lives in an atomic so a feedback loop
+/// ([`Sampler::adapt`]) can retune it while decisions are in flight.
 #[derive(Debug, Default)]
 pub struct Sampler {
     config: SampleConfig,
+    head_every: AtomicU64,
     cycles_seen: AtomicU64,
     kept_head: AtomicU64,
     kept_tail: AtomicU64,
     dropped: AtomicU64,
+    adapt_seen_mark: AtomicU64,
+    adapt_kept_mark: AtomicU64,
 }
 
 impl Sampler {
     /// A sampler with the given thresholds.
     pub fn new(config: SampleConfig) -> Self {
+        let config = SampleConfig {
+            head_every: config.head_every.max(1),
+            ..config
+        };
         Sampler {
-            config: SampleConfig {
-                head_every: config.head_every.max(1),
-                ..config
-            },
+            config,
+            head_every: AtomicU64::new(config.head_every),
             ..Sampler::default()
         }
     }
 
-    /// The active thresholds.
+    /// The active thresholds (with the *current*, possibly adapted,
+    /// head rate).
     pub fn config(&self) -> SampleConfig {
-        self.config
+        SampleConfig {
+            head_every: self.head_every(),
+            ..self.config
+        }
+    }
+
+    /// The current head rate (1 = keep every cycle).
+    pub fn head_every(&self) -> u64 {
+        self.head_every.load(Ordering::Relaxed)
+    }
+
+    /// Overrides the head rate (min 1). The configured base rate is the
+    /// floor [`Sampler::adapt`] relaxes back to.
+    pub fn set_head_every(&self, n: u64) {
+        self.head_every.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// One feedback step: if at least `policy.window` cycles have been
+    /// decided since the last step, retunes `head_every` from the keep
+    /// fraction over that window and returns the new rate when it
+    /// changed. Call it once per cycle — off-window calls are a single
+    /// atomic load.
+    pub fn adapt(&self, policy: &AdaptiveConfig) -> Option<u64> {
+        let seen = self.cycles_seen();
+        let mark = self.adapt_seen_mark.load(Ordering::Relaxed);
+        if seen.saturating_sub(mark) < policy.window.max(1) {
+            return None;
+        }
+        let kept = self.kept_head() + self.kept_tail();
+        let kept_mark = self.adapt_kept_mark.swap(kept, Ordering::Relaxed);
+        self.adapt_seen_mark.store(seen, Ordering::Relaxed);
+        let window = seen.saturating_sub(mark);
+        let frac = kept.saturating_sub(kept_mark) as f64 / window as f64;
+        let cur = self.head_every();
+        let next = if frac > policy.raise_above {
+            (cur.saturating_mul(2)).min(policy.max_head_every.max(1))
+        } else if frac < policy.relax_below {
+            (cur / 2).max(self.config.head_every)
+        } else {
+            cur
+        };
+        if next != cur {
+            self.head_every.store(next, Ordering::Relaxed);
+            Some(next)
+        } else {
+            None
+        }
     }
 
     /// Decides one cycle's fate. `tick_ns` is the cycle's wall-clock
@@ -113,7 +198,7 @@ impl Sampler {
     /// started monitor is never blind for its first N cycles.
     pub fn decide(&self, tick_ns: u64, max_rank: f64, qos_event: bool) -> SampleDecision {
         let index = self.cycles_seen.fetch_add(1, Ordering::Relaxed);
-        let decision = if index.is_multiple_of(self.config.head_every) {
+        let decision = if index.is_multiple_of(self.head_every().max(1)) {
             SampleDecision::Head
         } else if qos_event {
             SampleDecision::Tail("qos_event")
@@ -200,6 +285,76 @@ mod tests {
         );
         assert_eq!(s.decide(10, 0.0, true), SampleDecision::Tail("qos_event"));
         assert_eq!(s.kept_tail(), 3);
+    }
+
+    #[test]
+    fn adapt_raises_under_pressure_and_relaxes_when_idle() {
+        let s = Sampler::new(SampleConfig {
+            head_every: 2,
+            slow_tick_ns: 0,
+            tail_rank: f64::INFINITY,
+        });
+        let policy = AdaptiveConfig {
+            window: 8,
+            raise_above: 0.4,
+            relax_below: 0.125,
+            max_head_every: 8,
+        };
+        // head_every=2 keeps half of every window: above raise_above,
+        // so each full window doubles the rate until the ceiling.
+        for _ in 0..8 {
+            s.decide(0, 0.0, false);
+        }
+        assert_eq!(s.adapt(&policy), Some(4));
+        assert_eq!(s.head_every(), 4);
+        // Mid-window calls are no-ops.
+        s.decide(0, 0.0, false);
+        assert_eq!(s.adapt(&policy), None);
+        // At 1-in-4 the keep fraction sits between the watermarks.
+        for _ in 0..7 {
+            s.decide(0, 0.0, false);
+        }
+        assert_eq!(s.adapt(&policy), None);
+        assert_eq!(s.head_every(), 4);
+        // Force pressure via tail keeps: every cycle kept → double to cap.
+        for _ in 0..8 {
+            s.decide(0, 0.0, true);
+        }
+        assert_eq!(s.adapt(&policy), Some(8));
+        for _ in 0..8 {
+            s.decide(0, 0.0, true);
+        }
+        assert_eq!(s.adapt(&policy), None, "already at max_head_every");
+        // Idle again: 1-in-8 = 0.125 is not < 0.125... make it idle by
+        // an empty-keep window (head keeps ≈ 1/8). Use a larger window
+        // so the fraction drops below the watermark.
+        let relax = AdaptiveConfig {
+            window: 8,
+            raise_above: 0.9,
+            relax_below: 0.5,
+            max_head_every: 8,
+        };
+        for _ in 0..8 {
+            s.decide(0, 0.0, false);
+        }
+        assert_eq!(s.adapt(&relax), Some(4), "relaxes by halving");
+        // Relaxation never goes below the configured base.
+        for _ in 0..64 {
+            for _ in 0..8 {
+                s.decide(0, 0.0, false);
+            }
+            s.adapt(&relax);
+        }
+        assert_eq!(s.head_every(), 2, "floor is the base rate");
+    }
+
+    #[test]
+    fn set_head_every_takes_effect_immediately() {
+        let s = Sampler::new(SampleConfig::keep_all());
+        s.decide(0, 0.0, false); // index 0: kept
+        s.set_head_every(1000);
+        assert!(!s.decide(0, 0.0, false).keep(), "index 1 of 1000");
+        assert_eq!(s.config().head_every, 1000);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! persistence (JSON round trips preserve quantiles).
 
 use netqos_telemetry::{
-    baselines_from_json, baselines_to_json, Histogram, QuantileBaseline, SampleConfig,
-    SampleDecision, Sampler,
+    baselines_from_json, baselines_to_json, Histogram, QuantileBaseline, Registry, SampleConfig,
+    SampleDecision, Sampler, Shard, ShardRegistry,
 };
 use proptest::prelude::*;
 
@@ -210,6 +210,74 @@ proptest! {
         prop_assert_eq!(s.cycles_seen(), cycles.len() as u64);
         prop_assert_eq!(s.kept_head() + s.kept_tail() + s.dropped(), cycles.len() as u64);
         prop_assert_eq!(s.kept_head() + s.kept_tail(), keeps);
+    }
+
+    /// Federating K shard registries preserves counter sums and
+    /// histogram totals exactly: the merged registry's counters equal
+    /// the per-shard sums, its histograms carry the union of all
+    /// samples, and the rendered exposition agrees with both.
+    #[test]
+    fn federation_merge_preserves_sums_and_totals(
+        shards in prop::collection::vec(
+            (
+                prop::collection::vec((0usize..4, 0u64..1_000_000), 0..8),
+                prop::collection::vec((0usize..3, 0u64..100_000_000), 0..50),
+            ),
+            1..6,
+        ),
+    ) {
+        const COUNTERS: [&str; 4] = ["ticks_total", "polls_total", "errors_total", "drops_total"];
+        const HISTOGRAMS: [&str; 3] = ["tick_ns", "poll_ns", "parse_ns"];
+
+        let fed = ShardRegistry::new();
+        let mut counter_sums = std::collections::BTreeMap::new();
+        let mut histo_totals = std::collections::BTreeMap::new();
+        for (i, (counters, samples)) in shards.iter().enumerate() {
+            let registry = Registry::new();
+            for &(which, v) in counters {
+                registry.counter(COUNTERS[which]).add(v);
+                *counter_sums.entry(COUNTERS[which]).or_insert(0u64) += v;
+            }
+            for &(which, v) in samples {
+                registry.histogram(HISTOGRAMS[which]).record(v);
+                let (count, sum) = histo_totals.entry(HISTOGRAMS[which]).or_insert((0u64, 0u64));
+                *count += 1;
+                *sum += v;
+            }
+            fed.register(Shard::metrics_only(format!("shard-{i}"), registry)).unwrap();
+        }
+
+        let merged = fed.merged();
+        for (name, want) in &counter_sums {
+            prop_assert_eq!(merged.counter(name).get(), *want, "counter {}", name);
+        }
+        for (name, (count, sum)) in &histo_totals {
+            let h = merged.histogram(name);
+            prop_assert_eq!(h.count(), *count, "histogram {} count", name);
+            prop_assert_eq!(h.sum(), *sum, "histogram {} sum", name);
+        }
+
+        // The rendered exposition agrees: each family's unlabelled
+        // aggregate line carries the same sum, and every non-empty
+        // histogram closes its bucket series at `le="+Inf"` == count.
+        let text = fed.render_merged_prometheus();
+        for (name, want) in &counter_sums {
+            if *want > 0 {
+                prop_assert!(
+                    text.contains(&format!("\n{name} {want}\n")),
+                    "missing aggregate `{} {}` in rendering", name, want
+                );
+            }
+        }
+        for (name, (count, _)) in &histo_totals {
+            if *count > 0 {
+                prop_assert!(
+                    text.contains(&format!("{name}_bucket{{le=\"+Inf\"}} {count}")),
+                    "missing +Inf bucket for {}", name
+                );
+                prop_assert!(text.contains(&format!("\n{name}_count {count}\n")));
+            }
+        }
     }
 
     /// Baseline persistence: a JSON save/load round trip reproduces the

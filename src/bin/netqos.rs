@@ -10,7 +10,11 @@
 //!                       [--serve ADDR]       live /metrics /healthz /snapshot
 //!                       [--pace-ms MS]       wall-clock pacing per tick
 //!                       [--trace-sample N]   trace with 1-in-N head sampling
+//!                       [--trace-adaptive]   adapt head rate to ring pressure
+//!                       [--otlp-push URL]    push flight snapshots to a collector
 //!                       [--baseline-state PATH]  restore/save baselines
+//! netqos federate <spec>... [--duration N]   run one shard per spec file behind
+//!                       [--serve ADDR]       a merged /metrics /healthz /snapshot
 //! netqos stats   <spec> [--duration N]       run quietly, print Prometheus metrics
 //! netqos audit   <spec>                      verify spec against forwarding evidence
 //! netqos trace   <spec> [--duration N]       run with causal tracing, snapshot the
@@ -45,6 +49,7 @@ fn main() -> ExitCode {
         "fmt" => cmd_fmt(&args[1..]),
         "paths" => cmd_paths(&args[1..]),
         "monitor" => cmd_monitor(&args[1..]),
+        "federate" => cmd_federate(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
@@ -75,8 +80,22 @@ const USAGE: &str = "usage:
                         [--pace-ms MS]       sleep MS wall-clock ms per tick
                         [--trace-sample N]   enable tracing, keep 1-in-N cycles
                                              (tail triggers always kept)
+                        [--trace-adaptive]   let the head rate adapt to flight
+                                             ring pressure (implies tracing)
+                        [--otlp-push URL]    push flight snapshots to an OTLP
+                                             collector at http://host:port/path
+                                             on violation and at exit
+                                             (implies tracing)
                         [--baseline-state PATH]  restore baselines from PATH at
                                              start, save them back on exit
+  netqos federate <spec> <spec>... [--duration N] [--serve ADDR] [--pace-ms MS]
+                        [--trace-sample N] [--trace-adaptive]
+                                             run one monitoring shard per spec
+                                             file (threads) behind one merged
+                                             export plane: /metrics carries
+                                             shard=\"...\" labelled series plus
+                                             unlabelled aggregates; /healthz is
+                                             503 if any shard stalls
   netqos stats   <spec> [--duration N]       run the monitor quietly, print
                                              its own telemetry (Prometheus text)
   netqos audit   <spec>                      verify spec against forwarding evidence
@@ -188,6 +207,8 @@ struct MonitorOptions {
     serve: Option<String>,
     pace_ms: u64,
     trace_sample: Option<u64>,
+    trace_adaptive: bool,
+    otlp_push: Option<String>,
     baseline_state: Option<PathBuf>,
 }
 
@@ -200,6 +221,8 @@ fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
         serve: None,
         pace_ms: 0,
         trace_sample: None,
+        trace_adaptive: false,
+        otlp_push: None,
         baseline_state: None,
     };
     let mut i = 1;
@@ -255,6 +278,17 @@ fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
                         .ok_or("--trace-sample needs a cycle count N (keep 1 in N)")?,
                 );
             }
+            "--trace-adaptive" => {
+                opts.trace_adaptive = true;
+            }
+            "--otlp-push" => {
+                i += 1;
+                opts.otlp_push = Some(
+                    args.get(i)
+                        .ok_or("--otlp-push needs a collector URL (http://host:port/path)")?
+                        .clone(),
+                );
+            }
             "--baseline-state" => {
                 i += 1;
                 opts.baseline_state = Some(PathBuf::from(
@@ -276,8 +310,53 @@ fn apply_service_options(mut config: ServiceConfig, opts: &MonitorOptions) -> Se
             ..netqos_telemetry::SampleConfig::default()
         };
     }
+    if opts.trace_adaptive {
+        config.adaptive_sample = Some(netqos_telemetry::AdaptiveConfig::default());
+    }
     config.baseline_state = opts.baseline_state.clone();
     config
+}
+
+/// Whether any of the options imply causal tracing.
+fn wants_tracing(opts: &MonitorOptions) -> bool {
+    opts.trace_sample.is_some() || opts.trace_adaptive || opts.otlp_push.is_some()
+}
+
+/// Starts the OTLP push worker when `--otlp-push` is given; delivery
+/// counters land in the service's registry as `netqos_monitor_otlp_*`.
+fn start_otlp_push(
+    service: &mut MonitoringService,
+    opts: &MonitorOptions,
+) -> Result<Option<Arc<netqos_telemetry::OtlpPusher>>, String> {
+    let Some(url) = &opts.otlp_push else {
+        return Ok(None);
+    };
+    let target = netqos_telemetry::parse_push_url(url)?;
+    eprintln!(
+        "pushing OTLP to http://{}:{}{}",
+        target.host, target.port, target.path
+    );
+    Ok(Some(service.enable_otlp_push(
+        netqos_telemetry::PushConfig::new(target),
+    )))
+}
+
+/// Pushes the final flight snapshot (so short runs without violations
+/// still deliver their traces), drains the queue, and reports delivery
+/// counters.
+fn finish_otlp_push(service: &MonitoringService, pusher: Arc<netqos_telemetry::OtlpPusher>) {
+    let cycles = service.flight().snapshot();
+    if !cycles.is_empty() {
+        pusher.enqueue(netqos_telemetry::to_otlp(&cycles));
+    }
+    pusher.shutdown();
+    let c = pusher.counters();
+    eprintln!(
+        "otlp push: {} delivered, {} retries, {} dropped",
+        c.pushed.get(),
+        c.retries.get(),
+        c.dropped.get()
+    );
 }
 
 /// Serving state for `--serve`: the HTTP server plus the shared status
@@ -410,9 +489,10 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
     if let Some(warning) = service.baseline_load_warning() {
         eprintln!("netqos: baseline state ignored: {warning}");
     }
-    if opts.trace_sample.is_some() {
+    if wants_tracing(&opts) {
         service.set_tracing(true);
     }
+    let pusher = start_otlp_push(&mut service, &opts)?;
     let plane = start_serve_plane(&service, &opts)?;
 
     // Header.
@@ -462,6 +542,9 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         write_telemetry_files(&service, prefix)?;
         eprintln!("telemetry written to {prefix}.prom and {prefix}.jsonl");
     }
+    if let Some(pusher) = pusher {
+        finish_otlp_push(&service, pusher);
+    }
     if let Some(plane) = plane {
         plane.live.mark_finished();
         // Linger so a scraper that started this run can still read the
@@ -473,6 +556,185 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         plane.server.stop();
     }
     Ok(())
+}
+
+/// Runs one monitoring shard per spec file, each on its own thread,
+/// behind a single federated export plane. Shard names come from the
+/// spec file stems (deduplicated); the merged `/metrics` carries every
+/// shard's series labelled `shard="..."` plus unlabelled aggregates,
+/// `/healthz` is 503 if any shard stalls, and `/snapshot` lists every
+/// shard's tick digest.
+fn cmd_federate(args: &[String]) -> Result<(), String> {
+    // Positional spec paths first, then options (shared with monitor).
+    let mut specs = Vec::new();
+    let mut rest = 0;
+    while rest < args.len() && !args[rest].starts_with("--") {
+        specs.push(args[rest].clone());
+        rest += 1;
+    }
+    if specs.len() < 2 {
+        return Err(format!(
+            "federate needs at least two <spec> files (got {})\n{USAGE}",
+            specs.len()
+        ));
+    }
+    // parse_monitor_options skips args[0] (the spec slot); hand it the
+    // last positional so only the options after it are parsed.
+    let opts = parse_monitor_options(&args[specs.len() - 1..])?;
+    for flag in ["--load", "--telemetry", "--otlp-push", "--baseline-state"] {
+        if args.iter().any(|a| a == flag) {
+            return Err(format!(
+                "{flag} is not supported under federate (per-shard state)"
+            ));
+        }
+    }
+
+    // Shard names: file stems, deduplicated by suffixing an index.
+    let mut names: Vec<String> = Vec::new();
+    for path in &specs {
+        let stem = std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        let mut name = stem.clone();
+        let mut n = 2;
+        while names.contains(&name) {
+            name = format!("{stem}-{n}");
+            n += 1;
+        }
+        names.push(name);
+    }
+
+    // Each shard builds and runs its service inside its own thread
+    // (the service itself never crosses threads); only the registry and
+    // live-status handles come back for federation.
+    let fed = netqos_telemetry::ShardRegistry::new();
+    type ShardHandles = (
+        String,
+        Arc<netqos_telemetry::Registry>,
+        Arc<netqos::monitor::live::LiveStatus>,
+    );
+    let (handle_tx, handle_rx) = std::sync::mpsc::channel::<Result<ShardHandles, String>>();
+    let mut workers = Vec::new();
+    for (name, path) in names.iter().cloned().zip(specs.iter().cloned()) {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let tx = handle_tx.clone();
+        let shard_opts = MonitorOptions {
+            duration: opts.duration,
+            loads: Vec::new(),
+            telemetry: None,
+            out: None,
+            serve: None,
+            pace_ms: opts.pace_ms,
+            trace_sample: opts.trace_sample,
+            trace_adaptive: opts.trace_adaptive,
+            otlp_push: None,
+            baseline_state: None,
+        };
+        let worker = std::thread::Builder::new()
+            .name(format!("netqos-shard-{name}"))
+            .spawn(move || -> Result<(String, u64, usize), String> {
+                let build = (|| -> Result<MonitoringService, String> {
+                    let model =
+                        spec::parse_and_validate(&text).map_err(|e| format!("{path}: {e}"))?;
+                    if model.qos_paths.is_empty() {
+                        return Err(format!("{path}: declares no qospath to monitor"));
+                    }
+                    let config = apply_service_options(ServiceConfig::default(), &shard_opts);
+                    let mut service = build_service(model, &shard_opts, config)?;
+                    if wants_tracing(&shard_opts) {
+                        service.set_tracing(true);
+                    }
+                    Ok(service)
+                })();
+                let mut service = match build {
+                    Ok(service) => {
+                        let live = service.live().clone();
+                        live.set_stale_after_ns(
+                            (shard_opts.pace_ms.saturating_mul(10_000_000)).max(2_000_000_000),
+                        );
+                        let _ = tx.send(Ok((name.clone(), service.registry().clone(), live)));
+                        // Close this worker's sender now: the main
+                        // thread serves as soon as every shard has
+                        // checked in, not when the runs end.
+                        drop(tx);
+                        service
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e.clone()));
+                        return Err(e);
+                    }
+                };
+                let mut violations = 0usize;
+                for _ in 0..shard_opts.duration {
+                    for event in service.tick().map_err(|e| format!("{name}: {e}"))? {
+                        if matches!(event, netqos::monitor::qos::QosEvent::Violated { .. }) {
+                            violations += 1;
+                        }
+                    }
+                    if shard_opts.pace_ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(shard_opts.pace_ms));
+                    }
+                }
+                service.live().mark_finished();
+                Ok((name, service.telemetry().ticks.get(), violations))
+            })
+            .map_err(|e| format!("cannot spawn shard thread: {e}"))?;
+        workers.push(worker);
+    }
+    drop(handle_tx);
+
+    // Register every shard before serving, so the first scrape already
+    // sees the whole federation.
+    let mut startup_errors = Vec::new();
+    for handles in handle_rx {
+        match handles {
+            Ok((name, registry, live)) => {
+                fed.register(netqos::monitor::live::shard_for(name, registry, live))
+                    .map_err(|e| e.to_string())?;
+            }
+            Err(e) => startup_errors.push(e),
+        }
+    }
+    if !startup_errors.is_empty() {
+        for w in workers {
+            let _ = w.join();
+        }
+        return Err(startup_errors.join("\n"));
+    }
+
+    let addr = opts.serve.clone().unwrap_or_else(|| "127.0.0.1:0".into());
+    let server = netqos_telemetry::HttpServer::serve(addr.as_str(), fed.router())
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    eprintln!(
+        "federation serving http://{}/ ({} shards: metrics, healthz, snapshot)",
+        server.local_addr(),
+        fed.len()
+    );
+
+    let mut failures = Vec::new();
+    for worker in workers {
+        match worker.join() {
+            Ok(Ok((name, ticks, violations))) => {
+                println!("shard {name}: {ticks} ticks, {violations} violation(s)");
+            }
+            Ok(Err(e)) => failures.push(e),
+            Err(_) => failures.push("shard thread panicked".into()),
+        }
+    }
+    // Linger so a scraper started alongside this run can still read the
+    // final merged state.
+    if opts.pace_ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(opts.pace_ms.min(500)));
+    }
+    eprintln!("served {} request(s)", server.requests_served());
+    server.stop();
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
 }
 
 /// Runs the monitor for `--duration` simulated seconds without the CSV

@@ -127,6 +127,74 @@ fn in_process_router_serves_all_endpoints() {
 }
 
 #[test]
+fn snapshot_sse_streams_one_event_per_tick() {
+    let model = netqos::spec::parse_and_validate(SPEC).unwrap();
+    let options = SimNetworkOptions {
+        monitor_host: "console".into(),
+        ..SimNetworkOptions::default()
+    };
+    let mut svc = MonitoringService::from_model(model, options, ServiceConfig::default()).unwrap();
+    let router = build_router(svc.registry().clone(), svc.live().clone());
+    let server = HttpServer::serve("127.0.0.1:0", router).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+
+    // Follow the stream on a client thread while the loop ticks.
+    let stream_addr = addr.clone();
+    let reader = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(&stream_addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        write!(
+            stream,
+            "GET /snapshot?follow=1 HTTP/1.1\r\nHost: x\r\n\
+             Accept: text/event-stream\r\nConnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        // The server closes the stream once the run finishes, so
+        // read_to_string terminates.
+        stream.read_to_string(&mut response).unwrap();
+        response
+    });
+
+    for _ in 0..3 {
+        svc.tick().unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    svc.live().mark_finished();
+    let response = reader.join().unwrap();
+
+    assert!(
+        response.contains("Content-Type: text/event-stream"),
+        "{response}"
+    );
+    // Events carry the tick number as the SSE id and the snapshot JSON
+    // as data; a 60ms pause per tick gives the 20ms poller time to
+    // deliver each one individually.
+    let ids: Vec<&str> = response
+        .lines()
+        .filter_map(|l| l.strip_prefix("id: "))
+        .collect();
+    assert!(ids.len() >= 2, "wanted >=2 SSE events, got {response:?}");
+    assert_eq!(*ids.last().unwrap(), "3", "last event is the last tick");
+    let datas: Vec<&str> = response
+        .lines()
+        .filter_map(|l| l.strip_prefix("data: "))
+        .collect();
+    assert_eq!(ids.len(), datas.len());
+    for data in &datas {
+        let doc = parse_json(data).expect("SSE data is the snapshot JSON");
+        assert!(doc.get("paths").is_some());
+    }
+    // Ids are strictly increasing: no tick delivered twice.
+    let nums: Vec<u64> = ids.iter().map(|s| s.parse().unwrap()).collect();
+    assert!(nums.windows(2).all(|w| w[0] < w[1]), "{nums:?}");
+
+    server.stop();
+}
+
+#[test]
 fn cli_monitor_serve_scrapes_while_running() {
     let bin = {
         let mut path = std::env::current_exe().expect("test exe path");
