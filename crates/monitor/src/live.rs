@@ -16,7 +16,11 @@
 //! * `GET /snapshot` — the latest tick digest (paths, baselines, flight
 //!   recorder and sampler state) as JSON; with `Accept:
 //!   text/event-stream` (or `?follow=1`) it upgrades to a server-sent
-//!   event stream delivering one event per tick, `id:` = tick number.
+//!   event stream delivering one event per tick, `id:` = tick number;
+//! * `GET /alerts` — the alert engine's document (active alerts with
+//!   bottleneck diagnoses, resolved history); SSE follow mode streams a
+//!   fresh document whenever a transition lands, `id:` = transition
+//!   epoch.
 //!
 //! [`shard_for`] adapts a `(name, registry, live)` triple into a
 //! federation [`Shard`](netqos_telemetry::Shard) so N of these planes
@@ -51,6 +55,12 @@ pub struct LiveStatus {
     ticks: AtomicU64,
     finished: AtomicBool,
     snapshot_json: Mutex<String>,
+    alerts_json: Mutex<String>,
+    alerts_pending: AtomicU64,
+    alerts_firing: AtomicU64,
+    // Bumps only when a tick produced at least one alert transition, so
+    // SSE followers of /alerts wake on lifecycle edges, not every tick.
+    alerts_epoch: AtomicU64,
 }
 
 impl LiveStatus {
@@ -63,6 +73,12 @@ impl LiveStatus {
             ticks: AtomicU64::new(0),
             finished: AtomicBool::new(false),
             snapshot_json: Mutex::new(String::from("{\"ticks\":0,\"paths\":[]}")),
+            alerts_json: Mutex::new(String::from(
+                "{\"tick\":0,\"pending\":0,\"firing\":0,\"alerts\":[],\"resolved\":[]}",
+            )),
+            alerts_pending: AtomicU64::new(0),
+            alerts_firing: AtomicU64::new(0),
+            alerts_epoch: AtomicU64::new(0),
         })
     }
 
@@ -79,6 +95,40 @@ impl LiveStatus {
         // tick N is guaranteed the snapshot is at least as new as N.
         *self.snapshot_json.lock() = snapshot_json;
         self.ticks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the alert engine's state after one evaluation. The
+    /// epoch (the `/alerts` SSE cursor) advances only when `transitions`
+    /// is non-zero, so followers see exactly the lifecycle edges.
+    pub fn record_alerts(&self, alerts_json: String, pending: u64, firing: u64, transitions: u64) {
+        *self.alerts_json.lock() = alerts_json;
+        self.alerts_pending.store(pending, Ordering::Relaxed);
+        self.alerts_firing.store(firing, Ordering::Relaxed);
+        if transitions > 0 {
+            self.alerts_epoch.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Currently `(pending, firing)` alert counts.
+    pub fn alert_counts(&self) -> (u64, u64) {
+        (
+            self.alerts_pending.load(Ordering::Relaxed),
+            self.alerts_firing.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The latest alert document without response framing.
+    pub fn alerts_json(&self) -> String {
+        self.alerts_json.lock().clone()
+    }
+
+    /// The `/alerts` response: the latest published alert document.
+    pub fn alerts_response(&self) -> HttpResponse {
+        let mut body = self.alerts_json.lock().clone();
+        if !body.ends_with('\n') {
+            body.push('\n');
+        }
+        HttpResponse::json(200, body)
     }
 
     /// Marks the run as cleanly finished: `/healthz` stays `200` even
@@ -126,9 +176,11 @@ impl LiveStatus {
             "ok"
         };
         let code = if status == "stale" { 503 } else { 200 };
+        let (pending, firing) = self.alert_counts();
         let body = format!(
             "{{\"status\":\"{status}\",\"ticks\":{ticks},\
-             \"last_tick_age_ms\":{},\"stale_after_ms\":{}}}\n",
+             \"last_tick_age_ms\":{},\"stale_after_ms\":{},\
+             \"alerts\":{{\"pending\":{pending},\"firing\":{firing}}}}}\n",
             age_ns / 1_000_000,
             budget / 1_000_000,
         );
@@ -168,10 +220,29 @@ impl EventSource for LiveStatus {
     }
 }
 
+/// `/alerts?follow=1` streams alert documents: the cursor is the
+/// transition epoch, so followers wake exactly when an alert changes
+/// state and a slow follower skips straight to the current document.
+pub struct AlertsFollow(pub Arc<LiveStatus>);
+
+impl EventSource for AlertsFollow {
+    fn next_after(&self, cursor: u64) -> Option<(u64, String)> {
+        let epoch = self.0.alerts_epoch.load(Ordering::Relaxed);
+        if epoch <= cursor {
+            return None;
+        }
+        Some((epoch, self.0.alerts_json()))
+    }
+
+    fn finished(&self) -> bool {
+        self.0.is_finished()
+    }
+}
+
 /// Builds the endpoint router for [`HttpServer::serve`]
 /// (`netqos_telemetry::HttpServer`): `/metrics`, `/healthz`,
-/// `/snapshot` (buffered or SSE), and `/` (a tiny index). Unknown
-/// paths return `None` (404).
+/// `/snapshot` and `/alerts` (buffered or SSE), and `/` (a tiny
+/// index). Unknown paths return `None` (404).
 pub fn build_router(registry: Arc<Registry>, live: Arc<LiveStatus>) -> Arc<Router> {
     Arc::new(move |req: &HttpRequest| match req.path.as_str() {
         "/metrics" => Some(HttpResponse::prometheus(registry.render_prometheus()).into()),
@@ -180,10 +251,14 @@ pub fn build_router(registry: Arc<Registry>, live: Arc<LiveStatus>) -> Arc<Route
             Some(HttpRoute::EventStream(live.clone() as Arc<dyn EventSource>))
         }
         "/snapshot" => Some(live.snapshot_response().into()),
+        "/alerts" if req.wants_event_stream() => Some(HttpRoute::EventStream(
+            Arc::new(AlertsFollow(live.clone())) as Arc<dyn EventSource>,
+        )),
+        "/alerts" => Some(live.alerts_response().into()),
         "/" => Some(
             HttpResponse::json(
                 200,
-                "{\"endpoints\":[\"/metrics\",\"/healthz\",\"/snapshot\"]}\n".into(),
+                "{\"endpoints\":[\"/metrics\",\"/healthz\",\"/snapshot\",\"/alerts\"]}\n".into(),
             )
             .into(),
         ),
@@ -196,6 +271,7 @@ pub fn build_router(registry: Arc<Registry>, live: Arc<LiveStatus>) -> Arc<Route
 pub fn shard_for(name: impl Into<String>, registry: Arc<Registry>, live: Arc<LiveStatus>) -> Shard {
     let health_live = live.clone();
     let snap_live = live.clone();
+    let alerts_live = live.clone();
     Shard::new(
         name,
         registry,
@@ -208,6 +284,7 @@ pub fn shard_for(name: impl Into<String>, registry: Arc<Registry>, live: Arc<Liv
         },
         move || snap_live.snapshot_json(),
     )
+    .with_alerts(move || alerts_live.alerts_json())
 }
 
 #[cfg(test)]
@@ -308,11 +385,77 @@ mod tests {
     }
 
     #[test]
+    fn alerts_endpoint_and_healthz_summary() {
+        let live = LiveStatus::new();
+        let router = build_router(Registry::new(), live.clone());
+        // Empty engine state before the first evaluation.
+        let Some(HttpRoute::Response(resp)) = router(&get("/alerts")) else {
+            panic!("no /alerts route");
+        };
+        let doc = parse_json(&resp.body).unwrap();
+        assert_eq!(doc.get("firing").and_then(|v| v.as_u64()), Some(0));
+        // Publish an evaluation: /alerts and the /healthz summary update.
+        live.record_alerts(
+            "{\"tick\":3,\"pending\":1,\"firing\":2,\"alerts\":[],\"resolved\":[]}".into(),
+            1,
+            2,
+            1,
+        );
+        let Some(HttpRoute::Response(resp)) = router(&get("/alerts")) else {
+            panic!("no /alerts route");
+        };
+        assert!(resp.body.contains("\"firing\":2"), "{}", resp.body);
+        let Some(HttpRoute::Response(health)) = router(&get("/healthz")) else {
+            panic!("no /healthz route");
+        };
+        let doc = parse_json(&health.body).unwrap();
+        let alerts = doc.get("alerts").unwrap();
+        assert_eq!(alerts.get("pending").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(alerts.get("firing").and_then(|v| v.as_u64()), Some(2));
+        // The index advertises /alerts; follow mode upgrades to SSE.
+        let Some(HttpRoute::Response(index)) = router(&get("/")) else {
+            panic!("no / route");
+        };
+        assert!(index.body.contains("/alerts"));
+        let mut req = get("/alerts");
+        req.query = "follow=1".into();
+        assert!(matches!(router(&req), Some(HttpRoute::EventStream(_))));
+    }
+
+    #[test]
+    fn alerts_follow_wakes_only_on_transitions() {
+        let live = LiveStatus::new();
+        let follow = AlertsFollow(live.clone());
+        assert!(follow.next_after(0).is_none(), "no transition yet");
+        // A transition-free evaluation refreshes the doc but not the epoch.
+        live.record_alerts("{\"pending\":0,\"firing\":0}".into(), 0, 0, 0);
+        assert!(follow.next_after(0).is_none());
+        // A transition bumps the epoch and delivers the fresh document.
+        live.record_alerts("{\"pending\":1,\"firing\":0}".into(), 1, 0, 1);
+        let (cursor, payload) = follow.next_after(0).unwrap();
+        assert_eq!(cursor, 1);
+        assert!(payload.contains("\"pending\":1"));
+        assert!(follow.next_after(cursor).is_none(), "epoch already seen");
+        // Two more transition ticks: a slow follower skips to freshest.
+        live.record_alerts("{\"pending\":0,\"firing\":1}".into(), 0, 1, 2);
+        live.record_alerts("{\"pending\":0,\"firing\":0}".into(), 0, 0, 1);
+        let (cursor, payload) = follow.next_after(cursor).unwrap();
+        assert_eq!(cursor, 3);
+        assert!(payload.contains("\"firing\":0"));
+    }
+
+    #[test]
     fn shard_for_reflects_live_state() {
         let registry = Registry::new();
         registry.counter("netqos_monitor_ticks_total").inc();
         let live = LiveStatus::new();
         live.record_tick(unix_now_ns(), "{\"ticks\":1,\"paths\":[]}".into());
+        live.record_alerts(
+            "{\"tick\":1,\"pending\":0,\"firing\":1,\"alerts\":[],\"resolved\":[]}".into(),
+            0,
+            1,
+            1,
+        );
         let shard = shard_for("subnet-a", registry, live.clone());
         assert_eq!(shard.name(), "subnet-a");
         let fed = netqos_telemetry::ShardRegistry::new();
@@ -334,5 +477,9 @@ mod tests {
                 .and_then(|v| v.as_u64()),
             Some(1)
         );
+        // The alerts hook feeds the merged federation view.
+        let alerts = fed.alerts_response();
+        let doc = parse_json(&alerts.body).unwrap();
+        assert_eq!(doc.get("firing").and_then(|v| v.as_u64()), Some(1));
     }
 }

@@ -22,16 +22,19 @@ use bytes::Bytes;
 use netqos_sim::time::{SimDuration, SimTime};
 use netqos_sim::Ipv4Addr;
 use netqos_telemetry::{
-    fields, to_otlp, AdaptiveConfig, CycleTrace, EventSink, FlightRecorder, Level, OtlpPusher,
+    builtin_alert_rules, fields, to_otlp, transitions_to_json, AdaptiveConfig, AlertContext,
+    AlertEngine, AlertRule, AlertScope, CycleTrace, EventSink, FlightRecorder, Level, OtlpPusher,
     PushConfig, PushCounters, QuantileBaseline, Registry, RetentionPolicy, SampleAnnotation,
-    SampleConfig, SampleDecision, Sampler, SnapshotPaths, Tracer, DEFAULT_FLIGHT_CAPACITY,
-    DEFAULT_WINDOW,
+    SampleConfig, SampleDecision, Sampler, SnapshotPaths, Tracer, WebhookNotifier,
+    DEFAULT_FLIGHT_CAPACITY, DEFAULT_WINDOW,
 };
+use netqos_topology::bandwidth::BandwidthRule;
 use netqos_topology::path::CommPath;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// SNMP trap port.
 pub const TRAP_PORT: u16 = 162;
@@ -79,6 +82,14 @@ pub struct ServiceConfig {
     /// at startup and saved back periodically and via
     /// [`MonitoringService::persist_baselines`].
     pub baseline_state: Option<PathBuf>,
+    /// Alert rules evaluated once per tick. Defaults to the built-in
+    /// set; user rules appended after a builtin with the same name
+    /// override it.
+    pub alert_rules: Vec<AlertRule>,
+    /// Delta temporality for OTLP push: deliver only cycles newer than
+    /// the last acknowledged push instead of the whole flight ring, so
+    /// collectors without trace-id dedupe stop double-counting.
+    pub otlp_push_delta: bool,
 }
 
 /// Ticks between automatic baseline saves when `baseline_state` is set.
@@ -98,6 +109,8 @@ impl Default for ServiceConfig {
             sample: SampleConfig::keep_all(),
             adaptive_sample: None,
             baseline_state: None,
+            alert_rules: builtin_alert_rules(),
+            otlp_push_delta: false,
         }
     }
 }
@@ -134,6 +147,19 @@ pub struct MonitoringService {
     /// Why restoring `baseline_state` failed, if it did (the service
     /// starts cold rather than refusing to run).
     baseline_load_warning: Option<String>,
+    /// Per-tick alert rule evaluation (pending/firing/resolved).
+    alerts: AlertEngine,
+    /// Webhook delivery of alert transition batches.
+    webhook: Option<Arc<WebhookNotifier>>,
+    /// Per-qospath demand from the spec: `(min_available_bps,
+    /// max_utilization)` — the thresholds alert signals are derived
+    /// from.
+    path_rules: HashMap<String, (Option<u64>, Option<f64>)>,
+    /// First flight-ring sequence number not yet delivered by OTLP push
+    /// (the delta-temporality cursor).
+    next_push_seq: u64,
+    /// Wall-clock anchor for `netqos_monitor_uptime_seconds`.
+    wall_start: Instant,
 }
 
 impl MonitoringService {
@@ -222,6 +248,11 @@ impl MonitoringService {
                 }
             }
         }
+        let path_rules = qos_specs
+            .iter()
+            .map(|q| (q.name.clone(), (q.min_available_bps, q.max_utilization)))
+            .collect();
+        let alerts = AlertEngine::new(config.alert_rules.clone());
         Ok(MonitoringService {
             net,
             monitor,
@@ -242,6 +273,11 @@ impl MonitoringService {
             live: LiveStatus::new(),
             pusher: None,
             baseline_load_warning,
+            alerts,
+            webhook: None,
+            path_rules,
+            next_push_seq: 0,
+            wall_start: Instant::now(),
         })
     }
 
@@ -317,6 +353,71 @@ impl MonitoringService {
         self.pusher.as_ref()
     }
 
+    /// Starts a background webhook notifier: every tick with alert
+    /// transitions POSTs one JSON batch to the configured endpoint.
+    /// Delivery counters land in this service's registry
+    /// (`netqos_alert_webhook_*`).
+    pub fn enable_alert_webhook(&mut self, config: PushConfig) -> Arc<WebhookNotifier> {
+        let counters = PushCounters {
+            pushed: self.telemetry.alert_webhook_delivered.clone(),
+            retries: self.telemetry.alert_webhook_retries.clone(),
+            dropped: self.telemetry.alert_webhook_dropped.clone(),
+        };
+        let hook = Arc::new(WebhookNotifier::start(config, counters));
+        self.webhook = Some(hook.clone());
+        hook
+    }
+
+    /// The webhook notifier, when transition delivery is enabled.
+    pub fn alert_webhook(&self) -> Option<&Arc<WebhookNotifier>> {
+        self.webhook.as_ref()
+    }
+
+    /// The alert engine's current state (rules, active alerts, history).
+    pub fn alerts(&self) -> &AlertEngine {
+        &self.alerts
+    }
+
+    /// Cycles the OTLP pusher still owes the collector, and the cursor
+    /// value to store once they are accepted. Full temporality returns
+    /// the whole ring every time; delta temporality only what landed
+    /// after the last accepted push.
+    fn pending_push_cycles(&self) -> (Vec<CycleTrace>, u64) {
+        let snapshot = self.flight.snapshot();
+        let cycles: Vec<CycleTrace> = if self.config.otlp_push_delta {
+            snapshot
+                .into_iter()
+                .filter(|c| c.seq >= self.next_push_seq)
+                .collect()
+        } else {
+            snapshot
+        };
+        let next = cycles
+            .iter()
+            .map(|c| c.seq + 1)
+            .max()
+            .unwrap_or(self.next_push_seq);
+        (cycles, next)
+    }
+
+    /// Pushes the cycles the collector has not seen yet (the whole ring
+    /// unless delta temporality already delivered a prefix) and returns
+    /// the number of cycles enqueued. `None` when push is disabled,
+    /// nothing is pending, or the queue is full.
+    pub fn flush_otlp_push(&mut self) -> Option<usize> {
+        let pusher = self.pusher.clone()?;
+        let (cycles, next_seq) = self.pending_push_cycles();
+        if cycles.is_empty() {
+            return None;
+        }
+        if pusher.enqueue(to_otlp(&cycles)) {
+            self.next_push_seq = next_seq;
+            Some(cycles.len())
+        } else {
+            None
+        }
+    }
+
     /// The status handle the HTTP endpoints read; share it with
     /// [`crate::live::build_router`] to serve `/healthz` and `/snapshot`.
     pub fn live(&self) -> &Arc<LiveStatus> {
@@ -390,12 +491,18 @@ impl MonitoringService {
         let _ = write!(
             out,
             ",\"sampler\":{{\"seen\":{},\"kept_head\":{},\"kept_tail\":{},\"dropped\":{},\
-             \"head_every\":{}}}}}",
+             \"head_every\":{}}}",
             self.sampler.cycles_seen(),
             self.sampler.kept_head(),
             self.sampler.kept_tail(),
             self.sampler.dropped(),
             self.sampler.head_every().max(1),
+        );
+        let _ = write!(
+            out,
+            ",\"alerts\":{{\"pending\":{},\"firing\":{}}}}}",
+            self.alerts.pending_count(),
+            self.alerts.firing_count(),
         );
         out
     }
@@ -415,6 +522,7 @@ impl MonitoringService {
         let t_s = self.net.lan.now().duration_since(self.start).as_secs_f64();
         let mut samples = Vec::new();
         let mut cycle_events = Vec::new();
+        let mut alert_scopes = Vec::with_capacity(self.paths.len());
         let mut path_status = Vec::with_capacity(self.paths.len());
         let mut max_rank = 0.0f64;
         let window = self.config.baseline_window;
@@ -475,6 +583,49 @@ impl MonitoringService {
                         baseline_p99: p99,
                     });
                 }
+                // One alert scope per qospath: the signals user rules can
+                // test, plus the bottleneck diagnosis (the paper's §3
+                // model names the worst connection and whether a shared
+                // medium or a switched link is the constraint) carried as
+                // annotations onto any alert raised here.
+                let mut scope = AlertScope::labelled("path", name);
+                scope.set("path_used_bps", bw.used_bps as f64);
+                scope.set("path_available_bps", bw.available_bps as f64);
+                scope.set("path_rank", rank);
+                scope.set("path_baseline_p50_bps", p50 as f64);
+                scope.set("path_baseline_p99_bps", p99 as f64);
+                let worst_util = bw
+                    .connections
+                    .iter()
+                    .map(|c| c.utilization())
+                    .fold(0.0f64, f64::max);
+                scope.set("path_utilization", worst_util);
+                if let Some((min_avail, max_util)) = self.path_rules.get(name) {
+                    if let Some(min) = min_avail {
+                        scope.set("path_min_available_bps", *min as f64);
+                        scope.set("path_headroom_bps", bw.available_bps as f64 - *min as f64);
+                    }
+                    if let Some(limit) = max_util {
+                        scope.set("path_max_utilization", *limit);
+                    }
+                }
+                if let Some(cb) = bw.connections.iter().find(|c| c.conn == bw.bottleneck) {
+                    scope.annotate(
+                        "bottleneck",
+                        self.monitor.topology().describe_connection(cb.conn),
+                    );
+                    scope.annotate(
+                        "bottleneck_kind",
+                        match cb.rule {
+                            BandwidthRule::SharedMedium => "shared_medium",
+                            BandwidthRule::PointToPoint => "point_to_point",
+                        },
+                    );
+                    scope.annotate("bottleneck_available_bps", cb.available_bps.to_string());
+                    scope.annotate("bottleneck_capacity_bps", cb.capacity_bps.to_string());
+                    scope.annotate("bottleneck_utilization", format!("{:.3}", cb.utilization()));
+                }
+                alert_scopes.push(scope);
             }
         }
 
@@ -554,6 +705,73 @@ impl MonitoringService {
             .trap_outbox_depth
             .set(self.traps.len() as i64);
 
+        // Alert pass: rules see the registry (every self-telemetry
+        // counter and gauge) plus one labelled scope per qospath. The
+        // evaluation happens inside the traced cycle so transitions land
+        // as cycle events and wake the sampler's tail trigger.
+        {
+            let violated: std::collections::HashSet<&str> =
+                self.qos.violated_paths().into_iter().collect();
+            for scope in &mut alert_scopes {
+                let is_violated = scope
+                    .labels
+                    .iter()
+                    .any(|(k, v)| k == "path" && violated.contains(v.as_str()));
+                scope.set("path_violated", if is_violated { 1.0 } else { 0.0 });
+            }
+            self.telemetry
+                .uptime_seconds
+                .set(self.wall_start.elapsed().as_secs().min(i64::MAX as u64) as i64);
+            let tick_no = self.telemetry.ticks.get();
+            let mut ctx = AlertContext::new(tick_no);
+            ctx.add_registry(self.telemetry.registry());
+            ctx.scopes.append(&mut alert_scopes);
+            let transitions = self.alerts.evaluate(&ctx);
+            for tr in &transitions {
+                match tr.to {
+                    "pending" => self.telemetry.alerts_pending_total.inc(),
+                    "firing" => self.telemetry.alerts_firing_total.inc(),
+                    _ => self.telemetry.alerts_resolved_total.inc(),
+                }
+                cycle_events.push(format!("alert_{} {}", tr.to, tr.fingerprint));
+                let level = if tr.to == "firing" {
+                    Level::Warn
+                } else {
+                    Level::Info
+                };
+                self.events.emit(
+                    level,
+                    "monitor.alerts",
+                    tr.to,
+                    fields![
+                        "rule" => tr.rule.as_str(),
+                        "fingerprint" => tr.fingerprint.as_str(),
+                        "from" => tr.from,
+                        "value" => tr.value,
+                    ],
+                );
+            }
+            let pending = self.alerts.pending_count();
+            let firing = self.alerts.firing_count();
+            self.telemetry
+                .alerts_pending
+                .set(pending.min(i64::MAX as u64) as i64);
+            self.telemetry
+                .alerts_firing
+                .set(firing.min(i64::MAX as u64) as i64);
+            if !transitions.is_empty() {
+                if let Some(hook) = &self.webhook {
+                    hook.enqueue(transitions_to_json("netqos", tick_no, &transitions));
+                }
+            }
+            self.live.record_alerts(
+                self.alerts.render_json(),
+                pending,
+                firing,
+                transitions.len() as u64,
+            );
+        }
+
         drop(cycle_span);
         if tracing {
             let cycle_end_ns = self.tracer.now_ns();
@@ -612,17 +830,19 @@ impl MonitoringService {
                     .iter()
                     .any(|e| matches!(e, QosEvent::Violated { .. }));
                 if violated {
-                    if let Some(pusher) = &self.pusher {
+                    if let Some(pusher) = self.pusher.clone() {
                         // Push the forensic record to the collector; a
                         // full queue counts a drop instead of blocking
-                        // the tick.
-                        let body = to_otlp(&self.flight.snapshot());
-                        if pusher.enqueue(body) {
+                        // the tick. Under delta temporality only cycles
+                        // newer than the last acked push are shipped.
+                        let (cycles, next_seq) = self.pending_push_cycles();
+                        if !cycles.is_empty() && pusher.enqueue(to_otlp(&cycles)) {
+                            self.next_push_seq = next_seq;
                             self.events.emit(
                                 Level::Debug,
                                 "monitor.flight",
                                 "otlp_push_enqueued",
-                                fields!["cycles" => self.flight.len()],
+                                fields!["cycles" => cycles.len() as u64],
                             );
                         }
                     }
@@ -1045,5 +1265,133 @@ mod tests {
         // proof it actually crossed the simulated wire.
         let after = svc.net_mut().lan.stats().datagrams_unbound;
         assert!(after > before, "trap never hit the wire");
+    }
+
+    /// Keeps `svc`'s 10 Mb/s link saturated for one tick: 1 MB queued
+    /// instantly is 8 Mb/s over the 1 s poll period.
+    fn saturate_link(svc: &mut MonitoringService) {
+        let m = svc.monitor().topology().node_by_name("M").unwrap();
+        let m_dev = svc.net_mut().device_of(m).unwrap();
+        for _ in 0..20 {
+            svc.net_mut()
+                .lan
+                .post_udp(
+                    m_dev,
+                    5000,
+                    "10.0.0.2".parse().unwrap(),
+                    9,
+                    vec![0u8; 50_000].into(),
+                )
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn sustained_violation_fires_diagnosed_alert_then_resolves() {
+        let mut svc = idle_service();
+        svc.set_tracing(true);
+        svc.run_ticks(2).unwrap();
+        // Keep the link saturated across several ticks so the builtin
+        // path_qos_violation rule (for 2) crosses its hysteresis.
+        for _ in 0..4 {
+            saturate_link(&mut svc);
+            svc.run_ticks(1).unwrap();
+        }
+        assert!(svc.alerts().firing_count() >= 1, "alert never fired");
+        assert_eq!(svc.telemetry().alerts_firing.get(), 1);
+        assert!(svc.telemetry().alerts_pending_total.get() >= 1);
+        assert!(svc.telemetry().alerts_firing_total.get() >= 1);
+        // The firing alert names the rule and diagnoses the bottleneck.
+        let doc = netqos_telemetry::parse_json(&svc.alerts().render_json()).unwrap();
+        assert_eq!(doc.get("firing").and_then(|v| v.as_u64()), Some(1));
+        let alerts = doc.get("alerts").and_then(|v| v.as_array()).unwrap();
+        let firing = alerts
+            .iter()
+            .find(|a| a.get("state").and_then(|v| v.as_str()) == Some("firing"))
+            .expect("firing alert in render_json");
+        assert_eq!(
+            firing.get("rule").and_then(|v| v.as_str()),
+            Some("path_qos_violation")
+        );
+        let bottleneck = firing
+            .get("annotations")
+            .and_then(|a| a.get("bottleneck"))
+            .and_then(|v| v.as_str())
+            .expect("bottleneck annotation");
+        assert!(
+            bottleneck.contains("M.eth0"),
+            "diagnosis names the saturated link: {bottleneck}"
+        );
+        // Transition landed in the flight ring as a cycle event.
+        assert!(
+            svc.flight()
+                .snapshot()
+                .iter()
+                .any(|c| c.events.iter().any(|e| e.starts_with("alert_firing"))),
+            "alert_firing missing from the flight ring"
+        );
+        // And in the live plane: /alerts body plus the /healthz summary.
+        let live_doc = netqos_telemetry::parse_json(&svc.live().alerts_json()).unwrap();
+        assert_eq!(live_doc.get("firing").and_then(|v| v.as_u64()), Some(1));
+        let h = svc.live().healthz(crate::live::unix_now_ns());
+        let h_doc = netqos_telemetry::parse_json(&h.body).unwrap();
+        assert_eq!(
+            h_doc
+                .get("alerts")
+                .and_then(|a| a.get("firing"))
+                .and_then(|v| v.as_u64()),
+            Some(1)
+        );
+        // Load stops: the alert resolves once the condition clears.
+        svc.run_ticks(4).unwrap();
+        assert_eq!(svc.alerts().firing_count(), 0);
+        assert!(svc.telemetry().alerts_resolved_total.get() >= 1);
+        let doc = netqos_telemetry::parse_json(&svc.alerts().render_json()).unwrap();
+        let resolved = doc.get("resolved").and_then(|v| v.as_array()).unwrap();
+        assert!(
+            resolved
+                .iter()
+                .any(|r| r.get("rule").and_then(|v| v.as_str()) == Some("path_qos_violation")),
+            "resolved history records the episode"
+        );
+        // The snapshot digest carries the summary too.
+        let status = svc.status_json(0.0, &[]);
+        let s_doc = netqos_telemetry::parse_json(&status).unwrap();
+        assert_eq!(
+            s_doc
+                .get("alerts")
+                .and_then(|a| a.get("firing"))
+                .and_then(|v| v.as_u64()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn delta_push_cursor_only_ships_new_cycles() {
+        let model = netqos_spec::parse_and_validate(SPEC).unwrap();
+        let options = SimNetworkOptions {
+            monitor_host: "M".into(),
+            ..SimNetworkOptions::default()
+        };
+        let config = ServiceConfig {
+            otlp_push_delta: true,
+            ..ServiceConfig::default()
+        };
+        let mut svc = MonitoringService::from_model(model, options, config).unwrap();
+        svc.set_tracing(true);
+        svc.run_ticks(3).unwrap();
+        let (cycles, next) = svc.pending_push_cycles();
+        assert_eq!(cycles.len(), 3, "all cycles pending before first push");
+        // Simulate an acked push: the cursor advances past what shipped.
+        svc.next_push_seq = next;
+        let (cycles, _) = svc.pending_push_cycles();
+        assert!(cycles.is_empty(), "acked cycles must not ship again");
+        svc.run_ticks(2).unwrap();
+        let (cycles, _) = svc.pending_push_cycles();
+        assert_eq!(cycles.len(), 2, "only post-ack cycles are pending");
+        // Full temporality ignores the cursor and re-ships the ring.
+        svc.config.otlp_push_delta = false;
+        let (cycles, _) = svc.pending_push_cycles();
+        assert_eq!(cycles.len(), 5);
     }
 }

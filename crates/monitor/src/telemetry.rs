@@ -72,6 +72,27 @@ pub struct MonitorTelemetry {
     /// Flight snapshots dropped by the OTLP pusher (queue full or
     /// retries exhausted).
     pub otlp_push_dropped: Counter,
+    /// Alert transitions into pending.
+    pub alerts_pending_total: Counter,
+    /// Alert transitions into firing.
+    pub alerts_firing_total: Counter,
+    /// Alert transitions into resolved.
+    pub alerts_resolved_total: Counter,
+    /// Alerts currently pending.
+    pub alerts_pending: Gauge,
+    /// Alerts currently firing.
+    pub alerts_firing: Gauge,
+    /// Webhook transition batches acknowledged 2xx.
+    pub alert_webhook_delivered: Counter,
+    /// Webhook delivery retry attempts.
+    pub alert_webhook_retries: Counter,
+    /// Webhook transition batches dropped (queue full or retries
+    /// exhausted).
+    pub alert_webhook_dropped: Counter,
+    /// Seconds since the service was constructed (wall clock).
+    pub uptime_seconds: Gauge,
+    /// Constant-1 gauge carrying build provenance in its labels.
+    pub build_info: Gauge,
 }
 
 impl MonitorTelemetry {
@@ -105,6 +126,32 @@ impl MonitorTelemetry {
             otlp_pushed: r.counter("netqos_monitor_otlp_pushed_total"),
             otlp_push_retries: r.counter("netqos_monitor_otlp_push_retries_total"),
             otlp_push_dropped: r.counter("netqos_monitor_otlp_push_dropped_total"),
+            alerts_pending_total: r.counter("netqos_alerts_pending_total"),
+            alerts_firing_total: r.counter("netqos_alerts_firing_total"),
+            alerts_resolved_total: r.counter("netqos_alerts_resolved_total"),
+            alerts_pending: r.gauge("netqos_alerts_pending"),
+            alerts_firing: r.gauge("netqos_alerts_firing"),
+            alert_webhook_delivered: r.counter("netqos_alert_webhook_delivered_total"),
+            alert_webhook_retries: r.counter("netqos_alert_webhook_retries_total"),
+            alert_webhook_dropped: r.counter("netqos_alert_webhook_dropped_total"),
+            uptime_seconds: r.gauge("netqos_monitor_uptime_seconds"),
+            build_info: {
+                // Build provenance rides in an embedded label set: the
+                // registry key itself is the full series, rendered as
+                // `netqos_build_info{...} 1` by the exposition layer.
+                let g = r.gauge(&format!(
+                    "netqos_build_info{{version=\"{}\",git=\"{}\",profile=\"{}\"}}",
+                    env!("CARGO_PKG_VERSION"),
+                    option_env!("NETQOS_GIT_SHA").unwrap_or("unknown"),
+                    if cfg!(debug_assertions) {
+                        "debug"
+                    } else {
+                        "release"
+                    },
+                ));
+                g.set(1);
+                g
+            },
             registry,
         }
     }
@@ -138,6 +185,21 @@ mod tests {
             .histograms
             .iter()
             .any(|(n, s)| n == "netqos_monitor_poll_rtt_us" && s.count == 1));
+    }
+
+    #[test]
+    fn build_info_renders_with_labels() {
+        let t = MonitorTelemetry::private();
+        let text = t.registry().render_prometheus();
+        assert!(text.contains("# TYPE netqos_build_info gauge"), "{text}");
+        assert!(
+            text.contains(&format!(
+                "netqos_build_info{{version=\"{}\",",
+                env!("CARGO_PKG_VERSION")
+            )),
+            "{text}"
+        );
+        assert_eq!(t.build_info.get(), 1);
     }
 
     #[test]

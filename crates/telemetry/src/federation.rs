@@ -20,7 +20,7 @@
 //! (reads are the same relaxed atomic loads the shard itself uses).
 
 use crate::http::{HttpRequest, HttpResponse, Router};
-use crate::{escape_label_value, render_histogram_into, sanitize_metric_name, Registry};
+use crate::{escape_label_value, render_histogram_into, split_labeled_name, Registry};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -45,6 +45,7 @@ pub struct Shard {
     registry: Arc<Registry>,
     health: Arc<dyn Fn() -> ShardHealth + Send + Sync>,
     snapshot: Arc<dyn Fn() -> String + Send + Sync>,
+    alerts: Arc<dyn Fn() -> String + Send + Sync>,
 }
 
 impl Shard {
@@ -62,7 +63,15 @@ impl Shard {
             registry,
             health: Arc::new(health),
             snapshot: Arc::new(snapshot),
+            alerts: Arc::new(|| "{}".into()),
         }
+    }
+
+    /// Attaches the shard's `/alerts` document hook (the live alert
+    /// engine state as JSON); without it the federated view shows `{}`.
+    pub fn with_alerts(mut self, alerts: impl Fn() -> String + Send + Sync + 'static) -> Self {
+        self.alerts = Arc::new(alerts);
+        self
     }
 
     /// A shard that is always healthy and has an empty snapshot — for
@@ -182,27 +191,27 @@ impl ShardRegistry {
         }
 
         for (name, series) in &counters {
-            let name = sanitize_metric_name(name);
-            let _ = writeln!(out, "# TYPE {name} counter");
+            let (base, plain) = split_labeled_name(name);
+            let _ = writeln!(out, "# TYPE {base} counter");
             let mut total = 0u64;
             for (shard, v) in series {
-                let _ = writeln!(out, "{name}{{shard=\"{}\"}} {v}", escape_label_value(shard));
+                let _ = writeln!(out, "{} {v}", shard_series(&base, &plain, shard));
                 total += v;
             }
-            let _ = writeln!(out, "{name} {total}");
+            let _ = writeln!(out, "{plain} {total}");
         }
         for (name, series) in &gauges {
-            let name = sanitize_metric_name(name);
-            let _ = writeln!(out, "# TYPE {name} gauge");
+            let (base, plain) = split_labeled_name(name);
+            let _ = writeln!(out, "# TYPE {base} gauge");
             let mut total = 0i64;
             for (shard, v) in series {
-                let _ = writeln!(out, "{name}{{shard=\"{}\"}} {v}", escape_label_value(shard));
+                let _ = writeln!(out, "{} {v}", shard_series(&base, &plain, shard));
                 total += v;
             }
-            let _ = writeln!(out, "{name} {total}");
+            let _ = writeln!(out, "{plain} {total}");
         }
         for (name, series) in &histograms {
-            let name = sanitize_metric_name(name);
+            let (name, _) = split_labeled_name(name);
             let _ = writeln!(out, "# TYPE {name} histogram");
             let merged = crate::Histogram::new();
             for (shard, h) in series {
@@ -212,6 +221,35 @@ impl ShardRegistry {
             render_histogram_into(&mut out, &name, None, &merged);
         }
         out
+    }
+
+    /// The federated `/alerts`: summed pending/firing counts over every
+    /// shard's alert engine, with the per-shard documents embedded.
+    pub fn alerts_response(&self) -> HttpResponse {
+        let shards = self.shards.read();
+        let mut pending = 0u64;
+        let mut firing = 0u64;
+        let mut entries = String::new();
+        for (i, shard) in shards.iter().enumerate() {
+            let doc = (shard.alerts)();
+            if let Ok(parsed) = crate::parse_json(&doc) {
+                pending += parsed.get("pending").and_then(|v| v.as_u64()).unwrap_or(0);
+                firing += parsed.get("firing").and_then(|v| v.as_u64()).unwrap_or(0);
+            }
+            if i > 0 {
+                entries.push(',');
+            }
+            let _ = write!(
+                entries,
+                "{{\"shard\":{:?},\"alerts\":{}}}",
+                shard.name,
+                embed_json(&doc),
+            );
+        }
+        HttpResponse::json(
+            200,
+            format!("{{\"pending\":{pending},\"firing\":{firing},\"shards\":[{entries}]}}\n"),
+        )
     }
 
     /// The federated `/healthz`: 200 only when every shard is healthy,
@@ -275,19 +313,20 @@ impl ShardRegistry {
 
     /// The endpoint router for [`HttpServer::serve`]
     /// (`crate::HttpServer`): combined `/metrics`, `/healthz`,
-    /// `/snapshot`, and `/` index.
+    /// `/alerts`, `/snapshot`, and `/` index.
     pub fn router(self: &Arc<Self>) -> Arc<Router> {
         let fed = self.clone();
         Arc::new(move |req: &HttpRequest| match req.path.as_str() {
             "/metrics" => Some(HttpResponse::prometheus(fed.render_merged_prometheus()).into()),
             "/healthz" => Some(fed.healthz_response().into()),
+            "/alerts" => Some(fed.alerts_response().into()),
             "/snapshot" => Some(fed.snapshot_response().into()),
             "/" => Some(
                 HttpResponse::json(
                     200,
                     format!(
                         "{{\"federation\":{{\"shards\":{}}},\
-                         \"endpoints\":[\"/metrics\",\"/healthz\",\"/snapshot\"]}}\n",
+                         \"endpoints\":[\"/metrics\",\"/healthz\",\"/alerts\",\"/snapshot\"]}}\n",
                         fed.len()
                     ),
                 )
@@ -295,6 +334,18 @@ impl ShardRegistry {
             ),
             _ => None,
         })
+    }
+}
+
+/// One shard-labelled sample series: splices `shard="..."` into an
+/// existing embedded label set, or opens a fresh one.
+fn shard_series(base: &str, series: &str, shard: &str) -> String {
+    let shard = escape_label_value(shard);
+    if series.len() > base.len() {
+        let labels = &series[base.len() + 1..series.len() - 1];
+        format!("{base}{{shard=\"{shard}\",{labels}}}")
+    } else {
+        format!("{base}{{shard=\"{shard}\"}}")
     }
 }
 
@@ -444,6 +495,50 @@ mod tests {
     }
 
     #[test]
+    fn alerts_response_sums_shard_counts() {
+        let fed = ShardRegistry::new();
+        fed.register(
+            Shard::metrics_only("a", Registry::new())
+                .with_alerts(|| "{\"pending\":1,\"firing\":2,\"alerts\":[]}".into()),
+        )
+        .unwrap();
+        fed.register(Shard::metrics_only("b", Registry::new()))
+            .unwrap();
+        let resp = fed.alerts_response();
+        assert_eq!(resp.status, 200);
+        let doc = parse_json(&resp.body).unwrap();
+        assert_eq!(doc.get("pending").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(doc.get("firing").and_then(|v| v.as_u64()), Some(2));
+        let shards = doc.get("shards").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(
+            shards[0]
+                .get("alerts")
+                .and_then(|a| a.get("firing"))
+                .and_then(|v| v.as_u64()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn embedded_label_names_get_shard_label_spliced_in() {
+        let fed = ShardRegistry::new();
+        let a = Registry::new();
+        a.gauge("netqos_build_info{version=\"0.1.0\"}").set(1);
+        fed.register(Shard::metrics_only("subnet-a", a)).unwrap();
+        let text = fed.render_merged_prometheus();
+        assert!(text.contains("# TYPE netqos_build_info gauge"), "{text}");
+        assert!(
+            text.contains("netqos_build_info{shard=\"subnet-a\",version=\"0.1.0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("\nnetqos_build_info{version=\"0.1.0\"} 1\n"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn duplicate_shard_names_are_rejected() {
         let fed = ShardRegistry::new();
         fed.register(Shard::metrics_only("x", Registry::new()))
@@ -475,6 +570,14 @@ mod tests {
             panic!("no /snapshot route");
         };
         assert!(parse_json(&snap.body).is_ok());
+        let Some(HttpRoute::Response(alerts)) = router(&req("/alerts")) else {
+            panic!("no /alerts route");
+        };
+        assert!(parse_json(&alerts.body).is_ok());
+        let Some(HttpRoute::Response(index)) = router(&req("/")) else {
+            panic!("no / route");
+        };
+        assert!(index.body.contains("/alerts"), "{}", index.body);
         assert!(router(&req("/nope")).is_none());
     }
 

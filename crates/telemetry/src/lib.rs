@@ -23,6 +23,7 @@
 //! [`QuantileBaseline`] ages streaming quantiles so samples can be
 //! ranked against recent history.
 
+mod alerts;
 mod baseline;
 mod events;
 mod federation;
@@ -35,6 +36,11 @@ mod push;
 mod sample;
 mod trace;
 
+pub use alerts::{
+    builtin_alert_rules, fingerprint, parse_alert_rules, transitions_to_json, ActiveAlert,
+    AlertContext, AlertEngine, AlertRule, AlertScope, AlertSeverity, AlertState, AlertTransition,
+    CmpOp, ResolvedAlert, WebhookNotifier,
+};
 pub use baseline::{
     baselines_from_json, baselines_to_json, load_baselines, save_baselines, BaselineState,
     QuantileBaseline, DEFAULT_WINDOW,
@@ -53,7 +59,9 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramState, HistogramSummary, HistogramTimer, BUCKETS,
 };
 pub use otlp::{parsed_to_otlp, to_otlp, validate_otlp, OtlpStats, OTLP_SCOPE, OTLP_SERVICE};
-pub use push::{parse_push_url, OtlpPusher, PushConfig, PushCounters, PushTarget};
+pub use push::{
+    parse_push_url, parse_webhook_url, OtlpPusher, PushConfig, PushCounters, PushTarget,
+};
 pub use sample::{AdaptiveConfig, SampleConfig, SampleDecision, Sampler};
 pub use trace::{SpanGuard, SpanId, SpanRecord, TraceId, Tracer};
 
@@ -202,14 +210,14 @@ impl Registry {
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, c) in self.counter_entries() {
-            let name = sanitize_metric_name(&name);
-            let _ = writeln!(out, "# TYPE {name} counter");
-            let _ = writeln!(out, "{name} {}", c.get());
+            let (base, series) = split_labeled_name(&name);
+            let _ = writeln!(out, "# TYPE {base} counter");
+            let _ = writeln!(out, "{series} {}", c.get());
         }
         for (name, g) in self.gauge_entries() {
-            let name = sanitize_metric_name(&name);
-            let _ = writeln!(out, "# TYPE {name} gauge");
-            let _ = writeln!(out, "{name} {}", g.get());
+            let (base, series) = split_labeled_name(&name);
+            let _ = writeln!(out, "# TYPE {base} gauge");
+            let _ = writeln!(out, "{series} {}", g.get());
         }
         for (name, h) in self.histogram_entries() {
             let name = sanitize_metric_name(&name);
@@ -265,6 +273,24 @@ pub(crate) fn escape_label_value(v: &str) -> String {
         }
     }
     out
+}
+
+/// Splits a registry key that embeds a label set — e.g.
+/// `netqos_build_info{version="0.1.0"}` — into `(base, series)`:
+/// the sanitized base name for `# TYPE` headers and the full series
+/// string for sample lines. Keys without a well-formed `{...}` suffix
+/// are sanitized whole (both halves equal).
+pub(crate) fn split_labeled_name(name: &str) -> (String, String) {
+    if let (Some(open), true) = (name.find('{'), name.ends_with('}')) {
+        let base = &name[..open];
+        let labels = &name[open..];
+        if !base.is_empty() && labels.len() > 2 {
+            let base = sanitize_metric_name(base);
+            return (base.clone(), format!("{base}{labels}"));
+        }
+    }
+    let sanitized = sanitize_metric_name(name);
+    (sanitized.clone(), sanitized)
 }
 
 /// Replaces characters Prometheus forbids in metric names.
@@ -379,6 +405,23 @@ mod tests {
         let reg = Registry::new();
         reg.counter("poll.rtt-total").inc();
         assert!(reg.render_prometheus().contains("poll_rtt_total 1"));
+    }
+
+    #[test]
+    fn labeled_names_render_as_series_with_base_type() {
+        let reg = Registry::new();
+        reg.gauge("netqos_build_info{version=\"0.1.0\",profile=\"release\"}")
+            .set(1);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE netqos_build_info gauge"), "{text}");
+        assert!(
+            text.contains("netqos_build_info{version=\"0.1.0\",profile=\"release\"} 1"),
+            "{text}"
+        );
+        // A stray brace without the closing form is sanitized away.
+        let (base, series) = split_labeled_name("weird{name");
+        assert_eq!(base, "weird_name");
+        assert_eq!(series, "weird_name");
     }
 
     #[test]

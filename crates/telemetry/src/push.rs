@@ -37,10 +37,25 @@ impl PushTarget {
 /// there is no TLS stack in this tree; terminate TLS in a local
 /// collector or sidecar.
 pub fn parse_push_url(url: &str) -> Result<PushTarget, String> {
+    parse_http_url(url, "--otlp-push", 4318, "/v1/traces")
+}
+
+/// Parses an `http://` alert-webhook URL (default port 80, default
+/// path `/`). Same plaintext-only rule as [`parse_push_url`].
+pub fn parse_webhook_url(url: &str) -> Result<PushTarget, String> {
+    parse_http_url(url, "--alert-webhook", 80, "/")
+}
+
+fn parse_http_url(
+    url: &str,
+    flag: &str,
+    default_port: u16,
+    default_path: &str,
+) -> Result<PushTarget, String> {
     if let Some(rest) = url.strip_prefix("https://") {
         return Err(format!(
             "https push targets are not supported (got https://{rest}); \
-             point --otlp-push at a plaintext collector listener"
+             point {flag} at a plaintext listener"
         ));
     }
     let rest = url
@@ -48,7 +63,7 @@ pub fn parse_push_url(url: &str) -> Result<PushTarget, String> {
         .ok_or_else(|| format!("push URL must start with http:// (got {url:?})"))?;
     let (authority, path) = match rest.find('/') {
         Some(i) => (&rest[..i], &rest[i..]),
-        None => (rest, "/v1/traces"),
+        None => (rest, default_path),
     };
     let (host, port) = match authority.rsplit_once(':') {
         Some((h, p)) => (
@@ -56,7 +71,7 @@ pub fn parse_push_url(url: &str) -> Result<PushTarget, String> {
             p.parse::<u16>()
                 .map_err(|_| format!("bad port in push URL {url:?}"))?,
         ),
-        None => (authority, 4318),
+        None => (authority, default_port),
     };
     if host.is_empty() {
         return Err(format!("empty host in push URL {url:?}"));
@@ -303,6 +318,16 @@ mod tests {
         assert!(parse_push_url("collector:4318").is_err());
         assert!(parse_push_url("http://:4318/x").is_err());
         assert!(parse_push_url("http://h:notaport/x").is_err());
+    }
+
+    #[test]
+    fn parse_webhook_url_defaults() {
+        let t = parse_webhook_url("http://hooks.local").unwrap();
+        assert_eq!((t.port, t.path.as_str()), (80, "/"));
+        let t = parse_webhook_url("http://hooks.local:9009/notify").unwrap();
+        assert_eq!((t.port, t.path.as_str()), (9009, "/notify"));
+        let err = parse_webhook_url("https://hooks.local/x").unwrap_err();
+        assert!(err.contains("--alert-webhook"), "{err}");
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! persistence (JSON round trips preserve quantiles).
 
 use netqos_telemetry::{
-    baselines_from_json, baselines_to_json, Histogram, QuantileBaseline, Registry, SampleConfig,
-    SampleDecision, Sampler, Shard, ShardRegistry,
+    baselines_from_json, baselines_to_json, AlertContext, AlertEngine, AlertRule, AlertScope,
+    AlertSeverity, CmpOp, Histogram, QuantileBaseline, Registry, SampleConfig, SampleDecision,
+    Sampler, Shard, ShardRegistry,
 };
 use proptest::prelude::*;
 
@@ -278,6 +279,66 @@ proptest! {
                 prop_assert!(text.contains(&format!("\n{name}_count {count}\n")));
             }
         }
+    }
+
+    /// Alert evaluation is deterministic under rule-order shuffling:
+    /// feeding the same signal script to an engine built from any
+    /// permutation of the same (unique-name) rules produces the exact
+    /// same transition sequence and the same rendered state.
+    // Thresholds and signal values are integer thousandths scaled to
+    // f64 (the vendored proptest has no f64 range strategy); the
+    // "shuffle" is rotate-by-k plus optional reverse, which together
+    // reach enough distinct orders to catch order-dependent evaluation.
+    #[test]
+    fn alert_evaluation_ignores_rule_order(
+        rules in prop::collection::vec(
+            (0usize..3, any::<bool>(), 0usize..4, 0u64..2000, 1u64..4, 0usize..3),
+            1..6,
+        ),
+        rotate in 0usize..6,
+        reverse in any::<bool>(),
+        script in prop::collection::vec(
+            prop::collection::vec(0u64..2000, 3), 1..20,
+        ),
+    ) {
+        const SIGNALS: [&str; 3] = ["s0", "s1", "s2"];
+        const OPS: [CmpOp; 4] = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        const SEVS: [AlertSeverity; 3] =
+            [AlertSeverity::Info, AlertSeverity::Warning, AlertSeverity::Critical];
+        let rules: Vec<AlertRule> = rules
+            .iter()
+            .enumerate()
+            .map(|(i, &(sig, delta, op, thresh_milli, for_ticks, sev))| AlertRule {
+                name: format!("r{i}"),
+                signal: SIGNALS[sig].to_string(),
+                delta,
+                op: OPS[op],
+                threshold: thresh_milli as f64 / 1000.0,
+                for_ticks,
+                severity: SEVS[sev],
+            })
+            .collect();
+        let mut shuffled = rules.clone();
+        let k = rotate % shuffled.len();
+        shuffled.rotate_left(k);
+        if reverse {
+            shuffled.reverse();
+        }
+
+        let mut a = AlertEngine::new(rules);
+        let mut b = AlertEngine::new(shuffled);
+        for (tick, values) in script.iter().enumerate() {
+            let mut ctx = AlertContext::new(tick as u64 + 1);
+            let mut scope = AlertScope::global();
+            for (name, &v) in SIGNALS.iter().zip(values) {
+                scope.set(name, v as f64 / 1000.0);
+            }
+            ctx.scopes.push(scope);
+            let ta = a.evaluate(&ctx);
+            let tb = b.evaluate(&ctx);
+            prop_assert_eq!(&ta, &tb, "tick {} transitions diverge", tick);
+        }
+        prop_assert_eq!(a.render_json(), b.render_json());
     }
 
     /// Baseline persistence: a JSON save/load round trip reproduces the

@@ -12,9 +12,15 @@
 //!                       [--trace-sample N]   trace with 1-in-N head sampling
 //!                       [--trace-adaptive]   adapt head rate to ring pressure
 //!                       [--otlp-push URL]    push flight snapshots to a collector
+//!                       [--otlp-push-delta]  push only cycles newer than the
+//!                                            last acknowledged push
+//!                       [--alert-rules PATH] load alert rules (atop builtins)
+//!                       [--alert-webhook URL] POST alert transitions
 //!                       [--baseline-state PATH]  restore/save baselines
 //! netqos federate <spec>... [--duration N]   run one shard per spec file behind
 //!                       [--serve ADDR]       a merged /metrics /healthz /snapshot
+//! netqos alerts  <rules> | --builtin         lint an alert rules file / list
+//!                                            the built-in rules
 //! netqos stats   <spec> [--duration N]       run quietly, print Prometheus metrics
 //! netqos audit   <spec>                      verify spec against forwarding evidence
 //! netqos trace   <spec> [--duration N]       run with causal tracing, snapshot the
@@ -50,6 +56,7 @@ fn main() -> ExitCode {
         "paths" => cmd_paths(&args[1..]),
         "monitor" => cmd_monitor(&args[1..]),
         "federate" => cmd_federate(&args[1..]),
+        "alerts" => cmd_alerts(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
@@ -86,16 +93,27 @@ const USAGE: &str = "usage:
                                              collector at http://host:port/path
                                              on violation and at exit
                                              (implies tracing)
+                        [--otlp-push-delta]  delta temporality: each push only
+                                             carries cycles newer than the last
+                                             acknowledged push
+                        [--alert-rules PATH] load alert rules from PATH on top
+                                             of the built-ins (same-name rules
+                                             override); see `netqos alerts`
+                        [--alert-webhook URL] POST alert transition batches
+                                             (JSON) to http://host:port/path
                         [--baseline-state PATH]  restore baselines from PATH at
                                              start, save them back on exit
   netqos federate <spec> <spec>... [--duration N] [--serve ADDR] [--pace-ms MS]
-                        [--trace-sample N] [--trace-adaptive]
+                        [--trace-sample N] [--trace-adaptive] [--alert-rules PATH]
                                              run one monitoring shard per spec
                                              file (threads) behind one merged
                                              export plane: /metrics carries
                                              shard=\"...\" labelled series plus
                                              unlabelled aggregates; /healthz is
                                              503 if any shard stalls
+  netqos alerts  <rules>                     lint an alert rules file: parse and
+                                             echo each rule in canonical form
+  netqos alerts  --builtin                   list the built-in alert rules
   netqos stats   <spec> [--duration N]       run the monitor quietly, print
                                              its own telemetry (Prometheus text)
   netqos audit   <spec>                      verify spec against forwarding evidence
@@ -209,6 +227,9 @@ struct MonitorOptions {
     trace_sample: Option<u64>,
     trace_adaptive: bool,
     otlp_push: Option<String>,
+    otlp_push_delta: bool,
+    alert_rules: Option<PathBuf>,
+    alert_webhook: Option<String>,
     baseline_state: Option<PathBuf>,
 }
 
@@ -223,6 +244,9 @@ fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
         trace_sample: None,
         trace_adaptive: false,
         otlp_push: None,
+        otlp_push_delta: false,
+        alert_rules: None,
+        alert_webhook: None,
         baseline_state: None,
     };
     let mut i = 1;
@@ -289,6 +313,23 @@ fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
                         .clone(),
                 );
             }
+            "--otlp-push-delta" => {
+                opts.otlp_push_delta = true;
+            }
+            "--alert-rules" => {
+                i += 1;
+                opts.alert_rules = Some(PathBuf::from(
+                    args.get(i).ok_or("--alert-rules needs a rules file path")?,
+                ));
+            }
+            "--alert-webhook" => {
+                i += 1;
+                opts.alert_webhook = Some(
+                    args.get(i)
+                        .ok_or("--alert-webhook needs a receiver URL (http://host:port/path)")?
+                        .clone(),
+                );
+            }
             "--baseline-state" => {
                 i += 1;
                 opts.baseline_state = Some(PathBuf::from(
@@ -302,8 +343,13 @@ fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
     Ok(opts)
 }
 
-/// Folds the sampling/persistence options into a service config.
-fn apply_service_options(mut config: ServiceConfig, opts: &MonitorOptions) -> ServiceConfig {
+/// Folds the sampling/persistence/alerting options into a service
+/// config. User alert rules are appended after the built-ins so a
+/// same-name rule overrides its built-in (the engine keeps the last).
+fn apply_service_options(
+    mut config: ServiceConfig,
+    opts: &MonitorOptions,
+) -> Result<ServiceConfig, String> {
     if let Some(n) = opts.trace_sample {
         config.sample = netqos_telemetry::SampleConfig {
             head_every: n.max(1),
@@ -313,8 +359,21 @@ fn apply_service_options(mut config: ServiceConfig, opts: &MonitorOptions) -> Se
     if opts.trace_adaptive {
         config.adaptive_sample = Some(netqos_telemetry::AdaptiveConfig::default());
     }
+    if let Some(path) = &opts.alert_rules {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rules = netqos_telemetry::parse_alert_rules(&src)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        config.alert_rules.extend(rules);
+    }
+    if opts.otlp_push_delta {
+        if opts.otlp_push.is_none() {
+            return Err("--otlp-push-delta needs --otlp-push".into());
+        }
+        config.otlp_push_delta = true;
+    }
     config.baseline_state = opts.baseline_state.clone();
-    config
+    Ok(config)
 }
 
 /// Whether any of the options imply causal tracing.
@@ -342,17 +401,47 @@ fn start_otlp_push(
 }
 
 /// Pushes the final flight snapshot (so short runs without violations
-/// still deliver their traces), drains the queue, and reports delivery
+/// still deliver their traces — under delta temporality only the cycles
+/// not yet acknowledged), drains the queue, and reports delivery
 /// counters.
-fn finish_otlp_push(service: &MonitoringService, pusher: Arc<netqos_telemetry::OtlpPusher>) {
-    let cycles = service.flight().snapshot();
-    if !cycles.is_empty() {
-        pusher.enqueue(netqos_telemetry::to_otlp(&cycles));
-    }
+fn finish_otlp_push(service: &mut MonitoringService, pusher: Arc<netqos_telemetry::OtlpPusher>) {
+    service.flush_otlp_push();
     pusher.shutdown();
     let c = pusher.counters();
     eprintln!(
         "otlp push: {} delivered, {} retries, {} dropped",
+        c.pushed.get(),
+        c.retries.get(),
+        c.dropped.get()
+    );
+}
+
+/// Starts the alert webhook worker when `--alert-webhook` is given;
+/// delivery counters land in the service's registry as
+/// `netqos_alert_webhook_*`.
+fn start_alert_webhook(
+    service: &mut MonitoringService,
+    opts: &MonitorOptions,
+) -> Result<Option<Arc<netqos_telemetry::WebhookNotifier>>, String> {
+    let Some(url) = &opts.alert_webhook else {
+        return Ok(None);
+    };
+    let target = netqos_telemetry::parse_webhook_url(url)?;
+    eprintln!(
+        "alert webhook at http://{}:{}{}",
+        target.host, target.port, target.path
+    );
+    Ok(Some(service.enable_alert_webhook(
+        netqos_telemetry::PushConfig::new(target),
+    )))
+}
+
+/// Drains the webhook queue and reports delivery counters.
+fn finish_alert_webhook(hook: Arc<netqos_telemetry::WebhookNotifier>) {
+    hook.shutdown();
+    let c = hook.counters();
+    eprintln!(
+        "alert webhook: {} delivered, {} retries, {} dropped",
         c.pushed.get(),
         c.retries.get(),
         c.dropped.get()
@@ -385,7 +474,7 @@ fn start_serve_plane(
     let server = netqos_telemetry::HttpServer::serve(addr.as_str(), router)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     eprintln!(
-        "serving http://{}/ (metrics, healthz, snapshot)",
+        "serving http://{}/ (metrics, healthz, snapshot, alerts)",
         server.local_addr()
     );
     Ok(Some(ServePlane { server, live }))
@@ -484,7 +573,7 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         return Err("the spec declares no qospath to monitor".into());
     }
     let opts = parse_monitor_options(args)?;
-    let config = apply_service_options(ServiceConfig::default(), &opts);
+    let config = apply_service_options(ServiceConfig::default(), &opts)?;
     let mut service = build_service(model, &opts, config)?;
     if let Some(warning) = service.baseline_load_warning() {
         eprintln!("netqos: baseline state ignored: {warning}");
@@ -493,6 +582,7 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         service.set_tracing(true);
     }
     let pusher = start_otlp_push(&mut service, &opts)?;
+    let webhook = start_alert_webhook(&mut service, &opts)?;
     let plane = start_serve_plane(&service, &opts)?;
 
     // Header.
@@ -543,7 +633,10 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         eprintln!("telemetry written to {prefix}.prom and {prefix}.jsonl");
     }
     if let Some(pusher) = pusher {
-        finish_otlp_push(&service, pusher);
+        finish_otlp_push(&mut service, pusher);
+    }
+    if let Some(hook) = webhook {
+        finish_alert_webhook(hook);
     }
     if let Some(plane) = plane {
         plane.live.mark_finished();
@@ -581,7 +674,13 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
     // parse_monitor_options skips args[0] (the spec slot); hand it the
     // last positional so only the options after it are parsed.
     let opts = parse_monitor_options(&args[specs.len() - 1..])?;
-    for flag in ["--load", "--telemetry", "--otlp-push", "--baseline-state"] {
+    for flag in [
+        "--load",
+        "--telemetry",
+        "--otlp-push",
+        "--alert-webhook",
+        "--baseline-state",
+    ] {
         if args.iter().any(|a| a == flag) {
             return Err(format!(
                 "{flag} is not supported under federate (per-shard state)"
@@ -630,6 +729,9 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
             trace_sample: opts.trace_sample,
             trace_adaptive: opts.trace_adaptive,
             otlp_push: None,
+            otlp_push_delta: false,
+            alert_rules: opts.alert_rules.clone(),
+            alert_webhook: None,
             baseline_state: None,
         };
         let worker = std::thread::Builder::new()
@@ -641,7 +743,7 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
                     if model.qos_paths.is_empty() {
                         return Err(format!("{path}: declares no qospath to monitor"));
                     }
-                    let config = apply_service_options(ServiceConfig::default(), &shard_opts);
+                    let config = apply_service_options(ServiceConfig::default(), &shard_opts)?;
                     let mut service = build_service(model, &shard_opts, config)?;
                     if wants_tracing(&shard_opts) {
                         service.set_tracing(true);
@@ -735,6 +837,32 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
     } else {
         Err(failures.join("\n"))
     }
+}
+
+/// Lints an alert rules file: parses it and echoes every rule in
+/// canonical form, or lists the built-in rules with `--builtin`.
+/// Nonzero exit (with `file:line:` context) on the first syntax error,
+/// so CI can gate on rules files the way it gates on specs.
+fn cmd_alerts(args: &[String]) -> Result<(), String> {
+    if args.first().map(|s| s.as_str()) == Some("--builtin") {
+        for rule in netqos_telemetry::builtin_alert_rules() {
+            println!("{rule}");
+        }
+        return Ok(());
+    }
+    let path = args
+        .first()
+        .ok_or_else(|| format!("missing <rules> argument (or --builtin)\n{USAGE}"))?;
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let rules = netqos_telemetry::parse_alert_rules(&src).map_err(|e| format!("{path}: {e}"))?;
+    if rules.is_empty() {
+        return Err(format!("{path}: no rules found"));
+    }
+    for rule in &rules {
+        println!("{rule}");
+    }
+    eprintln!("{path}: {} rule(s) OK", rules.len());
+    Ok(())
 }
 
 /// Runs the monitor for `--duration` simulated seconds without the CSV
@@ -835,7 +963,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             ..ServiceConfig::default()
         },
         &opts,
-    );
+    )?;
     let mut service = build_service(model, &opts, config)?;
     if let Some(warning) = service.baseline_load_warning() {
         eprintln!("netqos: baseline state ignored: {warning}");

@@ -114,6 +114,60 @@ fn audit_reports_verdicts() {
 }
 
 #[test]
+fn alerts_lints_rules_files() {
+    // The shipped example file parses; every echoed line is itself a
+    // valid rule (canonical form round trips).
+    let out = run(&["alerts", "specs/alerts.rules"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("alert path_hot if path_rank >= 0.99"),
+        "{stdout}"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("5 rule(s) OK"));
+
+    // Builtins are listed in the same grammar.
+    let out = run(&["alerts", "--builtin"]);
+    assert!(out.status.success());
+    let builtin = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        builtin.contains("alert path_qos_violation if path_violated > 0.5"),
+        "{builtin}"
+    );
+
+    // A broken file fails with line context and a nonzero exit.
+    let bad = std::env::temp_dir().join(format!("netqos-bad-{}.rules", std::process::id()));
+    std::fs::write(
+        &bad,
+        "alert ok if s > 1 for 1 severity info\nalert bad if s ?? 1\n",
+    )
+    .unwrap();
+    let out = run(&["alerts", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+    std::fs::remove_file(&bad).ok();
+
+    // --alert-rules on a monitor run rejects the same broken file.
+    std::fs::write(&bad, "alert bad if\n").unwrap();
+    let out = run(&[
+        "monitor",
+        "specs/two-switch.spec",
+        "--duration",
+        "1",
+        "--alert-rules",
+        bad.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_file(&bad).ok();
+
+    // --otlp-push-delta is rejected without a push target.
+    let out = run(&["monitor", "specs/two-switch.spec", "--otlp-push-delta"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--otlp-push"));
+}
+
+#[test]
 fn usage_on_bad_invocations() {
     let out = run(&[]);
     assert_eq!(out.status.code(), Some(1));

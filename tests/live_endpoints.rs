@@ -83,6 +83,20 @@ fn in_process_router_serves_all_endpoints() {
     }
     assert!(doc.get("flight").is_some());
     assert!(doc.get("sampler").is_some());
+    assert!(doc.get("alerts").is_some());
+
+    // /alerts: the alerting plane's state — quiet run, nothing firing,
+    // but the engine's builtin rules are loaded and evaluating.
+    let (status, body) = http_get(&addr, "/alerts");
+    assert_eq!(status, 200);
+    let doc = parse_json(&body).expect("alerts body is JSON");
+    assert_eq!(doc.get("firing").and_then(JsonValue::as_u64), Some(0));
+    assert!(doc.get("rules").and_then(JsonValue::as_u64).unwrap_or(0) >= 3);
+    assert!(doc.get("alerts").and_then(JsonValue::as_array).is_some());
+
+    // /healthz carries the alert summary.
+    let (_, health) = http_get(&addr, "/healthz");
+    assert!(health.contains("\"alerts\""), "{health}");
 
     // Unknown path: 404. Wrong method: 405.
     let (status, _) = http_get(&addr, "/nope");
