@@ -1,0 +1,97 @@
+//! Measures the long-term stats store's append throughput and range-query
+//! latency with plain wall-clock timing and writes the results as
+//! `BENCH_lts.json` (repo root when run from there, else the current
+//! directory). The workloads mirror `benches/lts.rs`; this binary exists so
+//! a canonical result document can be checked in and regenerated with
+//! `cargo run --release -p netqos-bench --bin lts_bench`.
+
+use netqos_telemetry::{LtsConfig, LtsCounters, LtsReader, LtsStore, PointValue, Resolution};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const SERIES: usize = 16;
+const APPEND_TICKS: u64 = 20_000;
+const QUERY_TICKS: u64 = 3_600;
+const QUERY_ITERS: u32 = 200;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("netqos-lts-bench-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn series_names() -> Vec<String> {
+    (0..SERIES)
+        .map(|i| format!("bench_series_{i}_total"))
+        .collect()
+}
+
+/// Latency percentiles over repeated runs of `f`, in nanoseconds.
+fn time_query(iters: u32, mut f: impl FnMut() -> usize) -> (u128, u128, u128, usize) {
+    let mut samples = Vec::with_capacity(iters as usize);
+    let mut bytes = 0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        bytes = f();
+        samples.push(start.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    let at = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+    (at(0.5), at(0.99), *samples.last().unwrap(), bytes)
+}
+
+fn main() {
+    let names = series_names();
+
+    // Append throughput: one "tick" is SERIES appends; flush every 60 ticks
+    // like the monitor's default cadence, plus a final flush.
+    let dir = fresh_dir("append");
+    let mut store = LtsStore::open(&dir, LtsConfig::default(), LtsCounters::detached())
+        .expect("open append store");
+    let start = Instant::now();
+    for t in 0..APPEND_TICKS {
+        for name in &names {
+            store.append(name, t, PointValue::Counter(t % 17));
+        }
+        if t % 60 == 59 {
+            store.flush().expect("cadence flush");
+        }
+    }
+    store.flush().expect("final flush");
+    let append_elapsed = start.elapsed();
+    let total_points = APPEND_TICKS * SERIES as u64;
+    let points_per_sec = total_points as f64 / append_elapsed.as_secs_f64();
+    let append_ns_per_point = append_elapsed.as_nanos() as f64 / total_points as f64;
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Query latency over a store holding an hour of 1s points per series.
+    let dir = fresh_dir("query");
+    let mut store = LtsStore::open(&dir, LtsConfig::default(), LtsCounters::detached())
+        .expect("open query store");
+    for t in 0..QUERY_TICKS {
+        for name in &names {
+            store.append(name, t, PointValue::Counter(t % 17));
+        }
+        if t % 500 == 499 {
+            store.flush().expect("load flush");
+        }
+    }
+    store.flush().expect("load flush");
+    let reader = LtsReader::open(&dir);
+    let (one_p50, one_p99, one_max, one_bytes) = time_query(QUERY_ITERS, || {
+        reader
+            .query("bench_series_0_total", 0, QUERY_TICKS, Resolution::Raw1s)
+            .len()
+    });
+    let (all_p50, all_p99, all_max, all_bytes) = time_query(QUERY_ITERS, || {
+        reader.query("*", 0, u64::MAX, Resolution::Min1).len()
+    });
+    std::fs::remove_dir_all(&dir).ok();
+
+    let doc = format!(
+        "{{\n  \"bench\": \"lts\",\n  \"series\": {SERIES},\n  \"append\": {{\n    \"ticks\": {APPEND_TICKS},\n    \"points\": {total_points},\n    \"flush_every_ticks\": 60,\n    \"points_per_sec\": {points_per_sec:.0},\n    \"ns_per_point\": {append_ns_per_point:.1}\n  }},\n  \"query\": {{\n    \"store_ticks\": {QUERY_TICKS},\n    \"iters\": {QUERY_ITERS},\n    \"one_series_1h_raw1s\": {{ \"p50_ns\": {one_p50}, \"p99_ns\": {one_p99}, \"max_ns\": {one_max}, \"body_bytes\": {one_bytes} }},\n    \"all_series_1m\": {{ \"p50_ns\": {all_p50}, \"p99_ns\": {all_p99}, \"max_ns\": {all_max}, \"body_bytes\": {all_bytes} }}\n  }}\n}}\n"
+    );
+    print!("{doc}");
+    std::fs::write("BENCH_lts.json", &doc).expect("write BENCH_lts.json");
+    eprintln!("wrote BENCH_lts.json");
+}

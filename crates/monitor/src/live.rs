@@ -27,7 +27,8 @@
 //! can sit behind one merged export surface (`netqos federate`).
 
 use netqos_telemetry::{
-    EventSource, HttpRequest, HttpResponse, HttpRoute, Registry, Router, Shard, ShardHealth,
+    json_escape, parse_range, EventSource, HttpRequest, HttpResponse, HttpRoute, LtsReader,
+    Registry, Resolution, Router, Shard, ShardHealth,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -239,11 +240,58 @@ impl EventSource for AlertsFollow {
     }
 }
 
+/// Serves one `GET /query` request against a long-term store: `series=`
+/// is a `*`-wildcard selector (default `*`), `range=` is `start:end` in
+/// Unix seconds with either side optional (default `:`, everything), and
+/// `step=` picks the resolution (`1s`, `1m` or `1h`; default `1s`).
+/// Malformed parameters get a `400` with a JSON error body.
+pub fn query_response(reader: &LtsReader, req: &HttpRequest) -> HttpResponse {
+    let selector = req.query_param("series").unwrap_or_else(|| "*".into());
+    let range = req.query_param("range").unwrap_or_else(|| ":".into());
+    let step = req.query_param("step").unwrap_or_else(|| "1s".into());
+    let Some((start, end)) = parse_range(&range) else {
+        return HttpResponse::json(
+            400,
+            format!(
+                "{{\"error\":\"bad range; expected start:end in unix seconds\",\"got\":{}}}\n",
+                json_escape(&range)
+            ),
+        );
+    };
+    let Some(res) = Resolution::parse(&step) else {
+        return HttpResponse::json(
+            400,
+            format!(
+                "{{\"error\":\"bad step; expected 1s, 1m or 1h\",\"got\":{}}}\n",
+                json_escape(&step)
+            ),
+        );
+    };
+    let mut body = reader.query(&selector, start, end, res);
+    if !body.ends_with('\n') {
+        body.push('\n');
+    }
+    HttpResponse::json(200, body)
+}
+
 /// Builds the endpoint router for [`HttpServer::serve`]
 /// (`netqos_telemetry::HttpServer`): `/metrics`, `/healthz`,
-/// `/snapshot` and `/alerts` (buffered or SSE), and `/` (a tiny
-/// index). Unknown paths return `None` (404).
-pub fn build_router(registry: Arc<Registry>, live: Arc<LiveStatus>) -> Arc<Router> {
+/// `/snapshot` and `/alerts` (buffered or SSE), `/query` (when a
+/// long-term store is attached), and `/` (a tiny index). Unknown paths
+/// return `None` (404).
+pub fn build_router(
+    registry: Arc<Registry>,
+    live: Arc<LiveStatus>,
+    lts: Option<LtsReader>,
+) -> Arc<Router> {
+    let index = {
+        let mut endpoints = vec!["/metrics", "/healthz", "/snapshot", "/alerts"];
+        if lts.is_some() {
+            endpoints.push("/query");
+        }
+        let quoted: Vec<String> = endpoints.iter().map(|e| format!("\"{e}\"")).collect();
+        format!("{{\"endpoints\":[{}]}}\n", quoted.join(","))
+    };
     Arc::new(move |req: &HttpRequest| match req.path.as_str() {
         "/metrics" => Some(HttpResponse::prometheus(registry.render_prometheus()).into()),
         "/healthz" => Some(live.healthz(unix_now_ns()).into()),
@@ -255,13 +303,15 @@ pub fn build_router(registry: Arc<Registry>, live: Arc<LiveStatus>) -> Arc<Route
             Arc::new(AlertsFollow(live.clone())) as Arc<dyn EventSource>,
         )),
         "/alerts" => Some(live.alerts_response().into()),
-        "/" => Some(
-            HttpResponse::json(
-                200,
-                "{\"endpoints\":[\"/metrics\",\"/healthz\",\"/snapshot\",\"/alerts\"]}\n".into(),
+        "/query" => Some(match &lts {
+            Some(reader) => query_response(reader, req).into(),
+            None => HttpResponse::json(
+                404,
+                "{\"error\":\"no long-term store attached (run with --lts DIR)\"}\n".into(),
             )
             .into(),
-        ),
+        }),
+        "/" => Some(HttpResponse::json(200, index.clone()).into()),
         _ => None,
     })
 }
@@ -332,7 +382,7 @@ mod tests {
         registry.counter("netqos_monitor_ticks_total").add(3);
         let live = LiveStatus::new();
         live.record_tick(unix_now_ns(), "{\"ticks\":1,\"paths\":[]}".into());
-        let router = build_router(registry, live);
+        let router = build_router(registry, live, None);
         let Some(HttpRoute::Response(metrics)) = router(&get("/metrics")) else {
             panic!("no /metrics route");
         };
@@ -352,7 +402,7 @@ mod tests {
     #[test]
     fn snapshot_follow_upgrades_to_event_stream() {
         let live = LiveStatus::new();
-        let router = build_router(Registry::new(), live.clone());
+        let router = build_router(Registry::new(), live.clone(), None);
         let mut req = get("/snapshot");
         req.query = "follow=1".into();
         assert!(matches!(router(&req), Some(HttpRoute::EventStream(_))));
@@ -387,7 +437,7 @@ mod tests {
     #[test]
     fn alerts_endpoint_and_healthz_summary() {
         let live = LiveStatus::new();
-        let router = build_router(Registry::new(), live.clone());
+        let router = build_router(Registry::new(), live.clone(), None);
         // Empty engine state before the first evaluation.
         let Some(HttpRoute::Response(resp)) = router(&get("/alerts")) else {
             panic!("no /alerts route");

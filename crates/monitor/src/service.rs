@@ -22,9 +22,10 @@ use bytes::Bytes;
 use netqos_sim::time::{SimDuration, SimTime};
 use netqos_sim::Ipv4Addr;
 use netqos_telemetry::{
-    builtin_alert_rules, fields, to_otlp, transitions_to_json, AdaptiveConfig, AlertContext,
-    AlertEngine, AlertRule, AlertScope, CycleTrace, EventSink, FlightRecorder, Level, OtlpPusher,
-    PushConfig, PushCounters, QuantileBaseline, Registry, RetentionPolicy, SampleAnnotation,
+    builtin_alert_rules, fields, report_flush, to_otlp, transitions_to_json, AdaptiveConfig,
+    AlertContext, AlertEngine, AlertRule, AlertScope, CycleTrace, EventSink, FlightRecorder,
+    FlushReport, Level, LtsConfig, LtsCounters, LtsStore, OtlpPusher, PointValue, PushConfig,
+    PushCounters, QuantileBaseline, Registry, RegistrySampler, RetentionPolicy, SampleAnnotation,
     SampleConfig, SampleDecision, Sampler, SnapshotPaths, Tracer, WebhookNotifier,
     DEFAULT_FLIGHT_CAPACITY, DEFAULT_WINDOW,
 };
@@ -90,10 +91,18 @@ pub struct ServiceConfig {
     /// the last acknowledged push instead of the whole flight ring, so
     /// collectors without trace-id dedupe stop double-counting.
     pub otlp_push_delta: bool,
+    /// If set, a long-term stats store under this directory samples the
+    /// registry and per-path QoS signals every tick at 1s resolution
+    /// (downsampled on flush to 1m and 1h).
+    pub lts_dir: Option<PathBuf>,
+    /// Retention for the long-term store (age and size caps, mirroring
+    /// the flight recorder's [`RetentionPolicy`] shape).
+    pub lts_retention: netqos_telemetry::LtsRetention,
+    /// Ticks between automatic baseline saves (when `baseline_state` is
+    /// set) — also the long-term store's flush cadence (when `lts_dir`
+    /// is set). Zero behaves as one.
+    pub baseline_save_ticks: u64,
 }
-
-/// Ticks between automatic baseline saves when `baseline_state` is set.
-const BASELINE_SAVE_EVERY: u64 = 60;
 
 impl Default for ServiceConfig {
     fn default() -> Self {
@@ -111,6 +120,9 @@ impl Default for ServiceConfig {
             baseline_state: None,
             alert_rules: builtin_alert_rules(),
             otlp_push_delta: false,
+            lts_dir: None,
+            lts_retention: netqos_telemetry::LtsRetention::default(),
+            baseline_save_ticks: 60,
         }
     }
 }
@@ -160,6 +172,13 @@ pub struct MonitoringService {
     next_push_seq: u64,
     /// Wall-clock anchor for `netqos_monitor_uptime_seconds`.
     wall_start: Instant,
+    /// Long-term stats store (when `lts_dir` is set) and the delta
+    /// sampler that feeds it from the registry each tick.
+    lts: Option<LtsStore>,
+    lts_sampler: RegistrySampler,
+    /// Why opening `lts_dir` failed, if it did (the service runs without
+    /// durable stats rather than refusing to start).
+    lts_open_warning: Option<String>,
 }
 
 impl MonitoringService {
@@ -253,6 +272,25 @@ impl MonitoringService {
             .map(|q| (q.name.clone(), (q.min_available_bps, q.max_utilization)))
             .collect();
         let alerts = AlertEngine::new(config.alert_rules.clone());
+        // Open the long-term store (if configured); its own health
+        // counters land in the shared registry, so the store samples the
+        // cost of its existence. Failure degrades to a stats-less run.
+        let mut lts = None;
+        let mut lts_open_warning = None;
+        if let Some(dir) = &config.lts_dir {
+            let lts_config = LtsConfig {
+                retention: config.lts_retention,
+                ..LtsConfig::default()
+            };
+            let counters = LtsCounters::register_in(telemetry.registry());
+            match LtsStore::open(dir, lts_config, counters) {
+                Ok(store) => lts = Some(store),
+                Err(e) => {
+                    lts_open_warning =
+                        Some(format!("lts store at {} unavailable: {e}", dir.display()));
+                }
+            }
+        }
         Ok(MonitoringService {
             net,
             monitor,
@@ -278,6 +316,9 @@ impl MonitoringService {
             path_rules,
             next_push_seq: 0,
             wall_start: Instant::now(),
+            lts,
+            lts_sampler: RegistrySampler::new(),
+            lts_open_warning,
         })
     }
 
@@ -432,6 +473,46 @@ impl MonitoringService {
     /// Number of baselines restored from `baseline_state` at startup.
     pub fn restored_baselines(&self) -> usize {
         self.path_baselines.len()
+    }
+
+    /// Why opening `lts_dir` failed at startup, if it did.
+    pub fn lts_open_warning(&self) -> Option<&str> {
+        self.lts_open_warning.as_deref()
+    }
+
+    /// Whether a long-term store is attached and healthy.
+    pub fn lts_enabled(&self) -> bool {
+        self.lts.is_some()
+    }
+
+    /// Flushes the long-term store: buffered points are written, completed
+    /// `1m`/`1h` windows fold, oversized tails seal, and retention runs —
+    /// with one JSONL event per deletion and per recovery warning.
+    /// Returns `None` when no store is attached or the flush failed (the
+    /// failure is reported on the event sink).
+    pub fn flush_lts(&mut self) -> Option<FlushReport> {
+        let store = self.lts.as_mut()?;
+        match store.flush() {
+            Ok(report) => {
+                let warnings = store.take_warnings();
+                report_flush(
+                    &self.events,
+                    &self.telemetry.retention_deleted,
+                    &report,
+                    &warnings,
+                );
+                Some(report)
+            }
+            Err(e) => {
+                self.events.emit(
+                    Level::Warn,
+                    "monitor.lts",
+                    "flush_failed",
+                    fields!["error" => e.to_string()],
+                );
+                None
+            }
+        }
     }
 
     /// Saves the per-path baselines to `config.baseline_state` (atomic
@@ -871,15 +952,26 @@ impl MonitoringService {
                         // Keep the snapshot directory within budget now
                         // that a new snapshot landed.
                         match netqos_telemetry::enforce_retention(&dir, self.config.retention) {
-                            Ok(0) => {}
                             Ok(deleted) => {
-                                self.telemetry.flight_retention_deleted.add(deleted as u64);
-                                self.events.emit(
-                                    Level::Info,
-                                    "monitor.flight",
-                                    "retention",
-                                    fields!["deleted" => deleted as u64],
-                                );
+                                for d in &deleted {
+                                    // One event per deleted snapshot so
+                                    // reclaimed history is auditable, and
+                                    // the cross-plane deletion total the
+                                    // LTS retention also feeds.
+                                    self.telemetry.flight_retention_deleted.inc();
+                                    self.telemetry.retention_deleted.inc();
+                                    self.events.emit(
+                                        Level::Info,
+                                        "monitor.flight",
+                                        "retention_delete",
+                                        fields![
+                                            "tag" => d.tag,
+                                            "files" => d.files as u64,
+                                            "bytes" => d.bytes,
+                                            "reason" => d.reason,
+                                        ],
+                                    );
+                                }
                             }
                             Err(e) => self.events.emit(
                                 Level::Warn,
@@ -901,13 +993,45 @@ impl MonitoringService {
             self.epoch_unix_ns.saturating_add(self.tracer.now_ns()),
             status,
         );
-        if self.config.baseline_state.is_some()
-            && self
-                .telemetry
-                .ticks
-                .get()
-                .is_multiple_of(BASELINE_SAVE_EVERY)
-        {
+        // Long-term stats: one sample per tick at 1s resolution, placed
+        // at sim-anchored Unix seconds so a restarted run extends the
+        // same series instead of starting a parallel timeline.
+        if let Some(store) = self.lts.as_mut() {
+            let t_unix = self.epoch_unix_ns / 1_000_000_000 + t_s as u64;
+            for (name, used, avail, rank, _count, p50, p99) in &path_status {
+                let as_i64 = |v: u64| v.min(i64::MAX as u64) as i64;
+                store.append(
+                    &format!("netqos_path_used_bps{{path=\"{name}\"}}"),
+                    t_unix,
+                    PointValue::Gauge(as_i64(*used)),
+                );
+                store.append(
+                    &format!("netqos_path_available_bps{{path=\"{name}\"}}"),
+                    t_unix,
+                    PointValue::Gauge(as_i64(*avail)),
+                );
+                store.append(
+                    &format!("netqos_path_used_rank_permille{{path=\"{name}\"}}"),
+                    t_unix,
+                    PointValue::Gauge((rank * 1000.0) as i64),
+                );
+                store.append(
+                    &format!("netqos_path_baseline_p50_bps{{path=\"{name}\"}}"),
+                    t_unix,
+                    PointValue::Gauge(as_i64(*p50)),
+                );
+                store.append(
+                    &format!("netqos_path_baseline_p99_bps{{path=\"{name}\"}}"),
+                    t_unix,
+                    PointValue::Gauge(as_i64(*p99)),
+                );
+            }
+            self.lts_sampler
+                .sample(self.telemetry.registry(), store, t_unix);
+        }
+        let save_every = self.config.baseline_save_ticks.max(1);
+        let on_save_tick = self.telemetry.ticks.get().is_multiple_of(save_every);
+        if self.config.baseline_state.is_some() && on_save_tick {
             if let Err(e) = self.persist_baselines() {
                 self.events.emit(
                     Level::Warn,
@@ -916,6 +1040,9 @@ impl MonitoringService {
                     fields!["error" => e.to_string()],
                 );
             }
+        }
+        if on_save_tick {
+            self.flush_lts();
         }
         self.events.emit(
             Level::Debug,

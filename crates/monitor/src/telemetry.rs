@@ -56,6 +56,10 @@ pub struct MonitorTelemetry {
     pub flight_snapshots: Counter,
     /// Stale snapshot files deleted by the retention policy.
     pub flight_retention_deleted: Counter,
+    /// Files deleted by any retention policy (flight snapshots and
+    /// long-term-store segments alike) — the cross-plane total that
+    /// pairs with the per-deletion `retention_delete` JSONL events.
+    pub retention_deleted: Counter,
     /// Traced cycles kept by the sampler's head rate.
     pub trace_kept_head: Counter,
     /// Traced cycles kept by a sampler tail trigger.
@@ -119,6 +123,7 @@ impl MonitorTelemetry {
             anomaly_warnings: r.counter("netqos_monitor_anomaly_warnings_total"),
             flight_snapshots: r.counter("netqos_monitor_flight_snapshots_total"),
             flight_retention_deleted: r.counter("netqos_monitor_flight_retention_deleted_total"),
+            retention_deleted: r.counter("netqos_retention_deleted_total"),
             trace_kept_head: r.counter("netqos_monitor_trace_kept_head_total"),
             trace_kept_tail: r.counter("netqos_monitor_trace_kept_tail_total"),
             trace_dropped: r.counter("netqos_monitor_trace_dropped_total"),

@@ -20,6 +20,7 @@
 //! (reads are the same relaxed atomic loads the shard itself uses).
 
 use crate::http::{HttpRequest, HttpResponse, Router};
+use crate::lts::json_escape;
 use crate::{escape_label_value, render_histogram_into, split_labeled_name, Registry};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -38,6 +39,9 @@ pub struct ShardHealth {
     pub detail: String,
 }
 
+/// A shard's `/query` handler: answers long-term stats range reads.
+type QueryHook = Arc<dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync>;
+
 /// A member of the federation: a name, its metrics registry, and the
 /// two read closures the combined endpoints call at scrape time.
 pub struct Shard {
@@ -46,6 +50,7 @@ pub struct Shard {
     health: Arc<dyn Fn() -> ShardHealth + Send + Sync>,
     snapshot: Arc<dyn Fn() -> String + Send + Sync>,
     alerts: Arc<dyn Fn() -> String + Send + Sync>,
+    query: Option<QueryHook>,
 }
 
 impl Shard {
@@ -64,6 +69,7 @@ impl Shard {
             health: Arc::new(health),
             snapshot: Arc::new(snapshot),
             alerts: Arc::new(|| "{}".into()),
+            query: None,
         }
     }
 
@@ -71,6 +77,17 @@ impl Shard {
     /// engine state as JSON); without it the federated view shows `{}`.
     pub fn with_alerts(mut self, alerts: impl Fn() -> String + Send + Sync + 'static) -> Self {
         self.alerts = Arc::new(alerts);
+        self
+    }
+
+    /// Attaches the shard's long-term stats `/query` handler (same
+    /// request contract as the live endpoint); without it the federated
+    /// `/query` answers 404 for this shard.
+    pub fn with_query(
+        mut self,
+        query: impl Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
+    ) -> Self {
+        self.query = Some(Arc::new(query));
         self
     }
 
@@ -252,6 +269,51 @@ impl ShardRegistry {
         )
     }
 
+    /// The federated `/query`: long-term stats are per-shard stores, so
+    /// the request must pick one with `shard=<name>`; the rest of the
+    /// query string is handed to that shard's handler unchanged.
+    pub fn query_response(&self, req: &HttpRequest) -> HttpResponse {
+        let Some(name) = req.query_param("shard") else {
+            let shards = self.shards.read();
+            let with_query: Vec<&str> = shards
+                .iter()
+                .filter(|s| s.query.is_some())
+                .map(|s| s.name.as_str())
+                .collect();
+            return HttpResponse::json(
+                400,
+                format!(
+                    "{{\"error\":\"missing shard= parameter\",\"shards\":[{}]}}\n",
+                    with_query
+                        .iter()
+                        .map(|n| json_escape(n))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+            );
+        };
+        let shards = self.shards.read();
+        let Some(shard) = shards.iter().find(|s| s.name == name) else {
+            return HttpResponse::json(
+                404,
+                format!(
+                    "{{\"error\":\"unknown shard\",\"shard\":{}}}\n",
+                    json_escape(&name)
+                ),
+            );
+        };
+        match &shard.query {
+            Some(q) => q(req),
+            None => HttpResponse::json(
+                404,
+                format!(
+                    "{{\"error\":\"shard has no long-term store\",\"shard\":{}}}\n",
+                    json_escape(&name)
+                ),
+            ),
+        }
+    }
+
     /// The federated `/healthz`: 200 only when every shard is healthy,
     /// 503 otherwise, always with per-shard detail in the body.
     pub fn healthz_response(&self) -> HttpResponse {
@@ -321,12 +383,14 @@ impl ShardRegistry {
             "/healthz" => Some(fed.healthz_response().into()),
             "/alerts" => Some(fed.alerts_response().into()),
             "/snapshot" => Some(fed.snapshot_response().into()),
+            "/query" => Some(fed.query_response(req).into()),
             "/" => Some(
                 HttpResponse::json(
                     200,
                     format!(
                         "{{\"federation\":{{\"shards\":{}}},\
-                         \"endpoints\":[\"/metrics\",\"/healthz\",\"/alerts\",\"/snapshot\"]}}\n",
+                         \"endpoints\":[\"/metrics\",\"/healthz\",\"/alerts\",\"/snapshot\",\
+                         \"/query\"]}}\n",
                         fed.len()
                     ),
                 )
@@ -579,6 +643,39 @@ mod tests {
         };
         assert!(index.body.contains("/alerts"), "{}", index.body);
         assert!(router(&req("/nope")).is_none());
+    }
+
+    #[test]
+    fn query_dispatches_to_the_named_shard() {
+        let fed = ShardRegistry::new();
+        fed.register(
+            Shard::metrics_only("a", Registry::new())
+                .with_query(|req| HttpResponse::json(200, format!("{{\"q\":{:?}}}", req.query))),
+        )
+        .unwrap();
+        fed.register(Shard::metrics_only("b", Registry::new()))
+            .unwrap();
+        let req = |query: &str| HttpRequest {
+            method: "GET".into(),
+            path: "/query".into(),
+            query: query.into(),
+            accept: String::new(),
+        };
+        // Dispatch reaches the named shard's handler with the full query.
+        let resp = fed.query_response(&req("shard=a&series=*&range=0:9&step=1s"));
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("series=*"), "{}", resp.body);
+        // Missing shard param: 400 listing the shards that can answer.
+        let resp = fed.query_response(&req("series=*"));
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("\"a\""), "{}", resp.body);
+        assert!(!resp.body.contains("\"b\""), "{}", resp.body);
+        // Unknown shard and store-less shard: 404.
+        assert_eq!(fed.query_response(&req("shard=zz")).status, 404);
+        assert_eq!(fed.query_response(&req("shard=b")).status, 404);
+        // The route is wired into the router.
+        let router = fed.router();
+        assert!(router(&req("shard=a")).is_some());
     }
 
     #[test]

@@ -85,6 +85,52 @@ impl HttpRequest {
             .contains("text/event-stream")
             || self.query.split('&').any(|kv| kv == "follow=1")
     }
+
+    /// The first value of query parameter `key`, percent-decoded (`+`
+    /// reads as a space). `None` when the key is absent; a bare `?key`
+    /// yields an empty string.
+    pub fn query_param(&self, key: &str) -> Option<String> {
+        self.query.split('&').find_map(|kv| {
+            let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+            (k == key).then(|| percent_decode(v))
+        })
+    }
+}
+
+/// Decodes `%XX` escapes and `+` spaces; malformed escapes pass through
+/// verbatim.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                match s
+                    .get(i + 1..i + 3)
+                    .and_then(|h| u8::from_str_radix(h, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 /// A cursor-driven stream of events for SSE endpoints. The connection

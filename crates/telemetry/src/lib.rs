@@ -30,6 +30,7 @@ mod federation;
 mod flight;
 mod http;
 mod json;
+mod lts;
 mod metrics;
 mod otlp;
 mod push;
@@ -50,11 +51,17 @@ pub use federation::{Shard, ShardHealth, ShardRegistry};
 pub use flight::{
     cycles_from_jsonl, enforce_retention, parsed_to_chrome_trace, to_chrome_trace, to_jsonl,
     validate_chrome_trace, write_snapshot, ChromeTraceStats, CycleTrace, FlightRecorder,
-    ParsedCycle, ParsedSpan, RetentionPolicy, SampleAnnotation, SnapshotPaths,
+    ParsedCycle, ParsedSpan, RetentionPolicy, SampleAnnotation, SnapshotDeletion, SnapshotPaths,
     DEFAULT_FLIGHT_CAPACITY,
 };
 pub use http::{EventSource, HttpRequest, HttpResponse, HttpRoute, HttpServer, Router};
 pub use json::{parse_json, JsonError, JsonValue};
+pub use lts::{
+    compact_store, downsample, hist_delta, json_escape, parse_range, report_flush,
+    selector_matches, verify_store, CompactReport, FlushReport, LtsConfig, LtsCounters, LtsReader,
+    LtsRetention, LtsStore, Point, PointValue, RegistrySampler, Resolution, RetentionDeletion,
+    SeriesInfo, SeriesKind, VerifyReport,
+};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramState, HistogramSummary, HistogramTimer, BUCKETS,
 };

@@ -1,0 +1,1965 @@
+//! Long-term stats: an embedded, append-only time-series store.
+//!
+//! The live registry answers "what is happening *now*"; everything in it
+//! dies with the process. This module gives the monitor durable history:
+//! per-series segment files holding counters, gauges, and sparse
+//! log-bucket histogram states, downsampled through three resolutions
+//! (`1s` raw → `1m` → `1h`) so a week of history stays queryable without
+//! retaining raw samples.
+//!
+//! # Disk layout
+//!
+//! ```text
+//! DIR/
+//!   series.idx                  # JSONL: {"slug","name","kind"} per series
+//!   1s/<slug>/open.seg          # JSONL append tail (mutable)
+//!   1s/<slug>/seg-A-B.seg       # sealed, immutable, covers [A, B]
+//!   1m/<slug>/...               # same shape per resolution
+//!   1h/<slug>/...
+//! ```
+//!
+//! Points are stored as *interval* values, which is what makes
+//! downsampling a pure merge: counters hold per-interval deltas (merge =
+//! sum), gauges hold the sampled value (merge = last), histograms hold
+//! per-interval delta [`HistogramState`]s (merge = bucket-wise fold, the
+//! same associative merge [`Histogram::merge_from`] uses). A `1m` point
+//! at `t = w` aggregates every `1s` point in `[w, w + 60)`; `1h` folds
+//! `1m` points the same way. Only *complete* windows are written — a
+//! window closes when a newer point at or past its end exists.
+//!
+//! # Crash safety
+//!
+//! Appends go to `open.seg`, one JSON document per line. Sealing renames
+//! `open.seg` to its immutable `seg-A-B.seg` name — atomic on POSIX, so
+//! a crash leaves either the old tail or the sealed file, never a
+//! half-sealed hybrid. On open, a torn final line (crash mid-append) is
+//! truncated away and reported, never silently read. Sealed segments and
+//! the index are rewritten only by [`compact_store`], always via
+//! tmp-file-plus-rename.
+//!
+//! Queries ([`LtsReader`]) read exclusively from disk and canonicalize
+//! (sort by time, first write wins), so the same store yields
+//! byte-identical JSON before and after a restart or a compaction.
+
+use crate::events::{EventSink, FieldValue, Level};
+use crate::json::parse_json;
+use crate::metrics::{bucket_high, bucket_low};
+use crate::{Counter, Gauge, Histogram, HistogramState, Registry};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Storage resolutions, coarsest-last. Raw points land in `1s`; the
+/// store folds completed windows into `1m` and `1h` on flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Resolution {
+    /// Raw per-tick points (one simulated second per tick).
+    Raw1s,
+    /// 60-second windows.
+    Min1,
+    /// 3600-second windows.
+    Hour1,
+}
+
+impl Resolution {
+    /// All resolutions, finest first.
+    pub const ALL: [Resolution; 3] = [Resolution::Raw1s, Resolution::Min1, Resolution::Hour1];
+
+    /// Window width in seconds (1 for raw).
+    pub fn window_secs(self) -> u64 {
+        match self {
+            Resolution::Raw1s => 1,
+            Resolution::Min1 => 60,
+            Resolution::Hour1 => 3600,
+        }
+    }
+
+    /// On-disk directory name, also the `step=` query token.
+    pub fn dir_name(self) -> &'static str {
+        match self {
+            Resolution::Raw1s => "1s",
+            Resolution::Min1 => "1m",
+            Resolution::Hour1 => "1h",
+        }
+    }
+
+    /// Parses a `step=` token.
+    pub fn parse(s: &str) -> Option<Resolution> {
+        match s {
+            "1s" => Some(Resolution::Raw1s),
+            "1m" => Some(Resolution::Min1),
+            "1h" => Some(Resolution::Hour1),
+            _ => None,
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Resolution::Raw1s => 0,
+            Resolution::Min1 => 1,
+            Resolution::Hour1 => 2,
+        }
+    }
+}
+
+/// What a series holds, fixed at first append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Per-interval deltas of a monotonic counter.
+    Counter,
+    /// Sampled instantaneous values.
+    Gauge,
+    /// Per-interval delta histogram states.
+    Histogram,
+}
+
+impl SeriesKind {
+    /// Stable on-disk token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Histogram => "histogram",
+        }
+    }
+
+    /// Parses the on-disk token.
+    pub fn parse(s: &str) -> Option<SeriesKind> {
+        match s {
+            "counter" => Some(SeriesKind::Counter),
+            "gauge" => Some(SeriesKind::Gauge),
+            "histogram" => Some(SeriesKind::Histogram),
+            _ => None,
+        }
+    }
+}
+
+/// One sample's payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointValue {
+    /// Counter delta over the interval ending at the point's time.
+    Counter(u64),
+    /// Gauge value at the point's time.
+    Gauge(i64),
+    /// Histogram of samples recorded during the interval.
+    Histogram(HistogramState),
+}
+
+impl PointValue {
+    /// The series kind this value belongs to.
+    pub fn kind(&self) -> SeriesKind {
+        match self {
+            PointValue::Counter(_) => SeriesKind::Counter,
+            PointValue::Gauge(_) => SeriesKind::Gauge,
+            PointValue::Histogram(_) => SeriesKind::Histogram,
+        }
+    }
+}
+
+/// A timestamped sample. `t` is unix seconds; for downsampled
+/// resolutions it is the *window start*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    /// Unix seconds (window start for `1m`/`1h`).
+    pub t: u64,
+    /// The payload.
+    pub value: PointValue,
+}
+
+/// Retention bounds, same shape as the flight recorder's
+/// [`RetentionPolicy`](crate::RetentionPolicy): `0` disables a bound.
+/// Only sealed segments are ever deleted — the open tail and the index
+/// are spared — and age is measured against the newest point in the
+/// store (data time), so replayed or simulated clocks work unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LtsRetention {
+    /// Delete sealed segments whose newest point is older than this many
+    /// seconds behind the store's newest point. `0` = keep forever.
+    pub max_age_secs: u64,
+    /// Total on-disk budget in bytes; oldest sealed segments are deleted
+    /// first until the store fits. `0` = unlimited.
+    pub max_bytes: u64,
+}
+
+impl Default for LtsRetention {
+    fn default() -> Self {
+        LtsRetention {
+            max_age_secs: 7 * 24 * 3600,
+            max_bytes: 256 * 1024 * 1024,
+        }
+    }
+}
+
+/// Store tuning knobs.
+#[derive(Debug, Clone)]
+pub struct LtsConfig {
+    /// Seal `open.seg` once it holds this many points.
+    pub seal_points: usize,
+    /// Age/size bounds enforced on every flush.
+    pub retention: LtsRetention,
+}
+
+impl Default for LtsConfig {
+    fn default() -> Self {
+        LtsConfig {
+            seal_points: 4096,
+            retention: LtsRetention::default(),
+        }
+    }
+}
+
+/// The store's self-instrumentation handles. Registered into the live
+/// registry by the monitor (where the sampler then records them into the
+/// store itself); detached no-op-visible handles otherwise (CLI use).
+#[derive(Clone)]
+pub struct LtsCounters {
+    /// `netqos_lts_segments` — segment files on disk (sealed + open).
+    pub segments: Gauge,
+    /// `netqos_lts_bytes_on_disk` — total store size in bytes.
+    pub bytes_on_disk: Gauge,
+    /// `netqos_lts_appends_total` — points accepted.
+    pub appends: Counter,
+    /// `netqos_lts_dropped_total` — points rejected (out-of-order
+    /// timestamp or kind mismatch).
+    pub dropped: Counter,
+}
+
+impl LtsCounters {
+    /// Handles not attached to any registry.
+    pub fn detached() -> Self {
+        LtsCounters {
+            segments: Gauge::new(),
+            bytes_on_disk: Gauge::new(),
+            appends: Counter::new(),
+            dropped: Counter::new(),
+        }
+    }
+
+    /// Handles registered under the canonical `netqos_lts_*` names.
+    pub fn register_in(r: &Registry) -> Self {
+        LtsCounters {
+            segments: r.gauge("netqos_lts_segments"),
+            bytes_on_disk: r.gauge("netqos_lts_bytes_on_disk"),
+            appends: r.counter("netqos_lts_appends_total"),
+            dropped: r.counter("netqos_lts_dropped_total"),
+        }
+    }
+}
+
+/// One segment deleted by retention.
+#[derive(Debug, Clone)]
+pub struct RetentionDeletion {
+    /// Path relative to the store root.
+    pub path: String,
+    /// Size of the deleted file.
+    pub bytes: u64,
+    /// `"age"` or `"size"`.
+    pub reason: &'static str,
+}
+
+/// What one [`LtsStore::flush`] did.
+#[derive(Debug, Clone, Default)]
+pub struct FlushReport {
+    /// Raw points written to `1s` segments.
+    pub points_written: u64,
+    /// Downsampled points written to `1m`/`1h`.
+    pub downsampled: u64,
+    /// Open tails sealed into immutable segments.
+    pub segments_sealed: u64,
+    /// Sealed segments deleted by retention.
+    pub deleted: Vec<RetentionDeletion>,
+}
+
+struct SeriesState {
+    name: String,
+    kind: SeriesKind,
+    slug: String,
+    /// Raw points appended since the last flush.
+    buf: Vec<Point>,
+    /// Newest point time per resolution (persisted or buffered).
+    last_t: [Option<u64>; 3],
+    /// Points in the open tail per resolution.
+    open_len: [usize; 3],
+    /// First point time in the open tail per resolution.
+    open_first: [Option<u64>; 3],
+    /// Flushed-but-not-yet-downsampled points feeding `1m` (raw points)
+    /// and `1h` (`1m` points).
+    pending: [Vec<Point>; 2],
+    /// Needs a `series.idx` line on next flush.
+    new_to_index: bool,
+}
+
+/// The writable store. Single-writer by design: the monitor owns one
+/// `LtsStore` and flushes on its baseline-save cadence; readers go
+/// through [`LtsReader`], which never touches writer state.
+pub struct LtsStore {
+    dir: PathBuf,
+    config: LtsConfig,
+    counters: LtsCounters,
+    series: BTreeMap<String, SeriesState>,
+    warnings: Vec<String>,
+}
+
+impl LtsStore {
+    /// Opens (creating if absent) the store at `dir`, recovering from a
+    /// torn final line in any open tail by truncating it away. Recovery
+    /// notes are queued for [`LtsStore::take_warnings`].
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        config: LtsConfig,
+        counters: LtsCounters,
+    ) -> io::Result<LtsStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        for res in Resolution::ALL {
+            fs::create_dir_all(dir.join(res.dir_name()))?;
+        }
+        let mut store = LtsStore {
+            dir,
+            config,
+            counters,
+            series: BTreeMap::new(),
+            warnings: Vec::new(),
+        };
+        store.load_index()?;
+        let names: Vec<String> = store.series.keys().cloned().collect();
+        for name in names {
+            store.recover_series(&name)?;
+        }
+        store.update_disk_gauges();
+        Ok(store)
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Drains recovery/consistency warnings accumulated so far.
+    pub fn take_warnings(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.warnings)
+    }
+
+    fn load_index(&mut self) -> io::Result<()> {
+        let idx = self.dir.join("series.idx");
+        let text = match fs::read_to_string(&idx) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let mut good = 0usize;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                good += line.len() + 1;
+                continue;
+            }
+            match parse_index_line(line) {
+                Some((slug, name, kind)) => {
+                    good += line.len() + 1;
+                    self.series
+                        .entry(name.clone())
+                        .or_insert_with(|| SeriesState {
+                            name,
+                            kind,
+                            slug,
+                            buf: Vec::new(),
+                            last_t: [None; 3],
+                            open_len: [0; 3],
+                            open_first: [None; 3],
+                            pending: [Vec::new(), Vec::new()],
+                            new_to_index: false,
+                        });
+                }
+                None => {
+                    // Torn or foreign tail: keep the good prefix only.
+                    self.warnings.push(format!(
+                        "series.idx: unparseable line at byte {good}; truncating index tail"
+                    ));
+                    truncate_file(&idx, good as u64)?;
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn recover_series(&mut self, name: &str) -> io::Result<()> {
+        let (slug, kind) = {
+            let s = &self.series[name];
+            (s.slug.clone(), s.kind)
+        };
+        for res in Resolution::ALL {
+            let sdir = self.dir.join(res.dir_name()).join(&slug);
+            let mut last = segment_files(&sdir)?.iter().map(|s| s.last).max();
+            let open = sdir.join("open.seg");
+            if open.exists() {
+                let (pts, warn) = read_segment_recovering(&open, kind)?;
+                if let Some(w) = warn {
+                    self.warnings.push(w);
+                }
+                let s = self.series.get_mut(name).unwrap();
+                s.open_len[res.index()] = pts.len();
+                s.open_first[res.index()] = pts.first().map(|p| p.t);
+                if let Some(p) = pts.last() {
+                    last = Some(last.map_or(p.t, |l: u64| l.max(p.t)));
+                }
+            }
+            self.series.get_mut(name).unwrap().last_t[res.index()] = last;
+        }
+        // Rebuild the pending downsample buffers: every finer-resolution
+        // point past the last written window belongs to a window that
+        // has not been folded yet.
+        for (pi, (fine, coarse)) in [
+            (Resolution::Raw1s, Resolution::Min1),
+            (Resolution::Min1, Resolution::Hour1),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let cutoff = match self.series[name].last_t[coarse.index()] {
+                Some(w) => w + coarse.window_secs(),
+                None => 0,
+            };
+            let pts = read_series_points(
+                &self.dir,
+                &self.series[name].slug,
+                self.series[name].kind,
+                fine,
+                cutoff,
+                u64::MAX,
+            );
+            self.series.get_mut(name).unwrap().pending[pi] = pts;
+        }
+        Ok(())
+    }
+
+    /// Appends one point. Points must arrive in strictly increasing time
+    /// order per series and keep their first-seen kind; violations are
+    /// counted in `netqos_lts_dropped_total` and discarded.
+    pub fn append(&mut self, name: &str, t: u64, value: PointValue) {
+        let kind = value.kind();
+        let s = self
+            .series
+            .entry(name.to_string())
+            .or_insert_with(|| SeriesState {
+                name: name.to_string(),
+                kind,
+                slug: slug_for(name),
+                buf: Vec::new(),
+                last_t: [None; 3],
+                open_len: [0; 3],
+                open_first: [None; 3],
+                pending: [Vec::new(), Vec::new()],
+                new_to_index: true,
+            });
+        if s.kind != kind {
+            self.counters.dropped.inc();
+            return;
+        }
+        let newest = s.buf.last().map(|p| p.t).or(s.last_t[0]);
+        if newest.is_some_and(|n| t <= n) {
+            self.counters.dropped.inc();
+            return;
+        }
+        s.buf.push(Point { t, value });
+        self.counters.appends.inc();
+    }
+
+    /// Writes buffered points to disk, folds completed `1m`/`1h`
+    /// windows, seals oversized tails, and enforces retention.
+    pub fn flush(&mut self) -> io::Result<FlushReport> {
+        let mut report = FlushReport::default();
+        let names: Vec<String> = self
+            .series
+            .iter()
+            .filter(|(_, s)| {
+                s.new_to_index
+                    || !s.buf.is_empty()
+                    || !s.pending[0].is_empty()
+                    || !s.pending[1].is_empty()
+            })
+            .map(|(n, _)| n.clone())
+            .collect();
+        for name in names {
+            self.flush_series(&name, &mut report)?;
+        }
+        report.deleted = self.enforce_retention()?;
+        self.update_disk_gauges();
+        Ok(report)
+    }
+
+    fn flush_series(&mut self, name: &str, report: &mut FlushReport) -> io::Result<()> {
+        if self.series[name].new_to_index {
+            let s = &self.series[name];
+            let line = format!(
+                "{{\"slug\":\"{}\",\"name\":{},\"kind\":\"{}\"}}\n",
+                s.slug,
+                json_escape(&s.name),
+                s.kind.as_str()
+            );
+            let mut f = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.dir.join("series.idx"))?;
+            f.write_all(line.as_bytes())?;
+            self.series.get_mut(name).unwrap().new_to_index = false;
+        }
+
+        let buf = std::mem::take(&mut self.series.get_mut(name).unwrap().buf);
+        if !buf.is_empty() {
+            report.points_written += buf.len() as u64;
+            report.segments_sealed += self.write_points(name, Resolution::Raw1s, &buf)?;
+            let s = self.series.get_mut(name).unwrap();
+            s.last_t[0] = buf.last().map(|p| p.t).or(s.last_t[0]);
+            s.pending[0].extend(buf);
+        }
+
+        // Fold completed windows, finest resolution first so a fresh
+        // `1m` point can immediately complete an `1h` window.
+        for (pi, coarse) in [Resolution::Min1, Resolution::Hour1]
+            .into_iter()
+            .enumerate()
+        {
+            let window = coarse.window_secs();
+            let kind = self.series[name].kind;
+            // The clock that closes windows is the newest point of the
+            // finer resolution.
+            let newest = self.series[name].last_t[pi];
+            let Some(newest) = newest else { continue };
+            let mut produced: Vec<Point> = Vec::new();
+            {
+                let s = self.series.get_mut(name).unwrap();
+                while let Some(first) = s.pending[pi].first() {
+                    let w = (first.t / window) * window;
+                    if newest < w + window {
+                        break;
+                    }
+                    let split = s.pending[pi].partition_point(|p| p.t < w + window);
+                    let consumed: Vec<Point> = s.pending[pi].drain(..split).collect();
+                    if let Some(v) = downsample(kind, &consumed) {
+                        produced.push(Point { t: w, value: v });
+                    }
+                }
+            }
+            if produced.is_empty() {
+                continue;
+            }
+            report.downsampled += produced.len() as u64;
+            report.segments_sealed += self.write_points(name, coarse, &produced)?;
+            let s = self.series.get_mut(name).unwrap();
+            s.last_t[coarse.index()] = produced.last().map(|p| p.t).or(s.last_t[coarse.index()]);
+            if coarse == Resolution::Min1 {
+                s.pending[1].extend(produced);
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends `pts` to the series' open tail at `res`, sealing it when
+    /// it crosses the configured size. Returns segments sealed.
+    fn write_points(&mut self, name: &str, res: Resolution, pts: &[Point]) -> io::Result<u64> {
+        let ri = res.index();
+        let slug = self.series[name].slug.clone();
+        let sdir = self.dir.join(res.dir_name()).join(&slug);
+        fs::create_dir_all(&sdir)?;
+        let open = sdir.join("open.seg");
+        let mut f = OpenOptions::new().create(true).append(true).open(&open)?;
+        let mut body = String::new();
+        for p in pts {
+            body.push_str(&point_to_json(p));
+            body.push('\n');
+        }
+        f.write_all(body.as_bytes())?;
+        drop(f);
+        let s = self.series.get_mut(name).unwrap();
+        if s.open_first[ri].is_none() {
+            s.open_first[ri] = pts.first().map(|p| p.t);
+        }
+        s.open_len[ri] += pts.len();
+        let mut sealed = 0;
+        if s.open_len[ri] >= self.config.seal_points {
+            let first = s.open_first[ri].unwrap_or(0);
+            let last = pts.last().map(|p| p.t).unwrap_or(first);
+            let dest = sdir.join(segment_name(first, last));
+            fs::rename(&open, &dest)?;
+            s.open_len[ri] = 0;
+            s.open_first[ri] = None;
+            sealed = 1;
+        }
+        Ok(sealed)
+    }
+
+    fn enforce_retention(&mut self) -> io::Result<Vec<RetentionDeletion>> {
+        let ret = self.config.retention;
+        let mut deleted = Vec::new();
+        if ret.max_age_secs == 0 && ret.max_bytes == 0 {
+            return Ok(deleted);
+        }
+        let newest = self
+            .series
+            .values()
+            .flat_map(|s| s.last_t.iter().flatten().copied())
+            .max()
+            .unwrap_or(0);
+        // All sealed segments, oldest data first.
+        let mut segs: Vec<(PathBuf, u64, u64)> = Vec::new(); // (path, last_t, bytes)
+        let mut total_bytes = 0u64;
+        for res in Resolution::ALL {
+            let rdir = self.dir.join(res.dir_name());
+            for entry in fs::read_dir(&rdir)? {
+                let sdir = entry?.path();
+                if !sdir.is_dir() {
+                    continue;
+                }
+                for seg in segment_files(&sdir)? {
+                    total_bytes += seg.bytes;
+                    segs.push((seg.path, seg.last, seg.bytes));
+                }
+                let open = sdir.join("open.seg");
+                if let Ok(m) = fs::metadata(&open) {
+                    total_bytes += m.len();
+                }
+            }
+        }
+        total_bytes += fs::metadata(self.dir.join("series.idx"))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        segs.sort_by_key(|&(_, last, _)| last);
+
+        let mut survivors = Vec::new();
+        for (path, last, bytes) in segs {
+            if ret.max_age_secs > 0 && newest.saturating_sub(last) > ret.max_age_secs {
+                fs::remove_file(&path)?;
+                total_bytes -= bytes;
+                deleted.push(RetentionDeletion {
+                    path: rel_path(&self.dir, &path),
+                    bytes,
+                    reason: "age",
+                });
+            } else {
+                survivors.push((path, bytes));
+            }
+        }
+        if ret.max_bytes > 0 {
+            for (path, bytes) in survivors {
+                if total_bytes <= ret.max_bytes {
+                    break;
+                }
+                fs::remove_file(&path)?;
+                total_bytes -= bytes;
+                deleted.push(RetentionDeletion {
+                    path: rel_path(&self.dir, &path),
+                    bytes,
+                    reason: "size",
+                });
+            }
+        }
+        Ok(deleted)
+    }
+
+    fn update_disk_gauges(&self) {
+        let (mut segments, mut bytes) = (0i64, 0u64);
+        bytes += fs::metadata(self.dir.join("series.idx"))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        for res in Resolution::ALL {
+            let rdir = self.dir.join(res.dir_name());
+            let Ok(entries) = fs::read_dir(&rdir) else {
+                continue;
+            };
+            for sdir in entries.flatten() {
+                let sdir = sdir.path();
+                let Ok(files) = fs::read_dir(&sdir) else {
+                    continue;
+                };
+                for f in files.flatten() {
+                    if f.path().extension().is_some_and(|e| e == "seg") {
+                        segments += 1;
+                        bytes += f.metadata().map(|m| m.len()).unwrap_or(0);
+                    }
+                }
+            }
+        }
+        self.counters.segments.set(segments);
+        self.counters
+            .bytes_on_disk
+            .set(bytes.min(i64::MAX as u64) as i64);
+    }
+}
+
+/// Folds one completed window of finer-resolution points into a single
+/// coarser point: counters sum their deltas, gauges keep the last value,
+/// histograms merge bucket-wise (count/sum add, min/max fold). `None`
+/// for an empty window.
+pub fn downsample(kind: SeriesKind, window: &[Point]) -> Option<PointValue> {
+    if window.is_empty() {
+        return None;
+    }
+    Some(match kind {
+        SeriesKind::Counter => PointValue::Counter(
+            window
+                .iter()
+                .map(|p| match &p.value {
+                    PointValue::Counter(v) => *v,
+                    _ => 0,
+                })
+                .sum(),
+        ),
+        SeriesKind::Gauge => window.iter().rev().find_map(|p| match &p.value {
+            PointValue::Gauge(v) => Some(PointValue::Gauge(*v)),
+            _ => None,
+        })?,
+        SeriesKind::Histogram => {
+            let mut merged = HistogramState {
+                min: u64::MAX,
+                ..HistogramState::default()
+            };
+            let mut buckets: BTreeMap<u32, u64> = BTreeMap::new();
+            for p in window {
+                let PointValue::Histogram(h) = &p.value else {
+                    continue;
+                };
+                for &(i, n) in &h.buckets {
+                    *buckets.entry(i).or_insert(0) += n;
+                }
+                merged.count += h.count;
+                merged.sum += h.sum;
+                merged.min = merged.min.min(h.min);
+                merged.max = merged.max.max(h.max);
+            }
+            merged.buckets = buckets.into_iter().collect();
+            PointValue::Histogram(merged)
+        }
+    })
+}
+
+/// Bridges the live [`Registry`] into an [`LtsStore`]: each call emits
+/// one point per registered metric at time `t` — counters as deltas
+/// since the previous call (a decrease is treated as a restart, so the
+/// current value is the delta), gauges as-is, histograms as delta
+/// states with min/max re-derived from the delta's occupied bucket
+/// bounds.
+#[derive(Default)]
+pub struct RegistrySampler {
+    prev_counters: BTreeMap<String, u64>,
+    prev_hists: BTreeMap<String, HistogramState>,
+}
+
+impl RegistrySampler {
+    /// A sampler with no history (first sample emits full values).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Samples every metric in `reg` into `store` at time `t`.
+    pub fn sample(&mut self, reg: &Registry, store: &mut LtsStore, t: u64) {
+        for (name, c) in reg.counter_entries() {
+            let cur = c.get();
+            let prev = self.prev_counters.insert(name.clone(), cur).unwrap_or(0);
+            let delta = if cur >= prev { cur - prev } else { cur };
+            store.append(&name, t, PointValue::Counter(delta));
+        }
+        for (name, g) in reg.gauge_entries() {
+            store.append(&name, t, PointValue::Gauge(g.get()));
+        }
+        for (name, h) in reg.histogram_entries() {
+            let cur = h.to_state();
+            let prev = self.prev_hists.insert(name.clone(), cur.clone());
+            let delta = hist_delta(prev.as_ref(), &cur);
+            store.append(&name, t, PointValue::Histogram(delta));
+        }
+    }
+}
+
+/// The per-interval difference between two cumulative histogram states.
+/// A count regression reads as a process restart: the current state *is*
+/// the interval. Interval min/max are estimated from the occupied delta
+/// buckets' bounds (within the histogram's ≤6.25% bucket error) since
+/// cumulative extremes don't subtract.
+pub fn hist_delta(prev: Option<&HistogramState>, cur: &HistogramState) -> HistogramState {
+    let Some(prev) = prev else { return cur.clone() };
+    if cur.count < prev.count {
+        return cur.clone();
+    }
+    let prev_map: BTreeMap<u32, u64> = prev.buckets.iter().copied().collect();
+    let mut buckets: Vec<(u32, u64)> = Vec::new();
+    for &(i, n) in &cur.buckets {
+        let d = n.saturating_sub(prev_map.get(&i).copied().unwrap_or(0));
+        if d > 0 {
+            buckets.push((i, d));
+        }
+    }
+    let count = cur.count - prev.count;
+    let (min, max) = if count == 0 || buckets.is_empty() {
+        (u64::MAX, 0)
+    } else {
+        (
+            bucket_low(buckets[0].0 as usize),
+            bucket_high(buckets[buckets.len() - 1].0 as usize),
+        )
+    };
+    HistogramState {
+        buckets,
+        count,
+        sum: cur.sum.saturating_sub(prev.sum),
+        min,
+        max,
+    }
+}
+
+/// `*`-wildcard series selector: `*` matches any run of characters,
+/// everything else is literal. `netqos_lts_*` matches the store's own
+/// metrics; `*` matches everything.
+pub fn selector_matches(pattern: &str, name: &str) -> bool {
+    fn match_at(pat: &[u8], s: &[u8]) -> bool {
+        match pat.first() {
+            None => s.is_empty(),
+            Some(b'*') => (0..=s.len()).any(|i| match_at(&pat[1..], &s[i..])),
+            Some(&c) => s.first() == Some(&c) && match_at(&pat[1..], &s[1..]),
+        }
+    }
+    match_at(pattern.as_bytes(), name.as_bytes())
+}
+
+/// A series the index knows about.
+#[derive(Debug, Clone)]
+pub struct SeriesInfo {
+    /// Metric name (may embed a `{label="..."}` set).
+    pub name: String,
+    /// Fixed kind.
+    pub kind: SeriesKind,
+    /// Directory slug.
+    pub slug: String,
+}
+
+/// Read-only, stateless view of a store directory. Safe to use from
+/// HTTP handler threads while the monitor's [`LtsStore`] keeps writing:
+/// every query re-reads from disk and canonicalizes, so results depend
+/// only on persisted bytes.
+#[derive(Clone)]
+pub struct LtsReader {
+    dir: PathBuf,
+}
+
+impl LtsReader {
+    /// A reader over `dir` (which need not exist yet — queries over a
+    /// missing store are empty, not errors).
+    pub fn open(dir: impl Into<PathBuf>) -> LtsReader {
+        LtsReader { dir: dir.into() }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Every indexed series, sorted by name, duplicates dropped
+    /// (first index line wins). Unparseable lines are skipped.
+    pub fn index(&self) -> Vec<SeriesInfo> {
+        let Ok(text) = fs::read_to_string(self.dir.join("series.idx")) else {
+            return Vec::new();
+        };
+        let mut seen: BTreeMap<String, SeriesInfo> = BTreeMap::new();
+        for line in text.lines() {
+            if let Some((slug, name, kind)) = parse_index_line(line) {
+                seen.entry(name.clone())
+                    .or_insert(SeriesInfo { name, kind, slug });
+            }
+        }
+        seen.into_values().collect()
+    }
+
+    /// Canonical points for one series/resolution in `[start, end]`:
+    /// sealed segments oldest-first, then the open tail, sorted by time,
+    /// first write winning any duplicate timestamp.
+    pub fn series_points(
+        &self,
+        info: &SeriesInfo,
+        res: Resolution,
+        start: u64,
+        end: u64,
+    ) -> Vec<Point> {
+        read_series_points(&self.dir, &info.slug, info.kind, res, start, end)
+    }
+
+    /// Serves `GET /query`: every indexed series matching `selector`,
+    /// at resolution `step`, restricted to `[start, end]`. The output is
+    /// deterministic — sorted by series name, canonical point order —
+    /// so identical stores yield byte-identical JSON.
+    pub fn query(&self, selector: &str, start: u64, end: u64, step: Resolution) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"start\":{start},\"end\":{end},\"step\":\"{}\",\"series\":[",
+            step.dir_name()
+        );
+        let mut first = true;
+        for info in self.index() {
+            if !selector_matches(selector, &info.name) {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"kind\":\"{}\",\"points\":[",
+                json_escape(&info.name),
+                info.kind.as_str()
+            );
+            let pts = self.series_points(&info, step, start, end);
+            for (i, p) in pts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match &p.value {
+                    PointValue::Counter(v) => {
+                        let _ = write!(out, "[{},{}]", p.t, v);
+                    }
+                    PointValue::Gauge(v) => {
+                        let _ = write!(out, "[{},{}]", p.t, v);
+                    }
+                    PointValue::Histogram(h) => {
+                        let hist = Histogram::from_state(h);
+                        let _ = write!(
+                            out,
+                            "{{\"t\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+                            p.t,
+                            h.count,
+                            h.sum,
+                            hist.min(),
+                            h.max,
+                            hist.quantile(0.50),
+                            hist.quantile(0.99),
+                        );
+                    }
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A parsed `range=<start>:<end>` pair (either side may be empty:
+/// `range=100:` means "from 100 on", `range=:200` "up to 200").
+pub fn parse_range(s: &str) -> Option<(u64, u64)> {
+    let (a, b) = s.split_once(':')?;
+    let start = if a.is_empty() { 0 } else { a.parse().ok()? };
+    let end = if b.is_empty() {
+        u64::MAX
+    } else {
+        b.parse().ok()?
+    };
+    (start <= end).then_some((start, end))
+}
+
+/// What [`verify_store`] found.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// Indexed series.
+    pub series: usize,
+    /// Segment files scanned (sealed + open).
+    pub segments: u64,
+    /// Points parsed.
+    pub points: u64,
+    /// Bytes on disk.
+    pub bytes: u64,
+    /// Human-readable problems; empty means the store is sound.
+    pub issues: Vec<String>,
+}
+
+/// Structural check of a store: the index parses, every segment's every
+/// line parses as the indexed kind, timestamps are strictly increasing
+/// within a file, and sealed filenames match their contents' range.
+pub fn verify_store(dir: &Path) -> io::Result<VerifyReport> {
+    let mut rep = VerifyReport::default();
+    let reader = LtsReader::open(dir);
+    let idx_path = dir.join("series.idx");
+    if let Ok(text) = fs::read_to_string(&idx_path) {
+        rep.bytes += text.len() as u64;
+        for (ln, line) in text.lines().enumerate() {
+            if !line.trim().is_empty() && parse_index_line(line).is_none() {
+                rep.issues
+                    .push(format!("series.idx line {}: unparseable", ln + 1));
+            }
+        }
+    }
+    let index = reader.index();
+    rep.series = index.len();
+    let known: BTreeMap<&str, &SeriesInfo> = index.iter().map(|i| (i.slug.as_str(), i)).collect();
+    for res in Resolution::ALL {
+        let rdir = dir.join(res.dir_name());
+        let Ok(entries) = fs::read_dir(&rdir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let sdir = entry.path();
+            if !sdir.is_dir() {
+                continue;
+            }
+            let slug = sdir
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .to_string();
+            let Some(info) = known.get(slug.as_str()) else {
+                rep.issues
+                    .push(format!("{}/{slug}: not in series.idx", res.dir_name()));
+                continue;
+            };
+            let mut files: Vec<PathBuf> = Vec::new();
+            for f in fs::read_dir(&sdir)?.flatten() {
+                files.push(f.path());
+            }
+            files.sort();
+            for path in files {
+                let fname = path
+                    .file_name()
+                    .unwrap_or_default()
+                    .to_string_lossy()
+                    .to_string();
+                if !fname.ends_with(".seg") {
+                    rep.issues.push(format!(
+                        "{}/{slug}/{fname}: unexpected file",
+                        res.dir_name()
+                    ));
+                    continue;
+                }
+                rep.segments += 1;
+                rep.bytes += fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                let text = fs::read_to_string(&path)?;
+                let mut last_t: Option<u64> = None;
+                let mut first_t: Option<u64> = None;
+                let mut bad = false;
+                for (ln, line) in text.lines().enumerate() {
+                    match point_from_json(line) {
+                        Some(p) if p.value.kind() == info.kind => {
+                            if last_t.is_some_and(|l| p.t <= l) {
+                                rep.issues.push(format!(
+                                    "{}/{slug}/{fname} line {}: time not increasing",
+                                    res.dir_name(),
+                                    ln + 1
+                                ));
+                            }
+                            first_t.get_or_insert(p.t);
+                            last_t = Some(p.t);
+                            rep.points += 1;
+                        }
+                        Some(_) => {
+                            rep.issues.push(format!(
+                                "{}/{slug}/{fname} line {}: kind mismatch (index says {})",
+                                res.dir_name(),
+                                ln + 1,
+                                info.kind.as_str()
+                            ));
+                            bad = true;
+                        }
+                        None => {
+                            rep.issues.push(format!(
+                                "{}/{slug}/{fname} line {}: unparseable",
+                                res.dir_name(),
+                                ln + 1
+                            ));
+                            bad = true;
+                        }
+                    }
+                }
+                if let Some((a, b)) = parse_segment_name(&fname) {
+                    if !bad && (first_t != Some(a) || last_t != Some(b)) {
+                        rep.issues.push(format!(
+                            "{}/{slug}/{fname}: name range [{a},{b}] != content range [{:?},{:?}]",
+                            res.dir_name(),
+                            first_t,
+                            last_t
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(rep)
+}
+
+/// What [`compact_store`] did.
+#[derive(Debug, Clone, Default)]
+pub struct CompactReport {
+    /// Segment files before/after.
+    pub segments_before: u64,
+    /// Segment files after.
+    pub segments_after: u64,
+    /// Store bytes before.
+    pub bytes_before: u64,
+    /// Store bytes after.
+    pub bytes_after: u64,
+}
+
+/// Rewrites every series/resolution as a single sealed segment holding
+/// its canonical point sequence, and the index as one deduplicated,
+/// sorted file — both via tmp-file-plus-rename. Because queries already
+/// canonicalize, a query over the compacted store is byte-identical to
+/// one over the original. Must not run while a writer has the store
+/// open (offline maintenance only).
+pub fn compact_store(dir: &Path) -> io::Result<CompactReport> {
+    let mut rep = CompactReport::default();
+    let reader = LtsReader::open(dir);
+    let index = reader.index();
+
+    let measure = |rep_seg: &mut u64, rep_bytes: &mut u64| -> io::Result<()> {
+        *rep_seg = 0;
+        *rep_bytes = fs::metadata(dir.join("series.idx"))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        for res in Resolution::ALL {
+            let rdir = dir.join(res.dir_name());
+            let Ok(entries) = fs::read_dir(&rdir) else {
+                continue;
+            };
+            for sdir in entries.flatten() {
+                let Ok(files) = fs::read_dir(sdir.path()) else {
+                    continue;
+                };
+                for f in files.flatten() {
+                    if f.path().extension().is_some_and(|e| e == "seg") {
+                        *rep_seg += 1;
+                        *rep_bytes += f.metadata().map(|m| m.len()).unwrap_or(0);
+                    }
+                }
+            }
+        }
+        Ok(())
+    };
+    measure(&mut rep.segments_before, &mut rep.bytes_before)?;
+
+    // Rewrite the index: sorted, deduplicated.
+    if !index.is_empty() {
+        let tmp = dir.join("series.idx.tmp");
+        let mut body = String::new();
+        for info in &index {
+            let _ = writeln!(
+                body,
+                "{{\"slug\":\"{}\",\"name\":{},\"kind\":\"{}\"}}",
+                info.slug,
+                json_escape(&info.name),
+                info.kind.as_str()
+            );
+        }
+        fs::write(&tmp, body)?;
+        fs::rename(&tmp, dir.join("series.idx"))?;
+    }
+
+    for info in &index {
+        for res in Resolution::ALL {
+            let sdir = dir.join(res.dir_name()).join(&info.slug);
+            if !sdir.is_dir() {
+                continue;
+            }
+            let pts = read_series_points(dir, &info.slug, info.kind, res, 0, u64::MAX);
+            let mut old: Vec<PathBuf> = Vec::new();
+            for f in fs::read_dir(&sdir)?.flatten() {
+                if f.path().extension().is_some_and(|e| e == "seg") {
+                    old.push(f.path());
+                }
+            }
+            if pts.is_empty() {
+                for p in old {
+                    fs::remove_file(p)?;
+                }
+                continue;
+            }
+            let dest = sdir.join(segment_name(pts[0].t, pts[pts.len() - 1].t));
+            let tmp = sdir.join("compact.tmp");
+            let mut body = String::new();
+            for p in &pts {
+                body.push_str(&point_to_json(p));
+                body.push('\n');
+            }
+            fs::write(&tmp, body)?;
+            fs::rename(&tmp, &dest)?;
+            for p in old {
+                if p != dest {
+                    fs::remove_file(p)?;
+                }
+            }
+        }
+    }
+    measure(&mut rep.segments_after, &mut rep.bytes_after)?;
+    Ok(rep)
+}
+
+/// Emits one `lts` JSONL event per retention deletion and per recovery
+/// warning, and bumps `retention_deleted` — the shared
+/// `netqos_retention_deleted_total` counter.
+pub fn report_flush(
+    sink: &EventSink,
+    retention_deleted: &Counter,
+    report: &FlushReport,
+    warnings: &[String],
+) {
+    for d in &report.deleted {
+        retention_deleted.inc();
+        sink.emit(
+            Level::Info,
+            "lts",
+            "retention_delete",
+            vec![
+                ("path".to_string(), FieldValue::Str(d.path.clone())),
+                ("bytes".to_string(), FieldValue::U64(d.bytes)),
+                ("reason".to_string(), FieldValue::Str(d.reason.to_string())),
+            ],
+        );
+    }
+    for w in warnings {
+        sink.emit(
+            Level::Warn,
+            "lts",
+            "recovered",
+            vec![("detail".to_string(), FieldValue::Str(w.clone()))],
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// On-disk encoding
+// ---------------------------------------------------------------------
+
+/// One point as a single JSON line. Histogram `min`/`max` are omitted
+/// for empty intervals so the `u64::MAX` "empty" sentinel never hits a
+/// float-backed JSON parser.
+fn point_to_json(p: &Point) -> String {
+    match &p.value {
+        PointValue::Counter(v) => format!("{{\"t\":{},\"kind\":\"counter\",\"v\":{}}}", p.t, v),
+        PointValue::Gauge(v) => format!("{{\"t\":{},\"kind\":\"gauge\",\"v\":{}}}", p.t, v),
+        PointValue::Histogram(h) => {
+            let mut out = format!(
+                "{{\"t\":{},\"kind\":\"histogram\",\"count\":{},\"sum\":{}",
+                p.t, h.count, h.sum
+            );
+            if h.count > 0 {
+                let _ = write!(out, ",\"min\":{},\"max\":{}", h.min, h.max);
+            }
+            out.push_str(",\"buckets\":[");
+            for (i, &(b, n)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{b},{n}]");
+            }
+            out.push_str("]}");
+            out
+        }
+    }
+}
+
+fn point_from_json(line: &str) -> Option<Point> {
+    let v = parse_json(line).ok()?;
+    let t = v.get("t")?.as_u64()?;
+    let kind = SeriesKind::parse(v.get("kind")?.as_str()?)?;
+    let value = match kind {
+        SeriesKind::Counter => PointValue::Counter(v.get("v")?.as_u64()?),
+        SeriesKind::Gauge => {
+            let n = v.get("v")?.as_f64()?;
+            PointValue::Gauge(n.round() as i64)
+        }
+        SeriesKind::Histogram => {
+            let count = v.get("count")?.as_u64()?;
+            let mut buckets = Vec::new();
+            for b in v.get("buckets")?.as_array()? {
+                let pair = b.as_array()?;
+                if pair.len() != 2 {
+                    return None;
+                }
+                buckets.push((pair[0].as_u64()? as u32, pair[1].as_u64()?));
+            }
+            PointValue::Histogram(HistogramState {
+                buckets,
+                count,
+                sum: v.get("sum")?.as_u64()?,
+                min: v.get("min").and_then(|m| m.as_u64()).unwrap_or(u64::MAX),
+                max: v.get("max").and_then(|m| m.as_u64()).unwrap_or(0),
+            })
+        }
+    };
+    Some(Point { t, value })
+}
+
+fn parse_index_line(line: &str) -> Option<(String, String, SeriesKind)> {
+    let v = parse_json(line).ok()?;
+    let slug = v.get("slug")?.as_str()?.to_string();
+    let name = v.get("name")?.as_str()?.to_string();
+    let kind = SeriesKind::parse(v.get("kind")?.as_str()?)?;
+    Some((slug, name, kind))
+}
+
+/// Filesystem-safe directory name for a series: sanitized name prefix
+/// plus an FNV-1a hash of the full name, so `a.b` and `a_b` (or two
+/// label sets sanitizing alike) never collide.
+fn slug_for(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    s.truncate(48);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{s}-{hash:016x}")
+}
+
+/// Sealed-segment filename covering `[first, last]`. Zero-padded so
+/// lexicographic directory order is chronological order.
+fn segment_name(first: u64, last: u64) -> String {
+    format!("seg-{first:012}-{last:012}.seg")
+}
+
+fn parse_segment_name(name: &str) -> Option<(u64, u64)> {
+    let body = name.strip_prefix("seg-")?.strip_suffix(".seg")?;
+    let (a, b) = body.split_once('-')?;
+    Some((a.parse().ok()?, b.parse().ok()?))
+}
+
+struct SegmentFile {
+    path: PathBuf,
+    #[allow(dead_code)]
+    first: u64,
+    last: u64,
+    bytes: u64,
+}
+
+/// Sealed segments in a series directory, oldest first.
+fn segment_files(sdir: &Path) -> io::Result<Vec<SegmentFile>> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(sdir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = path
+            .file_name()
+            .unwrap_or_default()
+            .to_string_lossy()
+            .to_string();
+        if let Some((first, last)) = parse_segment_name(&name) {
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            out.push(SegmentFile {
+                path,
+                first,
+                last,
+                bytes,
+            });
+        }
+    }
+    out.sort_by_key(|s| (s.first, s.last));
+    Ok(out)
+}
+
+/// Reads one segment file leniently: a torn *final* line is truncated
+/// off the file and reported; a bad line mid-file stops the read there
+/// (everything after a corrupt line is untrusted).
+fn read_segment_recovering(
+    path: &Path,
+    kind: SeriesKind,
+) -> io::Result<(Vec<Point>, Option<String>)> {
+    let mut text = String::new();
+    File::open(path)?.read_to_string(&mut text)?;
+    let mut pts = Vec::new();
+    let mut good_bytes = 0usize;
+    let mut warn = None;
+    for line in text.split_inclusive('\n') {
+        let trimmed = line.trim_end_matches('\n');
+        if trimmed.is_empty() {
+            good_bytes += line.len();
+            continue;
+        }
+        match point_from_json(trimmed) {
+            Some(p) if p.value.kind() == kind && line.ends_with('\n') => {
+                pts.push(p);
+                good_bytes += line.len();
+            }
+            _ => {
+                warn = Some(format!(
+                    "{}: corrupt tail at byte {good_bytes}; truncated",
+                    path.display()
+                ));
+                truncate_file(path, good_bytes as u64)?;
+                break;
+            }
+        }
+    }
+    Ok((pts, warn))
+}
+
+/// Canonical read used by both the reader and the writer's recovery:
+/// sealed oldest-first then the open tail, clipped to `[start, end]`,
+/// stable-sorted by time with the first-written point winning ties.
+/// Unparseable lines are skipped (readers never mutate the store).
+fn read_series_points(
+    dir: &Path,
+    slug: &str,
+    kind: SeriesKind,
+    res: Resolution,
+    start: u64,
+    end: u64,
+) -> Vec<Point> {
+    let sdir = dir.join(res.dir_name()).join(slug);
+    let mut pts: Vec<Point> = Vec::new();
+    let mut read_file = |path: &Path| {
+        let Ok(text) = fs::read_to_string(path) else {
+            return;
+        };
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Some(p) = point_from_json(line) else {
+                continue;
+            };
+            if p.value.kind() == kind && p.t >= start && p.t <= end {
+                pts.push(p);
+            }
+        }
+    };
+    for seg in segment_files(&sdir).unwrap_or_default() {
+        // Whole segment out of range: skip without reading.
+        if seg.last < start {
+            continue;
+        }
+        read_file(&seg.path);
+    }
+    let open = sdir.join("open.seg");
+    if open.exists() {
+        read_file(&open);
+    }
+    pts.sort_by_key(|p| p.t);
+    pts.dedup_by_key(|p| p.t);
+    pts
+}
+
+fn truncate_file(path: &Path, len: u64) -> io::Result<()> {
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// `s` as a quoted JSON string literal (quotes, backslashes and control
+/// characters escaped) — for hand-assembled JSON documents.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "netqos-lts-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_hist(values: &[u64]) -> HistogramState {
+        let h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h.to_state()
+    }
+
+    #[test]
+    fn point_json_round_trips() {
+        for p in [
+            Point {
+                t: 7,
+                value: PointValue::Counter(42),
+            },
+            Point {
+                t: 8,
+                value: PointValue::Gauge(-3),
+            },
+            Point {
+                t: 9,
+                value: PointValue::Histogram(sample_hist(&[5, 10, 10_000])),
+            },
+            Point {
+                t: 10,
+                value: PointValue::Histogram(HistogramState {
+                    min: u64::MAX,
+                    ..Default::default()
+                }),
+            },
+        ] {
+            let line = point_to_json(&p);
+            let back = point_from_json(&line).expect(&line);
+            assert_eq!(back, p, "{line}");
+        }
+    }
+
+    #[test]
+    fn slugs_distinguish_sanitized_collisions() {
+        assert_ne!(slug_for("a.b"), slug_for("a_b"));
+        assert_ne!(slug_for("m{x=\"1\"}"), slug_for("m{x=\"2\"}"));
+        assert!(slug_for("net.qos/metric")
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+    }
+
+    #[test]
+    fn selector_wildcards() {
+        assert!(selector_matches("*", "anything"));
+        assert!(selector_matches("netqos_*_total", "netqos_polls_total"));
+        assert!(!selector_matches("netqos_*_total", "netqos_polls"));
+        assert!(selector_matches("exact", "exact"));
+        assert!(!selector_matches("exact", "exactly"));
+        assert!(selector_matches("*suffix", "has_suffix"));
+    }
+
+    #[test]
+    fn downsample_rules() {
+        let pts: Vec<Point> = (0..3)
+            .map(|i| Point {
+                t: i,
+                value: PointValue::Counter(10 + i),
+            })
+            .collect();
+        assert_eq!(
+            downsample(SeriesKind::Counter, &pts),
+            Some(PointValue::Counter(33))
+        );
+
+        let pts: Vec<Point> = (0..3)
+            .map(|i| Point {
+                t: i,
+                value: PointValue::Gauge(i as i64 * 5),
+            })
+            .collect();
+        assert_eq!(
+            downsample(SeriesKind::Gauge, &pts),
+            Some(PointValue::Gauge(10))
+        );
+
+        let pts = vec![
+            Point {
+                t: 0,
+                value: PointValue::Histogram(sample_hist(&[1, 100])),
+            },
+            Point {
+                t: 1,
+                value: PointValue::Histogram(sample_hist(&[50])),
+            },
+        ];
+        let Some(PointValue::Histogram(m)) = downsample(SeriesKind::Histogram, &pts) else {
+            panic!("expected histogram");
+        };
+        assert_eq!(m.count, 3);
+        assert_eq!(m.sum, 151);
+        assert_eq!(m.min, 1);
+        assert_eq!(m.max, 100);
+        assert_eq!(downsample(SeriesKind::Counter, &[]), None);
+    }
+
+    #[test]
+    fn hist_delta_subtracts_and_detects_reset() {
+        let a = sample_hist(&[10, 20]);
+        let b = sample_hist(&[10, 20, 30, 40]);
+        let d = hist_delta(Some(&a), &b);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 70);
+        // Reset: current count below previous → current is the interval.
+        let d = hist_delta(Some(&b), &a);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 30);
+        // Empty interval keeps the sentinel out of serialized output.
+        let d = hist_delta(Some(&b), &b);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.min, u64::MAX);
+        assert!(point_from_json(&point_to_json(&Point {
+            t: 0,
+            value: PointValue::Histogram(d)
+        }))
+        .is_some());
+    }
+
+    #[test]
+    fn append_flush_query_round_trip() {
+        let dir = tmpdir("roundtrip");
+        let mut store =
+            LtsStore::open(&dir, LtsConfig::default(), LtsCounters::detached()).unwrap();
+        for t in 0..130 {
+            store.append("ticks_total", t, PointValue::Counter(1));
+            store.append("depth", t, PointValue::Gauge(t as i64));
+        }
+        let rep = store.flush().unwrap();
+        assert_eq!(rep.points_written, 260);
+        // Two complete minutes folded per series (windows 0 and 60).
+        assert_eq!(rep.downsampled, 4);
+
+        let reader = LtsReader::open(&dir);
+        let idx = reader.index();
+        assert_eq!(idx.len(), 2);
+        let ticks = idx.iter().find(|i| i.name == "ticks_total").unwrap();
+        let raw = reader.series_points(ticks, Resolution::Raw1s, 0, u64::MAX);
+        assert_eq!(raw.len(), 130);
+        let mins = reader.series_points(ticks, Resolution::Min1, 0, u64::MAX);
+        assert_eq!(mins.len(), 2);
+        assert_eq!(
+            mins[0],
+            Point {
+                t: 0,
+                value: PointValue::Counter(60)
+            }
+        );
+        assert_eq!(
+            mins[1],
+            Point {
+                t: 60,
+                value: PointValue::Counter(60)
+            }
+        );
+        // Gauge minutes keep the last value of each window.
+        let depth = idx.iter().find(|i| i.name == "depth").unwrap();
+        let mins = reader.series_points(depth, Resolution::Min1, 0, u64::MAX);
+        assert_eq!(
+            mins[0],
+            Point {
+                t: 0,
+                value: PointValue::Gauge(59)
+            }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_order_and_kind_mismatch_drop() {
+        let dir = tmpdir("drops");
+        let counters = LtsCounters::detached();
+        let mut store = LtsStore::open(&dir, LtsConfig::default(), counters.clone()).unwrap();
+        store.append("m", 10, PointValue::Counter(1));
+        store.append("m", 10, PointValue::Counter(1)); // duplicate t
+        store.append("m", 5, PointValue::Counter(1)); // goes backwards
+        store.append("m", 11, PointValue::Gauge(1)); // wrong kind
+        assert_eq!(counters.appends.get(), 1);
+        assert_eq!(counters.dropped.get(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sealing_and_hourly_fold() {
+        let dir = tmpdir("seal");
+        let config = LtsConfig {
+            seal_points: 100,
+            retention: LtsRetention {
+                max_age_secs: 0,
+                max_bytes: 0,
+            },
+        };
+        let mut store = LtsStore::open(&dir, config.clone(), LtsCounters::detached()).unwrap();
+        // 2h05m of data: 125 minute-windows complete, 2 hours complete.
+        for t in 0..7500u64 {
+            store.append("c", t, PointValue::Counter(2));
+            if t % 500 == 499 {
+                store.flush().unwrap();
+            }
+        }
+        store.flush().unwrap();
+        let reader = LtsReader::open(&dir);
+        let info = &reader.index()[0];
+        let hours = reader.series_points(info, Resolution::Hour1, 0, u64::MAX);
+        assert_eq!(hours.len(), 2);
+        assert_eq!(
+            hours[0],
+            Point {
+                t: 0,
+                value: PointValue::Counter(7200)
+            }
+        );
+        assert_eq!(
+            hours[1],
+            Point {
+                t: 3600,
+                value: PointValue::Counter(7200)
+            }
+        );
+        // Raw is spread over sealed segments + open tail; reads stitch them.
+        let raw = reader.series_points(info, Resolution::Raw1s, 0, u64::MAX);
+        assert_eq!(raw.len(), 7500);
+        // One seal per flush (each flush's 500-point batch crosses the
+        // 100-point threshold once).
+        let sdir = dir.join("1s").join(&info.slug);
+        assert!(
+            segment_files(&sdir).unwrap().len() >= 10,
+            "expected sealed raw segments"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_resumes_pending_windows() {
+        let dir = tmpdir("reopen");
+        let mut store =
+            LtsStore::open(&dir, LtsConfig::default(), LtsCounters::detached()).unwrap();
+        for t in 0..90 {
+            store.append("g", t, PointValue::Gauge(t as i64));
+        }
+        store.flush().unwrap();
+        drop(store);
+        // Restart mid-minute: the [60,120) window is pending, not lost.
+        let mut store =
+            LtsStore::open(&dir, LtsConfig::default(), LtsCounters::detached()).unwrap();
+        for t in 90..121 {
+            store.append("g", t, PointValue::Gauge(t as i64));
+        }
+        store.flush().unwrap();
+        let reader = LtsReader::open(&dir);
+        let info = &reader.index()[0];
+        let mins = reader.series_points(info, Resolution::Min1, 0, u64::MAX);
+        assert_eq!(mins.len(), 2);
+        assert_eq!(
+            mins[1],
+            Point {
+                t: 60,
+                value: PointValue::Gauge(119)
+            }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_tail_truncates_and_warns() {
+        let dir = tmpdir("corrupt");
+        let mut store =
+            LtsStore::open(&dir, LtsConfig::default(), LtsCounters::detached()).unwrap();
+        for t in 0..5 {
+            store.append("c", t, PointValue::Counter(1));
+        }
+        store.flush().unwrap();
+        let slug = slug_for("c");
+        let open = dir.join("1s").join(&slug).join("open.seg");
+        // Simulate a crash mid-append: torn, newline-less JSON tail.
+        let mut f = OpenOptions::new().append(true).open(&open).unwrap();
+        f.write_all(b"{\"t\":5,\"ki").unwrap();
+        drop(f);
+        let mut store =
+            LtsStore::open(&dir, LtsConfig::default(), LtsCounters::detached()).unwrap();
+        let warnings = store.take_warnings();
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("corrupt tail"));
+        // The torn line is gone from disk; appends continue cleanly.
+        store.append("c", 5, PointValue::Counter(9));
+        store.flush().unwrap();
+        let reader = LtsReader::open(&dir);
+        let pts = reader.series_points(&reader.index()[0], Resolution::Raw1s, 0, u64::MAX);
+        assert_eq!(pts.len(), 6);
+        assert_eq!(
+            pts[5],
+            Point {
+                t: 5,
+                value: PointValue::Counter(9)
+            }
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_by_age_and_size() {
+        let dir = tmpdir("retention");
+        let config = LtsConfig {
+            seal_points: 10,
+            retention: LtsRetention {
+                max_age_secs: 100,
+                max_bytes: 0,
+            },
+        };
+        let mut store = LtsStore::open(&dir, config, LtsCounters::detached()).unwrap();
+        let mut deleted = Vec::new();
+        // Seal a 20-point segment per flush so retention has sealed
+        // files of different ages to work through.
+        for t in 0..300u64 {
+            store.append("c", t, PointValue::Counter(1));
+            if t % 20 == 19 {
+                deleted.extend(store.flush().unwrap().deleted);
+            }
+        }
+        assert!(!deleted.is_empty(), "old sealed segments should be deleted");
+        assert!(deleted.iter().all(|d| d.reason == "age"));
+        let reader = LtsReader::open(&dir);
+        let pts = reader.series_points(&reader.index()[0], Resolution::Raw1s, 0, u64::MAX);
+        // Only segments whose newest point lags the store's newest point
+        // by more than 100s are dropped; segment granularity means the
+        // survivors start at the oldest still-young-enough segment.
+        assert!(
+            pts.iter().all(|p| p.t >= 180),
+            "oldest surviving: {:?}",
+            pts.first()
+        );
+
+        let dir2 = tmpdir("retention-size");
+        let config = LtsConfig {
+            seal_points: 10,
+            retention: LtsRetention {
+                max_age_secs: 0,
+                max_bytes: 2000,
+            },
+        };
+        let mut store = LtsStore::open(&dir2, config, LtsCounters::detached()).unwrap();
+        let mut deleted = Vec::new();
+        for t in 0..300u64 {
+            store.append("c", t, PointValue::Counter(1));
+            if t % 20 == 19 {
+                deleted.extend(store.flush().unwrap().deleted);
+            }
+        }
+        assert!(deleted.iter().any(|d| d.reason == "size"));
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn query_json_is_stable_across_compact_and_reopen() {
+        let dir = tmpdir("stable");
+        let config = LtsConfig {
+            seal_points: 50,
+            retention: LtsRetention {
+                max_age_secs: 0,
+                max_bytes: 0,
+            },
+        };
+        let mut store = LtsStore::open(&dir, config.clone(), LtsCounters::detached()).unwrap();
+        for t in 0..200u64 {
+            store.append(
+                "lat_ns",
+                t,
+                PointValue::Histogram(sample_hist(&[t * 10 + 1])),
+            );
+            store.append("polls_total", t, PointValue::Counter(3));
+            if t % 70 == 69 {
+                store.flush().unwrap();
+            }
+        }
+        store.flush().unwrap();
+        drop(store);
+
+        let reader = LtsReader::open(&dir);
+        let before = reader.query("*", 0, u64::MAX, Resolution::Raw1s);
+        let before_1m = reader.query("*", 0, u64::MAX, Resolution::Min1);
+        assert!(before.contains("\"p50\""));
+
+        // Reopen (restart) changes nothing.
+        let store = LtsStore::open(&dir, config, LtsCounters::detached()).unwrap();
+        drop(store);
+        assert_eq!(reader.query("*", 0, u64::MAX, Resolution::Raw1s), before);
+
+        // Compaction rewrites the files but not the answer.
+        let rep = compact_store(&dir).unwrap();
+        assert!(rep.segments_after <= rep.segments_before);
+        assert_eq!(reader.query("*", 0, u64::MAX, Resolution::Raw1s), before);
+        assert_eq!(reader.query("*", 0, u64::MAX, Resolution::Min1), before_1m);
+
+        // And the compacted store verifies clean.
+        let v = verify_store(&dir).unwrap();
+        assert!(v.issues.is_empty(), "{:?}", v.issues);
+        assert_eq!(v.series, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_flags_problems() {
+        let dir = tmpdir("verify");
+        let mut store =
+            LtsStore::open(&dir, LtsConfig::default(), LtsCounters::detached()).unwrap();
+        store.append("c", 1, PointValue::Counter(1));
+        store.flush().unwrap();
+        let clean = verify_store(&dir).unwrap();
+        assert!(clean.issues.is_empty());
+        assert_eq!(clean.points, 1);
+        // A stray series directory not in the index is flagged.
+        fs::create_dir_all(dir.join("1s/rogue-0000000000000000")).unwrap();
+        let rep = verify_store(&dir).unwrap();
+        assert!(
+            rep.issues.iter().any(|i| i.contains("not in series.idx")),
+            "{:?}",
+            rep.issues
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn registry_sampler_emits_deltas() {
+        let dir = tmpdir("sampler");
+        let reg = Registry::new();
+        let counters = LtsCounters::register_in(&reg);
+        let mut store = LtsStore::open(&dir, LtsConfig::default(), counters).unwrap();
+        let mut sampler = RegistrySampler::new();
+        let c = reg.counter("polls_total");
+        let h = reg.histogram("lat_ns");
+        c.add(5);
+        h.record(100);
+        sampler.sample(&reg, &mut store, 10);
+        c.add(3);
+        h.record(200);
+        h.record(300);
+        sampler.sample(&reg, &mut store, 11);
+        store.flush().unwrap();
+        let reader = LtsReader::open(&dir);
+        let idx = reader.index();
+        let polls = idx.iter().find(|i| i.name == "polls_total").unwrap();
+        let pts = reader.series_points(polls, Resolution::Raw1s, 0, u64::MAX);
+        assert_eq!(pts[0].value, PointValue::Counter(5));
+        assert_eq!(pts[1].value, PointValue::Counter(3));
+        let lat = idx.iter().find(|i| i.name == "lat_ns").unwrap();
+        let pts = reader.series_points(lat, Resolution::Raw1s, 0, u64::MAX);
+        let PointValue::Histogram(ref d) = pts[1].value else {
+            panic!()
+        };
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 500);
+        // The store's own instrumentation is in the registry it samples.
+        assert!(idx.iter().any(|i| i.name == "netqos_lts_appends_total"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn range_parsing() {
+        assert_eq!(parse_range("10:20"), Some((10, 20)));
+        assert_eq!(parse_range("10:"), Some((10, u64::MAX)));
+        assert_eq!(parse_range(":20"), Some((0, 20)));
+        assert_eq!(parse_range(":"), Some((0, u64::MAX)));
+        assert_eq!(parse_range("20:10"), None);
+        assert_eq!(parse_range("abc"), None);
+    }
+}

@@ -123,7 +123,7 @@ fn bucket_index(v: u64) -> usize {
 }
 
 /// Inclusive lower bound of bucket `i`.
-fn bucket_low(i: usize) -> u64 {
+pub(crate) fn bucket_low(i: usize) -> u64 {
     if i < LINEAR as usize {
         i as u64
     } else {
@@ -134,7 +134,7 @@ fn bucket_low(i: usize) -> u64 {
 }
 
 /// Inclusive upper bound of bucket `i` (the Prometheus `le` boundary).
-fn bucket_high(i: usize) -> u64 {
+pub(crate) fn bucket_high(i: usize) -> u64 {
     if i + 1 < BUCKETS {
         bucket_low(i + 1) - 1
     } else {

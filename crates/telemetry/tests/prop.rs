@@ -4,9 +4,9 @@
 //! persistence (JSON round trips preserve quantiles).
 
 use netqos_telemetry::{
-    baselines_from_json, baselines_to_json, AlertContext, AlertEngine, AlertRule, AlertScope,
-    AlertSeverity, CmpOp, Histogram, QuantileBaseline, Registry, SampleConfig, SampleDecision,
-    Sampler, Shard, ShardRegistry,
+    baselines_from_json, baselines_to_json, downsample, AlertContext, AlertEngine, AlertRule,
+    AlertScope, AlertSeverity, CmpOp, Histogram, Point, PointValue, QuantileBaseline, Registry,
+    SampleConfig, SampleDecision, Sampler, SeriesKind, Shard, ShardRegistry,
 };
 use proptest::prelude::*;
 
@@ -363,6 +363,80 @@ proptest! {
         }
         for &probe in &[samples[0], samples[samples.len() / 2], 0, u64::MAX / 2] {
             prop_assert!((r.rank(probe) - b.rank(probe)).abs() < 1e-12);
+        }
+    }
+
+    /// Long-term store downsampling: folding raw 1s histogram points
+    /// into 1m windows and those into 1h windows preserves the total
+    /// sample count exactly, and the coarse series' p50/p99 bracket the
+    /// raw series' quantiles within the histogram's bucket error — no
+    /// information about the distribution is lost beyond bucketing.
+    #[test]
+    fn lts_downsampling_preserves_count_and_quantiles(
+        per_second in prop::collection::vec(
+            prop::collection::vec(1u64..50_000_000, 0..6),
+            61..200,
+        ),
+    ) {
+        // One histogram delta state per second (the shape the registry
+        // sampler appends at 1s resolution).
+        let mut raw = Vec::new();
+        let mut all_samples: Vec<u64> = Vec::new();
+        for (t, batch) in per_second.iter().enumerate() {
+            let h = Histogram::new();
+            for &v in batch {
+                h.record(v);
+            }
+            all_samples.extend_from_slice(batch);
+            raw.push(Point { t: t as u64, value: PointValue::Histogram(h.to_state()) });
+        }
+
+        // Fold a fine series into `window`-second buckets the way the
+        // store does: group by window start, merge with `downsample`.
+        let fold = |points: &[Point], window: u64| -> Vec<Point> {
+            let mut grouped: std::collections::BTreeMap<u64, Vec<Point>> = Default::default();
+            for p in points {
+                grouped.entry(p.t / window * window).or_default().push(p.clone());
+            }
+            grouped
+                .into_iter()
+                .filter_map(|(t, w)| {
+                    downsample(SeriesKind::Histogram, &w).map(|value| Point { t, value })
+                })
+                .collect()
+        };
+        let minutes = fold(&raw, 60);
+        let hours = fold(&minutes, 3600);
+
+        let total = |points: &[Point]| -> u64 {
+            points
+                .iter()
+                .map(|p| match &p.value {
+                    PointValue::Histogram(h) => h.count,
+                    _ => 0,
+                })
+                .sum()
+        };
+        prop_assert_eq!(total(&minutes), all_samples.len() as u64);
+        prop_assert_eq!(total(&hours), all_samples.len() as u64);
+
+        // Quantiles of the fully-merged coarse series bracket the raw
+        // distribution's: bucket-wise merging is lossless, so the only
+        // error is the histogram's own bucketing.
+        if !all_samples.is_empty() {
+            let merged = Histogram::new();
+            for p in &hours {
+                if let PointValue::Histogram(h) = &p.value {
+                    merged.merge_from(&Histogram::from_state(h));
+                }
+            }
+            let mut sorted = all_samples.clone();
+            sorted.sort_unstable();
+            for q in [0.5, 0.99] {
+                assert_close(merged.quantile(q), exact_quantile(&sorted, q), q);
+            }
+            prop_assert_eq!(merged.min(), sorted[0]);
+            prop_assert_eq!(merged.max(), *sorted.last().unwrap());
         }
     }
 }

@@ -17,8 +17,14 @@
 //!                       [--alert-rules PATH] load alert rules (atop builtins)
 //!                       [--alert-webhook URL] POST alert transitions
 //!                       [--baseline-state PATH]  restore/save baselines
+//!                       [--baseline-save-ticks N]  save/flush cadence
+//!                       [--lts DIR]          long-term stats store + /query
 //! netqos federate <spec>... [--duration N]   run one shard per spec file behind
 //!                       [--serve ADDR]       a merged /metrics /healthz /snapshot
+//!                       [--lts DIR]          per-shard stores under DIR/<shard>
+//! netqos lts     info|verify|compact DIR     inspect / check / rewrite a store
+//! netqos lts     query DIR [--series SEL]    query a store offline
+//!                       [--range A:B] [--step 1s|1m|1h]
 //! netqos alerts  <rules> | --builtin         lint an alert rules file / list
 //!                                            the built-in rules
 //! netqos stats   <spec> [--duration N]       run quietly, print Prometheus metrics
@@ -56,6 +62,7 @@ fn main() -> ExitCode {
         "paths" => cmd_paths(&args[1..]),
         "monitor" => cmd_monitor(&args[1..]),
         "federate" => cmd_federate(&args[1..]),
+        "lts" => cmd_lts(&args[1..]),
         "alerts" => cmd_alerts(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
@@ -103,8 +110,18 @@ const USAGE: &str = "usage:
                                              (JSON) to http://host:port/path
                         [--baseline-state PATH]  restore baselines from PATH at
                                              start, save them back on exit
+                        [--baseline-save-ticks N]  ticks between baseline saves
+                                             and long-term store flushes
+                                             (default 60)
+                        [--lts DIR]          keep a long-term stats store under
+                                             DIR: every tick samples the
+                                             registry and per-path QoS signals
+                                             at 1s resolution (downsampled to
+                                             1m/1h); --serve gains GET /query
   netqos federate <spec> <spec>... [--duration N] [--serve ADDR] [--pace-ms MS]
                         [--trace-sample N] [--trace-adaptive] [--alert-rules PATH]
+                        [--lts DIR]          per-shard stores under DIR/<shard>;
+                                             /query?shard=NAME serves them
                                              run one monitoring shard per spec
                                              file (threads) behind one merged
                                              export plane: /metrics carries
@@ -125,7 +142,16 @@ const USAGE: &str = "usage:
                                              trace_event JSON (or OTLP/JSON) on stdout
   netqos flight  show  PATH.jsonl            summarize a snapshot's cycles
   netqos flight  check PATH                  validate a Chrome trace or OTLP/JSON
-                                             export; nonzero exit on failure";
+                                             export; nonzero exit on failure
+  netqos lts     info    DIR                 summarize a long-term store (series,
+                                             segments, points, bytes)
+  netqos lts     verify  DIR                 check store invariants; nonzero exit
+                                             and one line per issue on failure
+  netqos lts     compact DIR                 rewrite each series into one segment
+                                             per resolution (offline only)
+  netqos lts     query   DIR [--series SEL] [--range START:END] [--step 1s|1m|1h]
+                                             print the same JSON GET /query
+                                             serves (SEL takes * wildcards)";
 
 fn read_spec(args: &[String]) -> Result<(String, String), String> {
     let path = args
@@ -231,6 +257,8 @@ struct MonitorOptions {
     alert_rules: Option<PathBuf>,
     alert_webhook: Option<String>,
     baseline_state: Option<PathBuf>,
+    baseline_save_ticks: Option<u64>,
+    lts: Option<PathBuf>,
 }
 
 fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
@@ -248,6 +276,8 @@ fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
         alert_rules: None,
         alert_webhook: None,
         baseline_state: None,
+        baseline_save_ticks: None,
+        lts: None,
     };
     let mut i = 1;
     while i < args.len() {
@@ -336,6 +366,21 @@ fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
                     args.get(i).ok_or("--baseline-state needs a file path")?,
                 ));
             }
+            "--baseline-save-ticks" => {
+                i += 1;
+                opts.baseline_save_ticks = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|n| *n > 0)
+                        .ok_or("--baseline-save-ticks needs a positive tick count")?,
+                );
+            }
+            "--lts" => {
+                i += 1;
+                opts.lts = Some(PathBuf::from(
+                    args.get(i).ok_or("--lts needs a directory path")?,
+                ));
+            }
             other => return Err(format!("unknown option `{other}`\n{USAGE}")),
         }
         i += 1;
@@ -373,6 +418,10 @@ fn apply_service_options(
         config.otlp_push_delta = true;
     }
     config.baseline_state = opts.baseline_state.clone();
+    if let Some(n) = opts.baseline_save_ticks {
+        config.baseline_save_ticks = n;
+    }
+    config.lts_dir = opts.lts.clone();
     Ok(config)
 }
 
@@ -470,12 +519,21 @@ fn start_serve_plane(
     // The loop must be quiet for several paced ticks (or 2 s, whichever
     // is larger) before /healthz reports stale.
     live.set_stale_after_ns((opts.pace_ms.saturating_mul(10_000_000)).max(2_000_000_000));
-    let router = netqos::monitor::live::build_router(service.registry().clone(), live.clone());
+    // /query reads the long-term store straight from disk, so the
+    // handler threads never touch the service.
+    let reader = match &opts.lts {
+        Some(dir) if service.lts_enabled() => Some(netqos_telemetry::LtsReader::open(dir)),
+        _ => None,
+    };
+    let has_query = reader.is_some();
+    let router =
+        netqos::monitor::live::build_router(service.registry().clone(), live.clone(), reader);
     let server = netqos_telemetry::HttpServer::serve(addr.as_str(), router)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     eprintln!(
-        "serving http://{}/ (metrics, healthz, snapshot, alerts)",
-        server.local_addr()
+        "serving http://{}/ (metrics, healthz, snapshot, alerts{})",
+        server.local_addr(),
+        if has_query { ", query" } else { "" }
     );
     Ok(Some(ServePlane { server, live }))
 }
@@ -578,6 +636,9 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
     if let Some(warning) = service.baseline_load_warning() {
         eprintln!("netqos: baseline state ignored: {warning}");
     }
+    if let Some(warning) = service.lts_open_warning() {
+        eprintln!("netqos: {warning}");
+    }
     if wants_tracing(&opts) {
         service.set_tracing(true);
     }
@@ -626,6 +687,14 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         eprintln!(
             "baseline state saved to {}",
             opts.baseline_state.as_ref().unwrap().display()
+        );
+    }
+    // Final long-term store flush so the run's tail is on disk (and
+    // queryable by `netqos lts` / the next run) before exit.
+    if service.flush_lts().is_some() {
+        eprintln!(
+            "long-term stats flushed to {}",
+            opts.lts.as_ref().unwrap().display()
         );
     }
     if let Some(prefix) = &opts.telemetry {
@@ -733,6 +802,10 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
             alert_rules: opts.alert_rules.clone(),
             alert_webhook: None,
             baseline_state: None,
+            baseline_save_ticks: opts.baseline_save_ticks,
+            // Each shard keeps its own store under DIR/<shard>, the
+            // same layout the federated /query?shard=NAME reads.
+            lts: opts.lts.as_ref().map(|d| d.join(&name)),
         };
         let worker = std::thread::Builder::new()
             .name(format!("netqos-shard-{name}"))
@@ -779,6 +852,7 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
                         std::thread::sleep(std::time::Duration::from_millis(shard_opts.pace_ms));
                     }
                 }
+                service.flush_lts();
                 service.live().mark_finished();
                 Ok((name, service.telemetry().ticks.get(), violations))
             })
@@ -793,8 +867,13 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
     for handles in handle_rx {
         match handles {
             Ok((name, registry, live)) => {
-                fed.register(netqos::monitor::live::shard_for(name, registry, live))
-                    .map_err(|e| e.to_string())?;
+                let mut shard = netqos::monitor::live::shard_for(name.clone(), registry, live);
+                if let Some(root) = &opts.lts {
+                    let reader = netqos_telemetry::LtsReader::open(root.join(&name));
+                    shard = shard
+                        .with_query(move |req| netqos::monitor::live::query_response(&reader, req));
+                }
+                fed.register(shard).map_err(|e| e.to_string())?;
             }
             Err(e) => startup_errors.push(e),
         }
@@ -968,6 +1047,9 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     if let Some(warning) = service.baseline_load_warning() {
         eprintln!("netqos: baseline state ignored: {warning}");
     }
+    if let Some(warning) = service.lts_open_warning() {
+        eprintln!("netqos: {warning}");
+    }
     service.set_tracing(true);
     let mut violations = 0usize;
     for _ in 0..opts.duration {
@@ -1006,6 +1088,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     println!("jsonl:  {}", paths.jsonl.display());
     println!("chrome: {}", paths.chrome.display());
     println!("otlp:   {}", paths.otlp.display());
+    service.flush_lts();
     if service
         .persist_baselines()
         .map_err(|e| format!("cannot save baseline state: {e}"))?
@@ -1104,4 +1187,110 @@ fn validate_trace_file(
     src: &str,
 ) -> Result<netqos_telemetry::ChromeTraceStats, String> {
     netqos_telemetry::validate_chrome_trace(src).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Offline tools for a long-term stats store: `info` summarizes it,
+/// `verify` checks its invariants (CI-friendly nonzero exit), `compact`
+/// rewrites every series into one canonical segment per resolution, and
+/// `query` prints the same JSON document the live `GET /query` serves.
+fn cmd_lts(args: &[String]) -> Result<(), String> {
+    let sub = args
+        .first()
+        .ok_or_else(|| format!("missing lts subcommand\n{USAGE}"))?;
+    let dir = args
+        .get(1)
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("missing DIR argument\n{USAGE}"))?;
+    match sub.as_str() {
+        "info" => {
+            let reader = netqos_telemetry::LtsReader::open(&dir);
+            let index = reader.index();
+            let report = netqos_telemetry::verify_store(&dir)
+                .map_err(|e| format!("{}: {e}", dir.display()))?;
+            println!(
+                "{}: {} series, {} segment(s), {} point(s), {} bytes",
+                dir.display(),
+                index.len(),
+                report.segments,
+                report.points,
+                report.bytes
+            );
+            for info in &index {
+                println!("  {:<9} {}", info.kind.as_str(), info.name);
+            }
+            if !report.issues.is_empty() {
+                eprintln!("{} issue(s) — run `netqos lts verify`", report.issues.len());
+            }
+            Ok(())
+        }
+        "verify" => {
+            let report = netqos_telemetry::verify_store(&dir)
+                .map_err(|e| format!("{}: {e}", dir.display()))?;
+            for issue in &report.issues {
+                eprintln!("{}: {issue}", dir.display());
+            }
+            if report.issues.is_empty() {
+                println!(
+                    "{}: OK — {} series, {} segment(s), {} point(s), {} bytes",
+                    dir.display(),
+                    report.series,
+                    report.segments,
+                    report.points,
+                    report.bytes
+                );
+                Ok(())
+            } else {
+                Err(format!(
+                    "{}: {} issue(s) found",
+                    dir.display(),
+                    report.issues.len()
+                ))
+            }
+        }
+        "compact" => {
+            let report = netqos_telemetry::compact_store(&dir)
+                .map_err(|e| format!("{}: {e}", dir.display()))?;
+            println!(
+                "{}: {} -> {} segment(s), {} -> {} bytes",
+                dir.display(),
+                report.segments_before,
+                report.segments_after,
+                report.bytes_before,
+                report.bytes_after
+            );
+            Ok(())
+        }
+        "query" => {
+            let mut selector = String::from("*");
+            let mut range = String::from(":");
+            let mut step = String::from("1s");
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--series" => {
+                        i += 1;
+                        selector = args.get(i).ok_or("--series needs a selector")?.clone();
+                    }
+                    "--range" => {
+                        i += 1;
+                        range = args.get(i).ok_or("--range needs START:END")?.clone();
+                    }
+                    "--step" => {
+                        i += 1;
+                        step = args.get(i).ok_or("--step needs 1s, 1m or 1h")?.clone();
+                    }
+                    other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+                }
+                i += 1;
+            }
+            let (start, end) = netqos_telemetry::parse_range(&range)
+                .ok_or_else(|| format!("bad --range `{range}` (expected START:END)"))?;
+            let res = netqos_telemetry::Resolution::parse(&step)
+                .ok_or_else(|| format!("bad --step `{step}` (expected 1s, 1m or 1h)"))?;
+            let reader = netqos_telemetry::LtsReader::open(&dir);
+            println!("{}", reader.query(&selector, start, end, res));
+            Ok(())
+        }
+        other => Err(format!("unknown lts subcommand `{other}`\n{USAGE}")),
+    }
 }

@@ -144,7 +144,7 @@ fn trunk_overload_fires_diagnosed_alert_end_to_end() {
     assert!(fired_at >= 2, "hysteresis cannot fire on the first tick");
 
     // GET /alerts names the rule, the path, and the true bottleneck.
-    let router = build_router(svc.registry().clone(), svc.live().clone());
+    let router = build_router(svc.registry().clone(), svc.live().clone(), None);
     let server = HttpServer::serve("127.0.0.1:0", router).expect("bind ephemeral port");
     let addr = server.local_addr().to_string();
     let (status, body) = http_get(&addr, "/alerts");

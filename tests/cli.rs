@@ -398,3 +398,57 @@ fn monitor_telemetry_flag_writes_prom_and_jsonl() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn lts_subcommand_round_trip() {
+    let dir = std::env::temp_dir().join(format!("netqos-cli-lts-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("store");
+
+    // A monitor run leaves a store behind...
+    let out = run(&[
+        "monitor",
+        "specs/two-switch.spec",
+        "--duration",
+        "8",
+        "--lts",
+        store.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("long-term stats flushed"), "{stderr}");
+
+    // ...that info summarizes, verify blesses, and query reads.
+    let out = run(&["lts", "info", store.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("netqos_monitor_ticks_total"), "{stdout}");
+
+    let out = run(&["lts", "verify", store.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("OK"));
+
+    let query = [
+        "lts",
+        "query",
+        store.to_str().unwrap(),
+        "--series",
+        "netqos_monitor_ticks_total",
+        "--step",
+        "1s",
+    ];
+    let out = run(&query);
+    assert!(out.status.success(), "{out:?}");
+    let before = String::from_utf8(out.stdout).unwrap();
+    assert!(before.contains("\"points\":[["), "{before}");
+
+    // Compaction changes the layout, not one byte of the answers.
+    let out = run(&["lts", "compact", store.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let out = run(&query);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(String::from_utf8(out.stdout).unwrap(), before);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

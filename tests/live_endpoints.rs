@@ -48,7 +48,7 @@ fn in_process_router_serves_all_endpoints() {
     let mut svc = MonitoringService::from_model(model, options, ServiceConfig::default()).unwrap();
     svc.run_ticks(4).unwrap();
 
-    let router = build_router(svc.registry().clone(), svc.live().clone());
+    let router = build_router(svc.registry().clone(), svc.live().clone(), None);
     let server = HttpServer::serve("127.0.0.1:0", router).expect("bind ephemeral port");
     let addr = server.local_addr().to_string();
 
@@ -148,7 +148,7 @@ fn snapshot_sse_streams_one_event_per_tick() {
         ..SimNetworkOptions::default()
     };
     let mut svc = MonitoringService::from_model(model, options, ServiceConfig::default()).unwrap();
-    let router = build_router(svc.registry().clone(), svc.live().clone());
+    let router = build_router(svc.registry().clone(), svc.live().clone(), None);
     let server = HttpServer::serve("127.0.0.1:0", router).expect("bind ephemeral port");
     let addr = server.local_addr().to_string();
 

@@ -1,0 +1,198 @@
+//! Integration coverage for the long-term stats plane: a monitor run
+//! with `lts_dir` set leaves a store behind whose `/query` answers are
+//! byte-identical across a process restart and across `netqos lts
+//! compact` — the durability contract the whole subsystem hangs on.
+
+use netqos::monitor::live::{build_router, query_response};
+use netqos::monitor::service::{MonitoringService, ServiceConfig};
+use netqos::monitor::simnet::SimNetworkOptions;
+use netqos_telemetry::{
+    compact_store, parse_json, verify_store, HttpRequest, HttpRoute, JsonValue, LtsReader,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const SPEC: &str = include_str!("../specs/two-switch.spec");
+
+fn tmpdir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "netqos-lts-it-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn service_with_lts(dir: &std::path::Path) -> MonitoringService {
+    let model = netqos::spec::parse_and_validate(SPEC).unwrap();
+    let options = SimNetworkOptions {
+        monitor_host: "console".into(),
+        ..SimNetworkOptions::default()
+    };
+    let config = ServiceConfig {
+        lts_dir: Some(dir.to_path_buf()),
+        // Flush every 5 ticks so the run exercises the cadence path, not
+        // just the final explicit flush.
+        baseline_save_ticks: 5,
+        ..ServiceConfig::default()
+    };
+    MonitoringService::from_model(model, options, config).unwrap()
+}
+
+fn get_query(reader: &LtsReader, query: &str) -> (u16, String) {
+    let req = HttpRequest {
+        method: "GET".into(),
+        path: "/query".into(),
+        query: query.into(),
+        accept: String::new(),
+    };
+    let resp = query_response(reader, &req);
+    (resp.status, resp.body)
+}
+
+#[test]
+fn query_is_identical_across_restart_and_compact() {
+    let dir = tmpdir("restart");
+
+    // First run: 17 ticks (three cadence flushes plus a tail) and an
+    // explicit final flush, like the CLI at exit.
+    let mut svc = service_with_lts(&dir);
+    assert!(svc.lts_enabled(), "store must open");
+    svc.run_ticks(17).unwrap();
+    svc.flush_lts().expect("final flush");
+
+    let reader = LtsReader::open(&dir);
+    let queries = [
+        "series=*&range=:&step=1s",
+        "series=netqos_monitor_ticks_total&range=:&step=1s",
+        "series=netqos_path_*&range=:&step=1s",
+        "series=*&range=:&step=1m",
+        "series=*&range=:&step=1h",
+    ];
+    let before: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            let (status, body) = get_query(&reader, q);
+            assert_eq!(status, 200, "{q}: {body}");
+            body
+        })
+        .collect();
+
+    // The run actually recorded something: the self-instrumented tick
+    // counter series has one delta point per tick.
+    let doc = parse_json(&before[1]).unwrap();
+    let series = doc.get("series").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(series.len(), 1, "{}", before[1]);
+    let points = series[0]
+        .get("points")
+        .and_then(JsonValue::as_array)
+        .unwrap();
+    assert_eq!(points.len(), 17, "one delta point per tick");
+    // And the per-path QoS signals were sampled too.
+    assert!(
+        before[2].contains("netqos_path_used_bps{path="),
+        "{}",
+        before[2]
+    );
+
+    // Restart: a fresh process opening the same store (recovery path
+    // included) must answer every query byte-for-byte identically.
+    drop(svc);
+    let svc2 = service_with_lts(&dir);
+    assert!(svc2.lts_enabled());
+    assert_eq!(svc2.lts_open_warning(), None, "clean store, no recovery");
+    drop(svc2);
+    let reader2 = LtsReader::open(&dir);
+    for (q, b) in queries.iter().zip(&before) {
+        let (status, body) = get_query(&reader2, q);
+        assert_eq!(status, 200);
+        assert_eq!(&body, b, "{q} diverged across restart");
+    }
+
+    // Compact: rewriting every series into one canonical segment per
+    // resolution must not change a single response byte either.
+    let report = compact_store(&dir).unwrap();
+    assert!(report.segments_after <= report.segments_before);
+    for (q, b) in queries.iter().zip(&before) {
+        let (status, body) = get_query(&reader2, q);
+        assert_eq!(status, 200);
+        assert_eq!(&body, b, "{q} diverged across compact");
+    }
+    let verify = verify_store(&dir).unwrap();
+    assert!(verify.issues.is_empty(), "{:?}", verify.issues);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn router_serves_query_and_rejects_bad_params() {
+    let dir = tmpdir("router");
+    let mut svc = service_with_lts(&dir);
+    svc.run_ticks(3).unwrap();
+    svc.flush_lts().unwrap();
+
+    let router = build_router(
+        svc.registry().clone(),
+        svc.live().clone(),
+        Some(LtsReader::open(&dir)),
+    );
+    let get = |query: &str| -> (u16, String) {
+        let req = HttpRequest {
+            method: "GET".into(),
+            path: "/query".into(),
+            query: query.into(),
+            accept: String::new(),
+        };
+        match router(&req) {
+            Some(HttpRoute::Response(r)) => (r.status, r.body),
+            _ => panic!("expected buffered response"),
+        }
+    };
+
+    // Defaults (series=*, range=:, step=1s) return a parseable document
+    // with at least the self-instrumented store metrics.
+    let (status, body) = get("");
+    assert_eq!(status, 200);
+    let doc = parse_json(&body).unwrap();
+    assert_eq!(doc.get("step").and_then(JsonValue::as_str), Some("1s"));
+    assert!(body.contains("netqos_lts_appends_total"), "{body}");
+
+    // Malformed parameters are 400s with JSON bodies, not panics.
+    let (status, body) = get("range=nonsense");
+    assert_eq!(status, 400, "{body}");
+    assert!(parse_json(&body).is_ok());
+    let (status, body) = get("step=5m");
+    assert_eq!(status, 400, "{body}");
+
+    // Without a store the endpoint exists but answers 404.
+    let bare = build_router(svc.registry().clone(), svc.live().clone(), None);
+    let req = HttpRequest {
+        method: "GET".into(),
+        path: "/query".into(),
+        query: String::new(),
+        accept: String::new(),
+    };
+    match bare(&req) {
+        Some(HttpRoute::Response(r)) => assert_eq!(r.status, 404, "{}", r.body),
+        _ => panic!("expected response"),
+    }
+    // The index only advertises /query when a store is attached.
+    let index = HttpRequest {
+        method: "GET".into(),
+        path: "/".into(),
+        query: String::new(),
+        accept: String::new(),
+    };
+    match router(&index) {
+        Some(HttpRoute::Response(r)) => assert!(r.body.contains("/query"), "{}", r.body),
+        _ => panic!("expected response"),
+    }
+    match bare(&index) {
+        Some(HttpRoute::Response(r)) => assert!(!r.body.contains("/query"), "{}", r.body),
+        _ => panic!("expected response"),
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
