@@ -1,0 +1,100 @@
+//! Criterion benches for the PromQL-subset query plane's two hot paths:
+//! a `rate()` instant evaluation over an hour of 1s counter points (the
+//! cost a dashboard refresh pays against one store) and a cross-shard
+//! `query_range` through the federation engine (the cost the fleet view
+//! pays, fan-out and JSON rendering included). `cargo run --release -p
+//! netqos-bench --bin query_bench` produces the checked-in
+//! `BENCH_query.json` from the same workloads.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use netqos_telemetry::{
+    HttpRequest, LtsConfig, LtsCounters, LtsReader, LtsSource, LtsStore, PointValue, QueryEngine,
+    Resolution, SeriesSource, Shard, ShardRegistry,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SERIES: usize = 16;
+const STORE_TICKS: u64 = 3_600;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("netqos-query-bench-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A store holding an hour of 1s counter points per series, flushed so
+/// every point is on disk at all resolutions.
+fn loaded_store(tag: &str) -> PathBuf {
+    let dir = fresh_dir(tag);
+    let mut store = LtsStore::open(&dir, LtsConfig::default(), LtsCounters::detached()).unwrap();
+    for t in 0..STORE_TICKS {
+        for i in 0..SERIES {
+            store.append(
+                &format!("bench_series_{i}_total"),
+                t,
+                PointValue::Counter(t % 17),
+            );
+        }
+        if t % 500 == 499 {
+            store.flush().unwrap();
+        }
+    }
+    store.flush().unwrap();
+    dir
+}
+
+fn bench_rate_instant(c: &mut Criterion) {
+    let dir = loaded_store("rate");
+    let engine = QueryEngine::new().with_source(
+        None,
+        Arc::new(LtsSource::new(LtsReader::open(&dir))) as Arc<dyn SeriesSource>,
+    );
+    let mut group = c.benchmark_group("query");
+    group.bench_function("rate_1h_of_1s_one_series", |b| {
+        b.iter(|| {
+            black_box(
+                engine
+                    .instant(
+                        black_box("rate(bench_series_0_total[3600])"),
+                        STORE_TICKS,
+                        Resolution::Raw1s,
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_cross_shard_range(c: &mut Criterion) {
+    let dirs = [loaded_store("shard-a"), loaded_store("shard-b")];
+    let fed = ShardRegistry::new();
+    for (name, dir) in ["north", "south"].iter().zip(&dirs) {
+        let shard = Shard::metrics_only(*name, netqos_telemetry::Registry::new())
+            .with_promql(Arc::new(LtsSource::new(LtsReader::open(dir))));
+        fed.register(shard).unwrap();
+    }
+    let req = HttpRequest {
+        method: "GET".into(),
+        path: "/api/v1/query_range".into(),
+        query: format!("query=rate(bench_series_0_total[60])&start=60&end={STORE_TICKS}&step=60"),
+        accept: String::new(),
+    };
+    let mut group = c.benchmark_group("query");
+    group.bench_function("cross_shard_query_range_1h_step60", |b| {
+        b.iter(|| {
+            let resp = fed.promql_response(black_box(&req), true);
+            assert_eq!(resp.status, 200);
+            black_box(resp.body.len())
+        })
+    });
+    group.finish();
+    for dir in &dirs {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+criterion_group!(benches, bench_rate_instant, bench_cross_shard_range);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Measures the PromQL-subset query plane with plain wall-clock timing
+//! and writes the results as `BENCH_query.json` (repo root when run from
+//! there, else the current directory). Two workloads, mirroring
+//! `benches/query.rs`: `rate()` instant evaluations over an hour of 1s
+//! counter points (reported as evals/s), and cross-shard `query_range`
+//! requests through the federation engine (reported as latency
+//! percentiles, fan-out and JSON rendering included). Regenerate with
+//! `cargo run --release -p netqos-bench --bin query_bench`.
+
+use netqos_telemetry::{
+    HttpRequest, LtsConfig, LtsCounters, LtsReader, LtsSource, LtsStore, PointValue, QueryEngine,
+    Resolution, SeriesSource, Shard, ShardRegistry,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SERIES: usize = 16;
+const STORE_TICKS: u64 = 3_600;
+const RATE_ITERS: u32 = 400;
+const RANGE_ITERS: u32 = 200;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("netqos-query-bench-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// A store holding an hour of 1s counter points per series, flushed so
+/// every point is on disk at all resolutions.
+fn loaded_store(tag: &str) -> PathBuf {
+    let dir = fresh_dir(tag);
+    let mut store = LtsStore::open(&dir, LtsConfig::default(), LtsCounters::detached()).unwrap();
+    for t in 0..STORE_TICKS {
+        for i in 0..SERIES {
+            store.append(
+                &format!("bench_series_{i}_total"),
+                t,
+                PointValue::Counter(t % 17),
+            );
+        }
+        if t % 500 == 499 {
+            store.flush().unwrap();
+        }
+    }
+    store.flush().unwrap();
+    dir
+}
+
+/// Latency percentiles over repeated runs of `f`, in nanoseconds.
+fn time_iters(iters: u32, mut f: impl FnMut() -> usize) -> (u128, u128, u128, usize) {
+    let mut samples = Vec::with_capacity(iters as usize);
+    let mut bytes = 0;
+    for _ in 0..iters {
+        let start = Instant::now();
+        bytes = f();
+        samples.push(start.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    let at = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+    (at(0.5), at(0.99), *samples.last().unwrap(), bytes)
+}
+
+fn main() {
+    // rate() over an hour of 1s points against a single store.
+    let dir = loaded_store("rate");
+    let engine = QueryEngine::new().with_source(
+        None,
+        Arc::new(LtsSource::new(LtsReader::open(&dir))) as Arc<dyn SeriesSource>,
+    );
+    let start = Instant::now();
+    for _ in 0..RATE_ITERS {
+        engine
+            .instant(
+                "rate(bench_series_0_total[3600])",
+                STORE_TICKS,
+                Resolution::Raw1s,
+            )
+            .expect("rate eval");
+    }
+    let rate_elapsed = start.elapsed();
+    let rate_evals_per_sec = RATE_ITERS as f64 / rate_elapsed.as_secs_f64();
+    let (rate_p50, rate_p99, rate_max, _) = time_iters(RATE_ITERS, || {
+        engine
+            .instant(
+                "rate(bench_series_0_total[3600])",
+                STORE_TICKS,
+                Resolution::Raw1s,
+            )
+            .expect("rate eval")
+            .to_api_json()
+            .len()
+    });
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Cross-shard query_range through the federation engine: two shards,
+    // each backed by its own store, rate() at step 60 over the hour.
+    let dirs = [loaded_store("shard-a"), loaded_store("shard-b")];
+    let fed = ShardRegistry::new();
+    for (name, dir) in ["north", "south"].iter().zip(&dirs) {
+        let shard = Shard::metrics_only(*name, netqos_telemetry::Registry::new())
+            .with_promql(Arc::new(LtsSource::new(LtsReader::open(dir))));
+        fed.register(shard).unwrap();
+    }
+    let req = HttpRequest {
+        method: "GET".into(),
+        path: "/api/v1/query_range".into(),
+        query: format!("query=rate(bench_series_0_total[60])&start=60&end={STORE_TICKS}&step=60"),
+        accept: String::new(),
+    };
+    let (range_p50, range_p99, range_max, range_bytes) = time_iters(RANGE_ITERS, || {
+        let resp = fed.promql_response(&req, true);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        resp.body.len()
+    });
+    for dir in &dirs {
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    let doc = format!(
+        "{{\n  \"bench\": \"query\",\n  \"store_ticks\": {STORE_TICKS},\n  \"series\": {SERIES},\n  \"rate_instant_1h_raw1s\": {{\n    \"iters\": {RATE_ITERS},\n    \"evals_per_sec\": {rate_evals_per_sec:.0},\n    \"p50_ns\": {rate_p50},\n    \"p99_ns\": {rate_p99},\n    \"max_ns\": {rate_max}\n  }},\n  \"cross_shard_query_range_step60\": {{\n    \"shards\": 2,\n    \"iters\": {RANGE_ITERS},\n    \"p50_ns\": {range_p50},\n    \"p99_ns\": {range_p99},\n    \"max_ns\": {range_max},\n    \"body_bytes\": {range_bytes}\n  }}\n}}\n"
+    );
+    print!("{doc}");
+    std::fs::write("BENCH_query.json", &doc).expect("write BENCH_query.json");
+    eprintln!("wrote BENCH_query.json");
+}

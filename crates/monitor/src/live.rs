@@ -27,13 +27,14 @@
 //! can sit behind one merged export surface (`netqos federate`).
 
 use netqos_telemetry::{
-    json_escape, parse_range, EventSource, HttpRequest, HttpResponse, HttpRoute, LtsReader,
-    Registry, Resolution, Router, Shard, ShardHealth,
+    api_query_response, fields, json_escape, parse_range, EventSink, EventSource, HttpRequest,
+    HttpResponse, HttpRoute, Level, LtsReader, LtsSource, QueryEngine, Registry, RegistrySource,
+    Resolution, Router, SeriesSource, Shard, ShardHealth,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Nanoseconds since the Unix epoch, saturating (never panics even on a
 /// pre-1970 clock).
@@ -274,23 +275,97 @@ pub fn query_response(reader: &LtsReader, req: &HttpRequest) -> HttpResponse {
     HttpResponse::json(200, body)
 }
 
+/// A `/api/v1/query` evaluation slower than this is worth a JSONL
+/// event: 50 ms is two orders of magnitude above a typical store scan.
+pub const SLOW_QUERY_NS: u64 = 50_000_000;
+
+/// Serves one `/api/v1/query[_range]` request and instruments it:
+/// `netqos_query_requests_total{endpoint,status}` counts outcomes, the
+/// `netqos_query_eval_ns` histogram tracks wall-clock evaluation time,
+/// and evaluations past [`SLOW_QUERY_NS`] emit a `slow_query` event.
+pub fn instrumented_query_response(
+    engine: &QueryEngine,
+    registry: &Registry,
+    events: Option<&EventSink>,
+    req: &HttpRequest,
+    range: bool,
+) -> HttpResponse {
+    let endpoint = if range { "query_range" } else { "query" };
+    let started = Instant::now();
+    let resp = api_query_response(engine, req, range, unix_now_ns() / 1_000_000_000);
+    let elapsed_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let status = if resp.status == 200 {
+        "ok"
+    } else {
+        "bad_request"
+    };
+    registry
+        .counter(&format!(
+            "netqos_query_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}}"
+        ))
+        .inc();
+    registry
+        .histogram("netqos_query_eval_ns")
+        .record(elapsed_ns);
+    if elapsed_ns > SLOW_QUERY_NS {
+        if let Some(sink) = events {
+            sink.emit(
+                Level::Warn,
+                "monitor.query",
+                "slow_query",
+                fields![
+                    "endpoint" => endpoint,
+                    "query" => req.query_param("query").unwrap_or_default(),
+                    "eval_ms" => elapsed_ns / 1_000_000,
+                ],
+            );
+        }
+    }
+    resp
+}
+
 /// Builds the endpoint router for [`HttpServer::serve`]
 /// (`netqos_telemetry::HttpServer`): `/metrics`, `/healthz`,
 /// `/snapshot` and `/alerts` (buffered or SSE), `/query` (when a
-/// long-term store is attached), and `/` (a tiny index). Unknown paths
-/// return `None` (404).
+/// long-term store is attached), `/api/v1/query` and
+/// `/api/v1/query_range` (PromQL-subset evaluation over the store when
+/// attached, else over the live registry), and `/` (a tiny index).
+/// Unknown paths return `None` (404).
 pub fn build_router(
     registry: Arc<Registry>,
     live: Arc<LiveStatus>,
     lts: Option<LtsReader>,
+) -> Arc<Router> {
+    build_router_with_events(registry, live, lts, None)
+}
+
+/// [`build_router`] with an optional event sink wired into the query
+/// path, so slow `/api/v1/query` evaluations land in the JSONL stream.
+pub fn build_router_with_events(
+    registry: Arc<Registry>,
+    live: Arc<LiveStatus>,
+    lts: Option<LtsReader>,
+    events: Option<Arc<EventSink>>,
 ) -> Arc<Router> {
     let index = {
         let mut endpoints = vec!["/metrics", "/healthz", "/snapshot", "/alerts"];
         if lts.is_some() {
             endpoints.push("/query");
         }
+        endpoints.push("/api/v1/query");
+        endpoints.push("/api/v1/query_range");
         let quoted: Vec<String> = endpoints.iter().map(|e| format!("\"{e}\"")).collect();
         format!("{{\"endpoints\":[{}]}}\n", quoted.join(","))
+    };
+    // One source, never both: with a store attached its history is the
+    // query surface (the live registry feeds it anyway); without one the
+    // registry's current values answer instant queries.
+    let engine = {
+        let source: Arc<dyn SeriesSource> = match &lts {
+            Some(reader) => Arc::new(LtsSource::new(reader.clone())),
+            None => Arc::new(RegistrySource::new(registry.clone())),
+        };
+        Arc::new(QueryEngine::new().with_source(None, source))
     };
     Arc::new(move |req: &HttpRequest| match req.path.as_str() {
         "/metrics" => Some(HttpResponse::prometheus(registry.render_prometheus()).into()),
@@ -311,6 +386,12 @@ pub fn build_router(
             )
             .into(),
         }),
+        "/api/v1/query" => Some(
+            instrumented_query_response(&engine, &registry, events.as_deref(), req, false).into(),
+        ),
+        "/api/v1/query_range" => Some(
+            instrumented_query_response(&engine, &registry, events.as_deref(), req, true).into(),
+        ),
         "/" => Some(HttpResponse::json(200, index.clone()).into()),
         _ => None,
     })

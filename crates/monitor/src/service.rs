@@ -102,6 +102,12 @@ pub struct ServiceConfig {
     /// set) — also the long-term store's flush cadence (when `lts_dir`
     /// is set). Zero behaves as one.
     pub baseline_save_ticks: u64,
+    /// Compact the long-term store on every save tick instead of only
+    /// flushing it: open tails fold into one sealed segment per
+    /// series/resolution, so read amplification stays flat on long
+    /// runs. Queries are unaffected — readers canonicalize, so results
+    /// are byte-identical across a compaction.
+    pub lts_compact: bool,
 }
 
 impl Default for ServiceConfig {
@@ -123,6 +129,7 @@ impl Default for ServiceConfig {
             lts_dir: None,
             lts_retention: netqos_telemetry::LtsRetention::default(),
             baseline_save_ticks: 60,
+            lts_compact: false,
         }
     }
 }
@@ -508,6 +515,43 @@ impl MonitoringService {
                     Level::Warn,
                     "monitor.lts",
                     "flush_failed",
+                    fields!["error" => e.to_string()],
+                );
+                None
+            }
+        }
+    }
+
+    /// Compacts the long-term store in place: a flush, then every
+    /// series/resolution rewritten as one sealed segment. Runs between
+    /// ticks on the service thread, so no query ever observes a
+    /// half-compacted store through this process — and readers
+    /// canonicalize anyway, so results are byte-identical across it.
+    /// Returns `None` when no store is attached or compaction failed
+    /// (the failure is reported on the event sink).
+    pub fn compact_lts(&mut self) -> Option<netqos_telemetry::CompactReport> {
+        self.flush_lts()?;
+        let store = self.lts.as_mut()?;
+        match store.compact() {
+            Ok(report) => {
+                self.events.emit(
+                    Level::Info,
+                    "monitor.lts",
+                    "compacted",
+                    fields![
+                        "segments_before" => report.segments_before,
+                        "segments_after" => report.segments_after,
+                        "bytes_before" => report.bytes_before,
+                        "bytes_after" => report.bytes_after,
+                    ],
+                );
+                Some(report)
+            }
+            Err(e) => {
+                self.events.emit(
+                    Level::Warn,
+                    "monitor.lts",
+                    "compact_failed",
                     fields!["error" => e.to_string()],
                 );
                 None
@@ -1042,7 +1086,11 @@ impl MonitoringService {
             }
         }
         if on_save_tick {
-            self.flush_lts();
+            if self.config.lts_compact {
+                self.compact_lts();
+            } else {
+                self.flush_lts();
+            }
         }
         self.events.emit(
             Level::Debug,

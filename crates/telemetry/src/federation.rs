@@ -21,6 +21,7 @@
 
 use crate::http::{HttpRequest, HttpResponse, Router};
 use crate::lts::json_escape;
+use crate::promql::{api_query_response, QueryEngine, SeriesSource};
 use crate::{escape_label_value, render_histogram_into, split_labeled_name, Registry};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -51,6 +52,7 @@ pub struct Shard {
     snapshot: Arc<dyn Fn() -> String + Send + Sync>,
     alerts: Arc<dyn Fn() -> String + Send + Sync>,
     query: Option<QueryHook>,
+    promql: Option<Arc<dyn SeriesSource>>,
 }
 
 impl Shard {
@@ -70,6 +72,7 @@ impl Shard {
             snapshot: Arc::new(snapshot),
             alerts: Arc::new(|| "{}".into()),
             query: None,
+            promql: None,
         }
     }
 
@@ -88,6 +91,15 @@ impl Shard {
         query: impl Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
     ) -> Self {
         self.query = Some(Arc::new(query));
+        self
+    }
+
+    /// Attaches the shard's query-engine series source (usually an
+    /// `LtsSource` over its long-term store). Shards with a source are
+    /// fanned out to by the federated `/api/v1/query` engine; shards
+    /// without one are reported in the response `warnings`.
+    pub fn with_promql(mut self, source: Arc<dyn SeriesSource>) -> Self {
+        self.promql = Some(source);
         self
     }
 
@@ -314,6 +326,38 @@ impl ShardRegistry {
         }
     }
 
+    /// The true cross-shard query engine behind `/api/v1/query` and
+    /// `/api/v1/query_range` (unlike the legacy one-shard-at-a-time
+    /// `/query?shard=` proxy): one [`QueryEngine`] fanning out to every
+    /// shard that attached a series source, each shard's series tagged
+    /// `shard="..."`. One evaluation therefore *is* the merge — plain
+    /// selectors keep per-shard series apart, aggregations (`sum by
+    /// (path)`) fold across shards. Shards without a source, and
+    /// shards whose store fails to enumerate, degrade to response
+    /// warnings instead of failing the query.
+    pub fn promql_engine(&self) -> QueryEngine {
+        let shards = self.shards.read();
+        let mut engine = QueryEngine::new();
+        for shard in shards.iter() {
+            match &shard.promql {
+                Some(src) => engine.push_source(Some(&shard.name), src.clone()),
+                None => engine
+                    .push_warning(format!("shard {}: no long-term store attached", shard.name)),
+            }
+        }
+        engine
+    }
+
+    /// Serves the federated `/api/v1/query` (`range = false`) or
+    /// `/api/v1/query_range` (`range = true`).
+    pub fn promql_response(&self, req: &HttpRequest, range: bool) -> HttpResponse {
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        api_query_response(&self.promql_engine(), req, range, now)
+    }
+
     /// The federated `/healthz`: 200 only when every shard is healthy,
     /// 503 otherwise, always with per-shard detail in the body.
     pub fn healthz_response(&self) -> HttpResponse {
@@ -384,13 +428,15 @@ impl ShardRegistry {
             "/alerts" => Some(fed.alerts_response().into()),
             "/snapshot" => Some(fed.snapshot_response().into()),
             "/query" => Some(fed.query_response(req).into()),
+            "/api/v1/query" => Some(fed.promql_response(req, false).into()),
+            "/api/v1/query_range" => Some(fed.promql_response(req, true).into()),
             "/" => Some(
                 HttpResponse::json(
                     200,
                     format!(
                         "{{\"federation\":{{\"shards\":{}}},\
                          \"endpoints\":[\"/metrics\",\"/healthz\",\"/alerts\",\"/snapshot\",\
-                         \"/query\"]}}\n",
+                         \"/query\",\"/api/v1/query\",\"/api/v1/query_range\"]}}\n",
                         fed.len()
                     ),
                 )
@@ -676,6 +722,66 @@ mod tests {
         // The route is wired into the router.
         let router = fed.router();
         assert!(router(&req("shard=a")).is_some());
+    }
+
+    #[test]
+    fn promql_engine_merges_shards_and_warns_on_missing_stores() {
+        use crate::promql::RegistrySource;
+        let fed = ShardRegistry::new();
+        let a = Registry::new();
+        a.gauge("netqos_path_used_bps{path=\"mw\"}").set(100);
+        let b = Registry::new();
+        b.gauge("netqos_path_used_bps{path=\"mw\"}").set(250);
+        fed.register(
+            Shard::metrics_only("east", a.clone()).with_promql(Arc::new(RegistrySource::new(a))),
+        )
+        .unwrap();
+        fed.register(
+            Shard::metrics_only("west", b.clone()).with_promql(Arc::new(RegistrySource::new(b))),
+        )
+        .unwrap();
+        fed.register(Shard::metrics_only("storeless", Registry::new()))
+            .unwrap();
+
+        let req = |query: &str| HttpRequest {
+            method: "GET".into(),
+            path: "/api/v1/query".into(),
+            query: query.into(),
+            accept: String::new(),
+        };
+        // Plain selector: one series per shard, shard-labelled.
+        let resp = fed.promql_response(&req("query=netqos_path_used_bps&time=100"), false);
+        assert_eq!(resp.status, 200);
+        assert!(resp.body.contains("\"shard\":\"east\""), "{}", resp.body);
+        assert!(resp.body.contains("\"shard\":\"west\""), "{}", resp.body);
+        assert!(
+            resp.body
+                .contains("shard storeless: no long-term store attached"),
+            "{}",
+            resp.body
+        );
+        // Cross-shard aggregate: one folded sample.
+        let resp = fed.promql_response(
+            &req("query=sum%20by%20(path)%20(netqos_path_used_bps)&time=100"),
+            false,
+        );
+        assert!(
+            resp.body
+                .contains("{\"metric\":{\"path\":\"mw\"},\"value\":[100,\"350\"]}"),
+            "{}",
+            resp.body
+        );
+        // The routes are wired.
+        let router = fed.router();
+        let mut r = req("query=1&time=5");
+        assert!(router(&r).is_some());
+        r.path = "/api/v1/query_range".into();
+        r.query = "query=1&start=0&end=2&step=1".into();
+        assert!(router(&r).is_some());
+        // Malformed parameters answer 400 with an error body.
+        let resp = fed.promql_response(&req("query=rate(x)&time=5"), false);
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("\"status\":\"error\""), "{}", resp.body);
     }
 
     #[test]

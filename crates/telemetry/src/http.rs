@@ -392,6 +392,51 @@ fn handle_connection(mut stream: TcpStream, router: &Router, stop: &AtomicBool) 
     }
 }
 
+/// A minimal plaintext HTTP/1.1 GET client, the read-side twin of this
+/// server: one request, `Connection: close`, whole body buffered.
+/// Serves the CLI's online query mode (`netqos query --url`). Returns
+/// `(status, body)`.
+pub fn http_get(host: &str, port: u16, path_and_query: &str) -> Result<(u16, String), String> {
+    let mut stream =
+        TcpStream::connect((host, port)).map_err(|e| format!("connect {host}:{port}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(10))))
+        .map_err(|e| format!("socket setup: {e}"))?;
+    stream
+        .write_all(
+            format!(
+                "GET {path_and_query} HTTP/1.1\r\nHost: {host}:{port}\r\n\
+                 Accept: application/json\r\nConnection: close\r\n\r\n"
+            )
+            .as_bytes(),
+        )
+        .map_err(|e| format!("send request: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| format!("read response: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read headers: {e}"))?;
+        if n == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut body = String::new();
+    std::io::Read::read_to_string(&mut reader, &mut body).map_err(|e| format!("read body: {e}"))?;
+    Ok((status, body))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

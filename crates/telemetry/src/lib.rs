@@ -33,6 +33,7 @@ mod json;
 mod lts;
 mod metrics;
 mod otlp;
+mod promql;
 mod push;
 mod sample;
 mod trace;
@@ -54,7 +55,7 @@ pub use flight::{
     ParsedCycle, ParsedSpan, RetentionPolicy, SampleAnnotation, SnapshotDeletion, SnapshotPaths,
     DEFAULT_FLIGHT_CAPACITY,
 };
-pub use http::{EventSource, HttpRequest, HttpResponse, HttpRoute, HttpServer, Router};
+pub use http::{http_get, EventSource, HttpRequest, HttpResponse, HttpRoute, HttpServer, Router};
 pub use json::{parse_json, JsonError, JsonValue};
 pub use lts::{
     compact_store, downsample, hist_delta, json_escape, parse_range, report_flush,
@@ -66,6 +67,11 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramState, HistogramSummary, HistogramTimer, BUCKETS,
 };
 pub use otlp::{parsed_to_otlp, to_otlp, validate_otlp, OtlpStats, OTLP_SCOPE, OTLP_SERVICE};
+pub use promql::{
+    api_query_response, fmt_value, parse_duration, parse_series_name, query_error_json,
+    resolution_for_step, LtsSource, MatrixSeries, PromSeries, QueryEngine, QueryOutcome,
+    QueryResult, RegistrySource, Sample, SeriesSource, LOOKBACK_FLOOR_SECS, MAX_RANGE_STEPS,
+};
 pub use push::{
     parse_push_url, parse_webhook_url, OtlpPusher, PushConfig, PushCounters, PushTarget,
 };

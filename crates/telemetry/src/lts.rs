@@ -224,6 +224,8 @@ pub struct LtsCounters {
     /// `netqos_lts_dropped_total` — points rejected (out-of-order
     /// timestamp or kind mismatch).
     pub dropped: Counter,
+    /// `netqos_lts_compactions_total` — in-process compaction passes.
+    pub compactions: Counter,
 }
 
 impl LtsCounters {
@@ -234,6 +236,7 @@ impl LtsCounters {
             bytes_on_disk: Gauge::new(),
             appends: Counter::new(),
             dropped: Counter::new(),
+            compactions: Counter::new(),
         }
     }
 
@@ -244,6 +247,7 @@ impl LtsCounters {
             bytes_on_disk: r.gauge("netqos_lts_bytes_on_disk"),
             appends: r.counter("netqos_lts_appends_total"),
             dropped: r.counter("netqos_lts_dropped_total"),
+            compactions: r.counter("netqos_lts_compactions_total"),
         }
     }
 }
@@ -659,6 +663,26 @@ impl LtsStore {
         Ok(deleted)
     }
 
+    /// In-process compaction: flushes buffered points, then rewrites
+    /// every series/resolution as a single sealed segment (the
+    /// [`compact_store`] pass) and resets the writer's open-tail state
+    /// to match — the open tails were folded into the sealed segment
+    /// and their files removed. Readers canonicalize, so answers are
+    /// byte-identical before and after; only the layout changes. This
+    /// is the safe form of [`compact_store`] for a store a writer has
+    /// open.
+    pub fn compact(&mut self) -> io::Result<CompactReport> {
+        self.flush()?;
+        let report = compact_store(&self.dir)?;
+        for s in self.series.values_mut() {
+            s.open_len = [0; 3];
+            s.open_first = [None; 3];
+        }
+        self.counters.compactions.inc();
+        self.update_disk_gauges();
+        Ok(report)
+    }
+
     fn update_disk_gauges(&self) {
         let (mut segments, mut bytes) = (0i64, 0u64);
         bytes += fs::metadata(self.dir.join("series.idx"))
@@ -853,6 +877,29 @@ impl LtsReader {
     /// The store's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Newest raw-resolution point timestamp across every indexed
+    /// series, reading only segment filenames (which encode their time
+    /// range) and open tails. `None` for an empty or missing store.
+    pub fn newest_t(&self) -> Option<u64> {
+        let mut newest = None;
+        for info in self.index() {
+            let sdir = self.dir.join(Resolution::Raw1s.dir_name()).join(&info.slug);
+            if let Ok(segs) = segment_files(&sdir) {
+                if let Some(last) = segs.iter().map(|s| s.last).max() {
+                    newest = Some(newest.map_or(last, |n: u64| n.max(last)));
+                }
+            }
+            if let Ok(text) = fs::read_to_string(sdir.join("open.seg")) {
+                for line in text.lines() {
+                    if let Some(p) = point_from_json(line) {
+                        newest = Some(newest.map_or(p.t, |n: u64| n.max(p.t)));
+                    }
+                }
+            }
+        }
+        newest
     }
 
     /// Every indexed series, sorted by name, duplicates dropped

@@ -5,8 +5,9 @@
 
 use netqos_telemetry::{
     baselines_from_json, baselines_to_json, downsample, AlertContext, AlertEngine, AlertRule,
-    AlertScope, AlertSeverity, CmpOp, Histogram, Point, PointValue, QuantileBaseline, Registry,
-    SampleConfig, SampleDecision, Sampler, SeriesKind, Shard, ShardRegistry,
+    AlertScope, AlertSeverity, CmpOp, Histogram, Point, PointValue, PromSeries, QuantileBaseline,
+    QueryEngine, QueryResult, Registry, Resolution, SampleConfig, SampleDecision, Sampler,
+    SeriesKind, SeriesSource, Shard, ShardRegistry,
 };
 use proptest::prelude::*;
 
@@ -438,5 +439,195 @@ proptest! {
             prop_assert_eq!(merged.min(), sorted[0]);
             prop_assert_eq!(merged.max(), *sorted.last().unwrap());
         }
+    }
+}
+
+/// Folds raw 1s points into `window`-aligned coarse buckets stamped at
+/// the bucket start — the same shape the store's flush produces.
+fn bucket_points(kind: SeriesKind, raw: &[Point], window: u64) -> Vec<Point> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        let w = (raw[i].t / window) * window;
+        let j = raw[i..]
+            .iter()
+            .position(|p| p.t >= w + window)
+            .map(|k| i + k)
+            .unwrap_or(raw.len());
+        if let Some(v) = downsample(kind, &raw[i..j]) {
+            out.push(Point { t: w, value: v });
+        }
+        i = j;
+    }
+    out
+}
+
+/// One synthetic series served at all three store resolutions, so the
+/// same engine can be asked the same question at different steps.
+struct MultiResSource {
+    name: String,
+    kind: SeriesKind,
+    raw: std::sync::Arc<Vec<Point>>,
+    min: std::sync::Arc<Vec<Point>>,
+    hour: std::sync::Arc<Vec<Point>>,
+}
+
+impl MultiResSource {
+    fn new(name: &str, kind: SeriesKind, raw: Vec<Point>) -> MultiResSource {
+        let min = bucket_points(kind, &raw, 60);
+        let hour = bucket_points(kind, &raw, 3600);
+        MultiResSource {
+            name: name.to_string(),
+            kind,
+            raw: std::sync::Arc::new(raw),
+            min: std::sync::Arc::new(min),
+            hour: std::sync::Arc::new(hour),
+        }
+    }
+
+    fn engine(self) -> QueryEngine {
+        QueryEngine::new().with_source(None, std::sync::Arc::new(self))
+    }
+}
+
+impl SeriesSource for MultiResSource {
+    fn series(&self) -> Result<Vec<PromSeries>, String> {
+        let (raw, min, hour) = (self.raw.clone(), self.min.clone(), self.hour.clone());
+        Ok(vec![PromSeries {
+            base: self.name.clone(),
+            labels: Vec::new(),
+            kind: self.kind,
+            fetch: std::sync::Arc::new(move |res, start, end| {
+                let pts = match res {
+                    Resolution::Raw1s => &raw,
+                    Resolution::Min1 => &min,
+                    Resolution::Hour1 => &hour,
+                };
+                pts.iter()
+                    .filter(|p| p.t >= start && p.t <= end)
+                    .cloned()
+                    .collect()
+            }),
+        }])
+    }
+}
+
+/// The single vector sample's value, with "no sample" folding to zero
+/// (an `increase` over a window holding no deltas).
+fn sample_value(engine: &QueryEngine, expr: &str, t: u64, res: Resolution) -> f64 {
+    match engine.instant(expr, t, res).unwrap().result {
+        QueryResult::Vector(samples) => samples.first().map(|s| s.v).unwrap_or(0.0),
+        other => panic!("{expr}: expected a vector, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Over a window covering the whole series, every resolution sees
+    /// the same totals: `increase`/`rate` answers (and their rendered
+    /// JSON) are byte-identical at 1s, 1m, and 1h, because counter
+    /// downsampling preserves delta sums exactly.
+    #[test]
+    fn counter_queries_identical_across_resolutions_full_span(
+        deltas in prop::collection::vec(0u64..1_000, 1..500),
+    ) {
+        let t0 = 3_600_000u64;
+        let raw: Vec<Point> = deltas
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Point { t: t0 + i as u64, value: PointValue::Counter(d) })
+            .collect();
+        let engine = MultiResSource::new("c_total", SeriesKind::Counter, raw).engine();
+        let t = t0 + deltas.len() as u64 + 7_200;
+        for expr in ["increase(c_total[10000000])", "rate(c_total[10000000])"] {
+            let raw_json = engine.instant(expr, t, Resolution::Raw1s).unwrap().to_api_json();
+            let min_json = engine.instant(expr, t, Resolution::Min1).unwrap().to_api_json();
+            let hour_json = engine.instant(expr, t, Resolution::Hour1).unwrap().to_api_json();
+            prop_assert_eq!(&raw_json, &min_json, "{} diverged at 1m", expr);
+            prop_assert_eq!(&raw_json, &hour_json, "{} diverged at 1h", expr);
+        }
+    }
+
+    /// On partial windows the coarse answer is bracketed by fine
+    /// answers over a slightly narrower and slightly wider window: a
+    /// coarse bucket stamped `w` holds the seconds `[w, w+R)`, so a
+    /// coarse `increase(c[W])` at aligned `T` covers `[T-W+R, T+R)` —
+    /// inside raw coverage `[T-W-R+1, T+R]` and containing
+    /// `[T-W+R+1, T]`.
+    #[test]
+    fn coarse_increase_bracketed_by_fine_windows(
+        deltas in prop::collection::vec(0u64..1_000, 60..3000),
+        k in 2u64..5,
+        m in 1u64..4,
+    ) {
+        let t0 = 3_600_000u64;
+        let raw: Vec<Point> = deltas
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| Point { t: t0 + i as u64, value: PointValue::Counter(d) })
+            .collect();
+        let engine = MultiResSource::new("c_total", SeriesKind::Counter, raw).engine();
+        let w = k * 3600;
+        let t = t0 + m * 3600;
+        for (res, r) in [(Resolution::Min1, 60u64), (Resolution::Hour1, 3600u64)] {
+            let coarse = sample_value(&engine, &format!("increase(c_total[{w}])"), t, res);
+            let lower = sample_value(
+                &engine,
+                &format!("increase(c_total[{}])", w - r),
+                t,
+                Resolution::Raw1s,
+            );
+            let upper = sample_value(
+                &engine,
+                &format!("increase(c_total[{}])", w + r),
+                t + r,
+                Resolution::Raw1s,
+            );
+            prop_assert!(
+                lower <= coarse && coarse <= upper,
+                "step {r}: raw[{}]@{t} = {lower} !<= coarse[{w}]@{t} = {coarse} !<= raw[{}]@{} = {upper}",
+                w - r, w + r, t + r
+            );
+        }
+    }
+
+    /// `histogram_quantile` over the whole series is byte-identical
+    /// across resolutions: bucket-wise merging is associative, so the
+    /// merged state (and its quantile) does not depend on how the
+    /// per-second states were grouped on the way.
+    #[test]
+    fn histogram_quantile_identical_across_resolutions_full_span(
+        batches in prop::collection::vec(
+            prop::collection::vec(1u64..1_000_000, 0..5),
+            1..200,
+        ),
+        q in prop::sample::select(vec![0.5f64, 0.9, 0.99]),
+    ) {
+        let t0 = 3_600_000u64;
+        let total: usize = batches.iter().map(Vec::len).sum();
+        if total == 0 {
+            // All-empty draws carry no quantile to compare.
+            return;
+        }
+        let raw: Vec<Point> = batches
+            .iter()
+            .enumerate()
+            .map(|(i, batch)| {
+                let h = Histogram::new();
+                for &v in batch {
+                    h.record(v);
+                }
+                Point { t: t0 + i as u64, value: PointValue::Histogram(h.to_state()) }
+            })
+            .collect();
+        let engine = MultiResSource::new("lat_ns", SeriesKind::Histogram, raw).engine();
+        let t = t0 + batches.len() as u64 + 7_200;
+        let expr = format!("histogram_quantile({q}, lat_ns[10000000])");
+        let raw_json = engine.instant(&expr, t, Resolution::Raw1s).unwrap().to_api_json();
+        let min_json = engine.instant(&expr, t, Resolution::Min1).unwrap().to_api_json();
+        let hour_json = engine.instant(&expr, t, Resolution::Hour1).unwrap().to_api_json();
+        prop_assert_eq!(&raw_json, &min_json, "1m diverged");
+        prop_assert_eq!(&raw_json, &hour_json, "1h diverged");
     }
 }

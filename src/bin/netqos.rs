@@ -19,12 +19,18 @@
 //!                       [--baseline-state PATH]  restore/save baselines
 //!                       [--baseline-save-ticks N]  save/flush cadence
 //!                       [--lts DIR]          long-term stats store + /query
+//!                       [--lts-compact]      compact the store on save ticks
 //! netqos federate <spec>... [--duration N]   run one shard per spec file behind
 //!                       [--serve ADDR]       a merged /metrics /healthz /snapshot
 //!                       [--lts DIR]          per-shard stores under DIR/<shard>
+//! netqos query   'EXPR' --lts DIR | --url U  evaluate a PromQL-subset expression
+//!                       [--time T]           against a store or a live monitor
+//!                       [--range A:B | --last 15m] [--step S]
+//!                       [--format json|prom|csv]
 //! netqos lts     info|verify|compact DIR     inspect / check / rewrite a store
 //! netqos lts     query DIR [--series SEL]    query a store offline
-//!                       [--range A:B] [--step 1s|1m|1h]
+//!                       [--range A:B | --last 15m] [--step 1s|1m|1h]
+//!                       [--format json|prom|csv]
 //! netqos alerts  <rules> | --builtin         lint an alert rules file / list
 //!                                            the built-in rules
 //! netqos stats   <spec> [--duration N]       run quietly, print Prometheus metrics
@@ -62,6 +68,7 @@ fn main() -> ExitCode {
         "paths" => cmd_paths(&args[1..]),
         "monitor" => cmd_monitor(&args[1..]),
         "federate" => cmd_federate(&args[1..]),
+        "query" => cmd_query(&args[1..]),
         "lts" => cmd_lts(&args[1..]),
         "alerts" => cmd_alerts(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
@@ -118,6 +125,11 @@ const USAGE: &str = "usage:
                                              registry and per-path QoS signals
                                              at 1s resolution (downsampled to
                                              1m/1h); --serve gains GET /query
+                        [--lts-compact]      compact the store on every save
+                                             tick (instead of only flushing),
+                                             keeping read amplification flat
+                                             on long runs; queries see
+                                             byte-identical results across it
   netqos federate <spec> <spec>... [--duration N] [--serve ADDR] [--pace-ms MS]
                         [--trace-sample N] [--trace-adaptive] [--alert-rules PATH]
                         [--lts DIR]          per-shard stores under DIR/<shard>;
@@ -149,7 +161,24 @@ const USAGE: &str = "usage:
                                              and one line per issue on failure
   netqos lts     compact DIR                 rewrite each series into one segment
                                              per resolution (offline only)
+  netqos query   'EXPR' --lts DIR            evaluate a PromQL-subset expression
+                 | --url http://host:port    offline against a store, or online
+                                             against a monitor's /api/v1/query
+                        [--time T]           instant evaluation time (unix s;
+                                             default: newest sample)
+                        [--range START:END]  range query over unix seconds, or
+                        [--last 15m]         the trailing window (s/m/h/d/w)
+                        [--step S]           range step (default 1m)
+                        [--format json|prom|csv]   output shape (default json:
+                                             the /api/v1 response body)
+                                             supported: rate/increase/delta,
+                                             histogram_quantile, sum/avg/min/
+                                             max/count by/without, scalar
+                                             arithmetic and comparisons
   netqos lts     query   DIR [--series SEL] [--range START:END] [--step 1s|1m|1h]
+                        [--last 15m]         trailing window instead of --range
+                        [--format json|prom|csv]   points as JSON (default),
+                                             Prometheus text, or CSV rows
                                              print the same JSON GET /query
                                              serves (SEL takes * wildcards)";
 
@@ -259,6 +288,7 @@ struct MonitorOptions {
     baseline_state: Option<PathBuf>,
     baseline_save_ticks: Option<u64>,
     lts: Option<PathBuf>,
+    lts_compact: bool,
 }
 
 fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
@@ -278,6 +308,7 @@ fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
         baseline_state: None,
         baseline_save_ticks: None,
         lts: None,
+        lts_compact: false,
     };
     let mut i = 1;
     while i < args.len() {
@@ -381,6 +412,9 @@ fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
                     args.get(i).ok_or("--lts needs a directory path")?,
                 ));
             }
+            "--lts-compact" => {
+                opts.lts_compact = true;
+            }
             other => return Err(format!("unknown option `{other}`\n{USAGE}")),
         }
         i += 1;
@@ -422,6 +456,12 @@ fn apply_service_options(
         config.baseline_save_ticks = n;
     }
     config.lts_dir = opts.lts.clone();
+    if opts.lts_compact {
+        if opts.lts.is_none() {
+            return Err("--lts-compact needs --lts".into());
+        }
+        config.lts_compact = true;
+    }
     Ok(config)
 }
 
@@ -526,8 +566,12 @@ fn start_serve_plane(
         _ => None,
     };
     let has_query = reader.is_some();
-    let router =
-        netqos::monitor::live::build_router(service.registry().clone(), live.clone(), reader);
+    let router = netqos::monitor::live::build_router_with_events(
+        service.registry().clone(),
+        live.clone(),
+        reader,
+        Some(service.event_sink().clone()),
+    );
     let server = netqos_telemetry::HttpServer::serve(addr.as_str(), router)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     eprintln!(
@@ -806,6 +850,7 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
             // Each shard keeps its own store under DIR/<shard>, the
             // same layout the federated /query?shard=NAME reads.
             lts: opts.lts.as_ref().map(|d| d.join(&name)),
+            lts_compact: opts.lts_compact,
         };
         let worker = std::thread::Builder::new()
             .name(format!("netqos-shard-{name}"))
@@ -867,7 +912,18 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
     for handles in handle_rx {
         match handles {
             Ok((name, registry, live)) => {
-                let mut shard = netqos::monitor::live::shard_for(name.clone(), registry, live);
+                let mut shard =
+                    netqos::monitor::live::shard_for(name.clone(), registry.clone(), live);
+                // The cross-shard /api/v1 engine reads each shard's
+                // store from disk when one exists, else answers instant
+                // queries from the shard's live registry.
+                let source: Arc<dyn netqos_telemetry::SeriesSource> = match &opts.lts {
+                    Some(root) => Arc::new(netqos_telemetry::LtsSource::new(
+                        netqos_telemetry::LtsReader::open(root.join(&name)),
+                    )),
+                    None => Arc::new(netqos_telemetry::RegistrySource::new(registry)),
+                };
+                shard = shard.with_promql(source);
                 if let Some(root) = &opts.lts {
                     let reader = netqos_telemetry::LtsReader::open(root.join(&name));
                     shard = shard
@@ -1193,6 +1249,438 @@ fn validate_trace_file(
 /// `verify` checks its invariants (CI-friendly nonzero exit), `compact`
 /// rewrites every series into one canonical segment per resolution, and
 /// `query` prints the same JSON document the live `GET /query` serves.
+/// Current Unix time in seconds (0 on a pre-1970 clock).
+fn unix_now_s() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Percent-encodes a query-string value (everything but unreserved
+/// characters), so PromQL operators like `{`, `"` and spaces survive the
+/// trip through a URL.
+fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+        }
+    }
+    out
+}
+
+/// Splits `http://host:port[/...]` (scheme optional) into host and port.
+fn parse_base_url(url: &str) -> Result<(String, u16), String> {
+    let rest = url.strip_prefix("http://").unwrap_or(url);
+    let authority = rest.split('/').next().unwrap_or(rest);
+    let (host, port) = authority
+        .rsplit_once(':')
+        .ok_or_else(|| format!("--url needs http://host:port (got `{url}`)"))?;
+    let port: u16 = port
+        .parse()
+        .map_err(|_| format!("bad port in --url `{url}`"))?;
+    if host.is_empty() {
+        return Err(format!("--url needs http://host:port (got `{url}`)"));
+    }
+    Ok((host.to_string(), port))
+}
+
+/// One CSV field: quoted (with doubled inner quotes) only when needed.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders an `/api/v1` metric object (`{"__name__":...,"path":...}`)
+/// back into selector notation: `name{label="value",...}`.
+fn render_metric(metric: &netqos_telemetry::JsonValue) -> String {
+    let netqos_telemetry::JsonValue::Object(m) = metric else {
+        return String::new();
+    };
+    let name = m
+        .get("__name__")
+        .and_then(|v| v.as_str())
+        .unwrap_or_default();
+    let labels: Vec<String> = m
+        .iter()
+        .filter(|(k, _)| k.as_str() != "__name__")
+        .map(|(k, v)| {
+            format!(
+                "{k}={}",
+                netqos_telemetry::json_escape(v.as_str().unwrap_or_default())
+            )
+        })
+        .collect();
+    if labels.is_empty() {
+        if name.is_empty() {
+            "{}".to_string()
+        } else {
+            name.to_string()
+        }
+    } else {
+        format!("{name}{{{}}}", labels.join(","))
+    }
+}
+
+/// Reshapes an `/api/v1/query[_range]` response body: `json` passes it
+/// through, `prom` emits Prometheus text lines (`metric value t_ms`),
+/// `csv` emits `series,t,value` rows.
+fn format_api_query(body: &str, format: &str) -> Result<String, String> {
+    if format == "json" {
+        let mut out = body.to_string();
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        return Ok(out);
+    }
+    if format != "prom" && format != "csv" {
+        return Err(format!(
+            "bad --format `{format}` (expected json, prom or csv)"
+        ));
+    }
+    let doc = netqos_telemetry::parse_json(body).map_err(|e| format!("bad response JSON: {e}"))?;
+    let data = doc
+        .get("data")
+        .ok_or("response has no `data` (was the query rejected?)")?;
+    let rtype = data
+        .get("resultType")
+        .and_then(|v| v.as_str())
+        .unwrap_or_default();
+    let empty = netqos_telemetry::JsonValue::Null;
+    let mut out = String::new();
+    if format == "csv" {
+        out.push_str("series,t,value\n");
+    }
+    let mut push_sample = |series: &str, t: f64, v: &str| {
+        if format == "csv" {
+            out.push_str(&format!("{},{t},{v}\n", csv_field(series)));
+        } else {
+            out.push_str(&format!("{series} {v} {}\n", (t * 1000.0) as i64));
+        }
+    };
+    match rtype {
+        "scalar" => {
+            let pair = data.get("result").and_then(|v| v.as_array());
+            if let Some([t, v]) = pair.and_then(|p| <&[_; 2]>::try_from(p).ok()) {
+                push_sample(
+                    "scalar",
+                    t.as_f64().unwrap_or(0.0),
+                    v.as_str().unwrap_or_default(),
+                );
+            }
+        }
+        "vector" => {
+            for item in data
+                .get("result")
+                .and_then(|v| v.as_array())
+                .unwrap_or_default()
+            {
+                let series = render_metric(item.get("metric").unwrap_or(&empty));
+                if let Some([t, v]) = item
+                    .get("value")
+                    .and_then(|v| v.as_array())
+                    .and_then(|p| <&[_; 2]>::try_from(p).ok())
+                {
+                    push_sample(
+                        &series,
+                        t.as_f64().unwrap_or(0.0),
+                        v.as_str().unwrap_or_default(),
+                    );
+                }
+            }
+        }
+        "matrix" => {
+            for item in data
+                .get("result")
+                .and_then(|v| v.as_array())
+                .unwrap_or_default()
+            {
+                let series = render_metric(item.get("metric").unwrap_or(&empty));
+                for pair in item
+                    .get("values")
+                    .and_then(|v| v.as_array())
+                    .unwrap_or_default()
+                {
+                    if let Some([t, v]) = pair.as_array().and_then(|p| <&[_; 2]>::try_from(p).ok())
+                    {
+                        push_sample(
+                            &series,
+                            t.as_f64().unwrap_or(0.0),
+                            v.as_str().unwrap_or_default(),
+                        );
+                    }
+                }
+            }
+        }
+        other => return Err(format!("unexpected resultType `{other}`")),
+    }
+    Ok(out)
+}
+
+/// Reshapes a `netqos lts query` / `GET /query` response body. Counter
+/// and gauge points become one line/row each; a histogram point fans out
+/// into `_count`/`_sum` series plus `quantile="0.5"`/`"0.99"` samples,
+/// mirroring the Prometheus summary idiom.
+fn format_store_query(body: &str, format: &str) -> Result<String, String> {
+    if format == "json" {
+        let mut out = body.to_string();
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        return Ok(out);
+    }
+    if format != "prom" && format != "csv" {
+        return Err(format!(
+            "bad --format `{format}` (expected json, prom or csv)"
+        ));
+    }
+    let doc = netqos_telemetry::parse_json(body).map_err(|e| format!("bad store JSON: {e}"))?;
+    let mut out = String::new();
+    if format == "csv" {
+        out.push_str("series,t,value\n");
+    }
+    let mut push_sample = |series: &str, t: u64, v: String| {
+        if format == "csv" {
+            out.push_str(&format!("{},{t},{v}\n", csv_field(series)));
+        } else {
+            out.push_str(&format!("{series} {v} {}\n", t * 1000));
+        }
+    };
+    // `name` carries its label set inline (`base{k="v"}`), so derived
+    // histogram series re-split it to graft `_count` / `quantile=` on.
+    let derived = |name: &str, suffix: &str, extra: Option<(&str, &str)>| -> String {
+        let (base, labels) = netqos_telemetry::parse_series_name(name);
+        let mut parts: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}={}", netqos_telemetry::json_escape(v)))
+            .collect();
+        if let Some((k, v)) = extra {
+            parts.push(format!("{k}=\"{v}\""));
+        }
+        if parts.is_empty() {
+            format!("{base}{suffix}")
+        } else {
+            format!("{base}{suffix}{{{}}}", parts.join(","))
+        }
+    };
+    for series in doc
+        .get("series")
+        .and_then(|v| v.as_array())
+        .unwrap_or_default()
+    {
+        let name = series
+            .get("name")
+            .and_then(|v| v.as_str())
+            .unwrap_or_default()
+            .to_string();
+        for point in series
+            .get("points")
+            .and_then(|v| v.as_array())
+            .unwrap_or_default()
+        {
+            if let Some([t, v]) = point.as_array().and_then(|p| <&[_; 2]>::try_from(p).ok()) {
+                // Counter/gauge: [t, value].
+                push_sample(
+                    &name,
+                    t.as_u64().unwrap_or(0),
+                    netqos_telemetry::fmt_value(v.as_f64().unwrap_or(0.0)),
+                );
+            } else if let Some(t) = point.get("t").and_then(|v| v.as_u64()) {
+                // Histogram: {"t":..,"count":..,"sum":..,"p50":..,"p99":..}.
+                for (field, suffix, quantile) in [
+                    ("count", "_count", None),
+                    ("sum", "_sum", None),
+                    ("p50", "", Some(("quantile", "0.5"))),
+                    ("p99", "", Some(("quantile", "0.99"))),
+                ] {
+                    if let Some(v) = point.get(field).and_then(|v| v.as_f64()) {
+                        push_sample(
+                            &derived(&name, suffix, quantile),
+                            t,
+                            netqos_telemetry::fmt_value(v),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluates a PromQL-subset expression offline against a long-term
+/// store (`--lts DIR`) or online against a live monitor or federation
+/// plane (`--url http://host:port`, proxied to `/api/v1/query[_range]`).
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let expr = args
+        .first()
+        .filter(|s| !s.starts_with("--"))
+        .ok_or_else(|| format!("missing EXPR argument\n{USAGE}"))?
+        .clone();
+    let mut lts: Option<PathBuf> = None;
+    let mut url: Option<String> = None;
+    let mut time: Option<u64> = None;
+    let mut range: Option<String> = None;
+    let mut last: Option<u64> = None;
+    let mut step: Option<String> = None;
+    let mut format = String::from("json");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--lts" => {
+                i += 1;
+                lts = Some(PathBuf::from(
+                    args.get(i).ok_or("--lts needs a directory path")?,
+                ));
+            }
+            "--url" => {
+                i += 1;
+                url = Some(args.get(i).ok_or("--url needs http://host:port")?.clone());
+            }
+            "--time" => {
+                i += 1;
+                time = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--time needs a Unix timestamp in seconds")?,
+                );
+            }
+            "--range" => {
+                i += 1;
+                range = Some(args.get(i).ok_or("--range needs START:END")?.clone());
+            }
+            "--last" => {
+                i += 1;
+                let spec = args.get(i).ok_or("--last needs a duration (e.g. 15m)")?;
+                last =
+                    Some(netqos_telemetry::parse_duration(spec).ok_or_else(|| {
+                        format!("bad --last `{spec}` (expected e.g. 90s, 15m, 2h)")
+                    })?);
+            }
+            "--step" => {
+                i += 1;
+                step = Some(
+                    args.get(i)
+                        .ok_or("--step needs a duration (e.g. 1m)")?
+                        .clone(),
+                );
+            }
+            "--format" => {
+                i += 1;
+                format = args
+                    .get(i)
+                    .ok_or("--format needs json, prom or csv")?
+                    .clone();
+            }
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if lts.is_some() == url.is_some() {
+        return Err(format!(
+            "query needs exactly one of --lts DIR or --url http://host:port\n{USAGE}"
+        ));
+    }
+    if last.is_some() && range.is_some() {
+        return Err("--last and --range are mutually exclusive".into());
+    }
+    let step_secs = match &step {
+        Some(s) => netqos_telemetry::parse_duration(s)
+            .filter(|n| *n > 0)
+            .ok_or_else(|| format!("bad --step `{s}` (expected e.g. 1s, 1m, 1h)"))?,
+        None => 60,
+    };
+    let is_range = last.is_some() || range.is_some();
+
+    if let Some(dir) = lts {
+        if !dir.is_dir() {
+            return Err(format!("{}: no long-term store there", dir.display()));
+        }
+        let engine = netqos_telemetry::QueryEngine::new().with_source(
+            None,
+            Arc::new(netqos_telemetry::LtsSource::new(
+                netqos_telemetry::LtsReader::open(&dir),
+            )),
+        );
+        let outcome = if is_range {
+            let (start, end) = match last {
+                Some(window) => {
+                    let end = engine.newest_t().unwrap_or_else(unix_now_s);
+                    (end.saturating_sub(window.saturating_sub(1)), end)
+                }
+                None => {
+                    let spec = range.as_deref().unwrap_or(":");
+                    netqos_telemetry::parse_range(spec)
+                        .ok_or_else(|| format!("bad --range `{spec}` (expected START:END)"))?
+                }
+            };
+            engine.range(&expr, start, end, step_secs)?
+        } else {
+            let t = time
+                .or_else(|| engine.newest_t())
+                .unwrap_or_else(unix_now_s);
+            let res = match step {
+                Some(_) => netqos_telemetry::resolution_for_step(step_secs),
+                None => netqos_telemetry::Resolution::Raw1s,
+            };
+            engine.instant(&expr, t, res)?
+        };
+        print!("{}", format_api_query(&outcome.to_api_json(), &format)?);
+        return Ok(());
+    }
+
+    let (host, port) = parse_base_url(url.as_deref().unwrap_or_default())?;
+    let path = if is_range {
+        let (start, end) = match last {
+            // Online, the client clock anchors the trailing window (the
+            // server's newest sample is not knowable up front).
+            Some(window) => {
+                let end = unix_now_s();
+                (end.saturating_sub(window.saturating_sub(1)), end)
+            }
+            None => {
+                let spec = range.as_deref().unwrap_or(":");
+                netqos_telemetry::parse_range(spec)
+                    .ok_or_else(|| format!("bad --range `{spec}` (expected START:END)"))?
+            }
+        };
+        format!(
+            "/api/v1/query_range?query={}&start={start}&end={end}&step={step_secs}",
+            percent_encode(&expr)
+        )
+    } else {
+        let mut p = format!("/api/v1/query?query={}", percent_encode(&expr));
+        if let Some(t) = time {
+            p.push_str(&format!("&time={t}"));
+        }
+        if step.is_some() {
+            // The instant endpoint takes a resolution, not an arbitrary
+            // step: snap to the coarsest store resolution that fits.
+            p.push_str(&format!(
+                "&step={}",
+                netqos_telemetry::resolution_for_step(step_secs).dir_name()
+            ));
+        }
+        p
+    };
+    let (status, body) = netqos_telemetry::http_get(&host, port, &path)
+        .map_err(|e| format!("{host}:{port}: {e}"))?;
+    if status != 200 {
+        return Err(format!("query failed (HTTP {status}): {}", body.trim()));
+    }
+    print!("{}", format_api_query(&body, &format)?);
+    Ok(())
+}
+
 fn cmd_lts(args: &[String]) -> Result<(), String> {
     let sub = args
         .first()
@@ -1263,7 +1751,9 @@ fn cmd_lts(args: &[String]) -> Result<(), String> {
         "query" => {
             let mut selector = String::from("*");
             let mut range = String::from(":");
+            let mut last = None;
             let mut step = String::from("1s");
+            let mut format = String::from("json");
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -1275,20 +1765,47 @@ fn cmd_lts(args: &[String]) -> Result<(), String> {
                         i += 1;
                         range = args.get(i).ok_or("--range needs START:END")?.clone();
                     }
+                    "--last" => {
+                        i += 1;
+                        let spec = args.get(i).ok_or("--last needs a duration (e.g. 15m)")?;
+                        last = Some(netqos_telemetry::parse_duration(spec).ok_or_else(|| {
+                            format!("bad --last `{spec}` (expected e.g. 90s, 15m, 2h)")
+                        })?);
+                    }
                     "--step" => {
                         i += 1;
                         step = args.get(i).ok_or("--step needs 1s, 1m or 1h")?.clone();
+                    }
+                    "--format" => {
+                        i += 1;
+                        format = args
+                            .get(i)
+                            .ok_or("--format needs json, prom or csv")?
+                            .clone();
                     }
                     other => return Err(format!("unknown option `{other}`\n{USAGE}")),
                 }
                 i += 1;
             }
-            let (start, end) = netqos_telemetry::parse_range(&range)
-                .ok_or_else(|| format!("bad --range `{range}` (expected START:END)"))?;
+            let reader = netqos_telemetry::LtsReader::open(&dir);
+            let (start, end) = match last {
+                Some(window) => {
+                    if range != ":" {
+                        return Err("--last and --range are mutually exclusive".into());
+                    }
+                    // Anchor the trailing window at the newest stored
+                    // sample, so `--last 15m` works on historical stores
+                    // as naturally as on one still being written.
+                    let end = reader.newest_t().unwrap_or(0);
+                    (end.saturating_sub(window.saturating_sub(1)), end)
+                }
+                None => netqos_telemetry::parse_range(&range)
+                    .ok_or_else(|| format!("bad --range `{range}` (expected START:END)"))?,
+            };
             let res = netqos_telemetry::Resolution::parse(&step)
                 .ok_or_else(|| format!("bad --step `{step}` (expected 1s, 1m or 1h)"))?;
-            let reader = netqos_telemetry::LtsReader::open(&dir);
-            println!("{}", reader.query(&selector, start, end, res));
+            let body = reader.query(&selector, start, end, res);
+            print!("{}", format_store_query(&body, &format)?);
             Ok(())
         }
         other => Err(format!("unknown lts subcommand `{other}`\n{USAGE}")),

@@ -178,7 +178,9 @@ fn router_serves_query_and_rejects_bad_params() {
         Some(HttpRoute::Response(r)) => assert_eq!(r.status, 404, "{}", r.body),
         _ => panic!("expected response"),
     }
-    // The index only advertises /query when a store is attached.
+    // The index only advertises /query when a store is attached (the
+    // /api/v1 endpoints are always there — they fall back to the live
+    // registry), hence the exact-string matches.
     let index = HttpRequest {
         method: "GET".into(),
         path: "/".into(),
@@ -186,11 +188,14 @@ fn router_serves_query_and_rejects_bad_params() {
         accept: String::new(),
     };
     match router(&index) {
-        Some(HttpRoute::Response(r)) => assert!(r.body.contains("/query"), "{}", r.body),
+        Some(HttpRoute::Response(r)) => assert!(r.body.contains("\"/query\""), "{}", r.body),
         _ => panic!("expected response"),
     }
     match bare(&index) {
-        Some(HttpRoute::Response(r)) => assert!(!r.body.contains("/query"), "{}", r.body),
+        Some(HttpRoute::Response(r)) => {
+            assert!(!r.body.contains("\"/query\""), "{}", r.body);
+            assert!(r.body.contains("\"/api/v1/query\""), "{}", r.body);
+        }
         _ => panic!("expected response"),
     }
 
