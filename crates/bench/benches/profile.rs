@@ -1,0 +1,78 @@
+//! Tick-phase profiler benches: the cost of folding one traced cycle's
+//! spans into the rolling phase tree (paid once per traced tick, off
+//! the polling hot path), rendering the `/profile` documents, and the
+//! pinned disabled-profiler invariant — a service without tracing never
+//! reaches the profiler at all, so its per-span-site cost stays the
+//! tracer's one relaxed atomic load (see `span_site/disabled_span` in
+//! `trace.rs`; the ≤15ns acceptance bound rides on that bench).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netqos_telemetry::{ProfileHub, Tracer};
+
+/// One realistic traced cycle: a root, ten device polls each with
+/// nested codec/delta work, and a path-evaluation phase.
+fn traced_cycle(tracer: &Tracer) -> Vec<netqos_telemetry::SpanRecord> {
+    tracer.begin_cycle();
+    {
+        let _root = tracer.span("monitor", "cycle");
+        for _ in 0..10 {
+            let _outer = tracer.span("monitor.poll", "device");
+            let _inner = tracer.span("snmp.codec", "decode");
+            let _inner2 = tracer.span("monitor.delta", "ingest");
+        }
+        let _qos = tracer.span("monitor.qos", "evaluate");
+    }
+    tracer.end_cycle()
+}
+
+fn bench_profile_record(c: &mut Criterion) {
+    let tracer = Tracer::new();
+    let spans = traced_cycle(&tracer);
+    let mut group = c.benchmark_group("profile_record");
+    // Steady-state fold: the window is full, so each record also evicts
+    // the oldest cycle — the worst per-tick cost.
+    let hub = ProfileHub::new(64);
+    for _ in 0..64 {
+        hub.record_spans(&spans);
+    }
+    group.bench_function("record_cycle_32_spans", |b| {
+        b.iter(|| hub.record_spans(std::hint::black_box(&spans)))
+    });
+    group.finish();
+}
+
+fn bench_profile_render(c: &mut Criterion) {
+    let tracer = Tracer::new();
+    let hub = ProfileHub::new(256);
+    for _ in 0..256 {
+        hub.record_spans(&traced_cycle(&tracer));
+    }
+    let mut group = c.benchmark_group("profile_render");
+    group.bench_function("folded", |b| {
+        b.iter(|| std::hint::black_box(hub.to_folded()))
+    });
+    group.bench_function("json", |b| b.iter(|| std::hint::black_box(hub.to_json())));
+    group.finish();
+}
+
+fn bench_disabled_path(c: &mut Criterion) {
+    // The profiler's disabled story: with tracing off, end_cycle yields
+    // no spans and record_spans degenerates to an empty-slice fold.
+    // This is everything a non-traced tick pays beyond the tracer's own
+    // disabled span sites.
+    let hub = ProfileHub::new(256);
+    let empty: Vec<netqos_telemetry::SpanRecord> = Vec::new();
+    let mut group = c.benchmark_group("profile_disabled");
+    group.bench_function("record_empty_cycle", |b| {
+        b.iter(|| hub.record_spans(std::hint::black_box(&empty)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_profile_record,
+    bench_profile_render,
+    bench_disabled_path
+);
+criterion_main!(benches);

@@ -1,10 +1,12 @@
 //! Measures the long-term stats store's append throughput and range-query
 //! latency with plain wall-clock timing and writes the results as
 //! `BENCH_lts.json` (repo root when run from there, else the current
-//! directory). The workloads mirror `benches/lts.rs`; this binary exists so
-//! a canonical result document can be checked in and regenerated with
+//! directory) in the unified `netqos-bench/v1` schema. The workloads
+//! mirror `benches/lts.rs`; this binary exists so a canonical result
+//! document can be checked in and regenerated with
 //! `cargo run --release -p netqos-bench --bin lts_bench`.
 
+use netqos_bench::{time_iters, BenchReport, BenchRow};
 use netqos_telemetry::{LtsConfig, LtsCounters, LtsReader, LtsStore, PointValue, Resolution};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -24,20 +26,6 @@ fn series_names() -> Vec<String> {
     (0..SERIES)
         .map(|i| format!("bench_series_{i}_total"))
         .collect()
-}
-
-/// Latency percentiles over repeated runs of `f`, in nanoseconds.
-fn time_query(iters: u32, mut f: impl FnMut() -> usize) -> (u128, u128, u128, usize) {
-    let mut samples = Vec::with_capacity(iters as usize);
-    let mut bytes = 0;
-    for _ in 0..iters {
-        let start = Instant::now();
-        bytes = f();
-        samples.push(start.elapsed().as_nanos());
-    }
-    samples.sort_unstable();
-    let at = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
-    (at(0.5), at(0.99), *samples.last().unwrap(), bytes)
 }
 
 fn main() {
@@ -78,20 +66,45 @@ fn main() {
     }
     store.flush().expect("load flush");
     let reader = LtsReader::open(&dir);
-    let (one_p50, one_p99, one_max, one_bytes) = time_query(QUERY_ITERS, || {
+    let (one_p50, one_p99, one_max, one_points) = time_iters(QUERY_ITERS, || {
         reader
             .query("bench_series_0_total", 0, QUERY_TICKS, Resolution::Raw1s)
             .len()
     });
-    let (all_p50, all_p99, all_max, all_bytes) = time_query(QUERY_ITERS, || {
+    let (all_p50, all_p99, all_max, all_points) = time_iters(QUERY_ITERS, || {
         reader.query("*", 0, u64::MAX, Resolution::Min1).len()
     });
     std::fs::remove_dir_all(&dir).ok();
 
-    let doc = format!(
-        "{{\n  \"bench\": \"lts\",\n  \"series\": {SERIES},\n  \"append\": {{\n    \"ticks\": {APPEND_TICKS},\n    \"points\": {total_points},\n    \"flush_every_ticks\": 60,\n    \"points_per_sec\": {points_per_sec:.0},\n    \"ns_per_point\": {append_ns_per_point:.1}\n  }},\n  \"query\": {{\n    \"store_ticks\": {QUERY_TICKS},\n    \"iters\": {QUERY_ITERS},\n    \"one_series_1h_raw1s\": {{ \"p50_ns\": {one_p50}, \"p99_ns\": {one_p99}, \"max_ns\": {one_max}, \"body_bytes\": {one_bytes} }},\n    \"all_series_1m\": {{ \"p50_ns\": {all_p50}, \"p99_ns\": {all_p99}, \"max_ns\": {all_max}, \"body_bytes\": {all_bytes} }}\n  }}\n}}\n"
+    let mut report = BenchReport::new("lts");
+    report.push(
+        BenchRow::new("append")
+            .param("series", SERIES)
+            .param("ticks", APPEND_TICKS)
+            .param("flush_every_ticks", 60u64)
+            .param("points", total_points)
+            .metric("points_per_sec", points_per_sec)
+            .metric("ns_per_point", append_ns_per_point),
     );
-    print!("{doc}");
-    std::fs::write("BENCH_lts.json", &doc).expect("write BENCH_lts.json");
-    eprintln!("wrote BENCH_lts.json");
+    report.push(
+        BenchRow::new("query-one-series-1h-raw1s")
+            .param("store_ticks", QUERY_TICKS)
+            .param("iters", QUERY_ITERS)
+            .param("points", one_points)
+            .metric("p50_ns", one_p50)
+            .metric("p99_ns", one_p99)
+            .metric("max_ns", one_max),
+    );
+    report.push(
+        BenchRow::new("query-all-series-1m")
+            .param("store_ticks", QUERY_TICKS)
+            .param("iters", QUERY_ITERS)
+            .param("points", all_points)
+            .metric("p50_ns", all_p50)
+            .metric("p99_ns", all_p99)
+            .metric("max_ns", all_max),
+    );
+    report
+        .write("BENCH_lts.json")
+        .expect("write BENCH_lts.json");
 }

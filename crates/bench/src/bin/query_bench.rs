@@ -1,12 +1,14 @@
 //! Measures the PromQL-subset query plane with plain wall-clock timing
 //! and writes the results as `BENCH_query.json` (repo root when run from
-//! there, else the current directory). Two workloads, mirroring
-//! `benches/query.rs`: `rate()` instant evaluations over an hour of 1s
-//! counter points (reported as evals/s), and cross-shard `query_range`
-//! requests through the federation engine (reported as latency
-//! percentiles, fan-out and JSON rendering included). Regenerate with
+//! there, else the current directory) in the unified `netqos-bench/v1`
+//! schema. Two workloads, mirroring `benches/query.rs`: `rate()`
+//! instant evaluations over an hour of 1s counter points (reported as
+//! evals/s), and cross-shard `query_range` requests through the
+//! federation engine (reported as latency percentiles, fan-out and JSON
+//! rendering included). Regenerate with
 //! `cargo run --release -p netqos-bench --bin query_bench`.
 
+use netqos_bench::{time_iters, BenchReport, BenchRow};
 use netqos_telemetry::{
     HttpRequest, LtsConfig, LtsCounters, LtsReader, LtsSource, LtsStore, PointValue, QueryEngine,
     Resolution, SeriesSource, Shard, ShardRegistry,
@@ -45,20 +47,6 @@ fn loaded_store(tag: &str) -> PathBuf {
     }
     store.flush().unwrap();
     dir
-}
-
-/// Latency percentiles over repeated runs of `f`, in nanoseconds.
-fn time_iters(iters: u32, mut f: impl FnMut() -> usize) -> (u128, u128, u128, usize) {
-    let mut samples = Vec::with_capacity(iters as usize);
-    let mut bytes = 0;
-    for _ in 0..iters {
-        let start = Instant::now();
-        bytes = f();
-        samples.push(start.elapsed().as_nanos());
-    }
-    samples.sort_unstable();
-    let at = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
-    (at(0.5), at(0.99), *samples.last().unwrap(), bytes)
 }
 
 fn main() {
@@ -117,10 +105,28 @@ fn main() {
         std::fs::remove_dir_all(dir).ok();
     }
 
-    let doc = format!(
-        "{{\n  \"bench\": \"query\",\n  \"store_ticks\": {STORE_TICKS},\n  \"series\": {SERIES},\n  \"rate_instant_1h_raw1s\": {{\n    \"iters\": {RATE_ITERS},\n    \"evals_per_sec\": {rate_evals_per_sec:.0},\n    \"p50_ns\": {rate_p50},\n    \"p99_ns\": {rate_p99},\n    \"max_ns\": {rate_max}\n  }},\n  \"cross_shard_query_range_step60\": {{\n    \"shards\": 2,\n    \"iters\": {RANGE_ITERS},\n    \"p50_ns\": {range_p50},\n    \"p99_ns\": {range_p99},\n    \"max_ns\": {range_max},\n    \"body_bytes\": {range_bytes}\n  }}\n}}\n"
+    let mut report = BenchReport::new("query");
+    report.push(
+        BenchRow::new("rate-instant-1h-raw1s")
+            .param("store_ticks", STORE_TICKS)
+            .param("series", SERIES)
+            .param("iters", RATE_ITERS)
+            .metric("evals_per_sec", rate_evals_per_sec)
+            .metric("p50_ns", rate_p50)
+            .metric("p99_ns", rate_p99)
+            .metric("max_ns", rate_max),
     );
-    print!("{doc}");
-    std::fs::write("BENCH_query.json", &doc).expect("write BENCH_query.json");
-    eprintln!("wrote BENCH_query.json");
+    report.push(
+        BenchRow::new("cross-shard-query-range-step60")
+            .param("shards", 2u64)
+            .param("store_ticks", STORE_TICKS)
+            .param("iters", RANGE_ITERS)
+            .metric("p50_ns", range_p50)
+            .metric("p99_ns", range_p99)
+            .metric("max_ns", range_max)
+            .metric("body_bytes", range_bytes as u64),
+    );
+    report
+        .write("BENCH_query.json")
+        .expect("write BENCH_query.json");
 }

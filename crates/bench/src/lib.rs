@@ -17,9 +17,11 @@
 //! simulator throughput, and full poll rounds.
 
 pub mod experiment;
+pub mod report;
 pub mod stats;
 pub mod testbed;
 
 pub use experiment::{run_experiment, ExperimentConfig, ExperimentResult};
+pub use report::{percentiles, time_iters, BenchReport, BenchRow, BENCH_SCHEMA};
 pub use stats::{render_table, step_stats, StepStat};
 pub use testbed::{build_testbed, Load, Testbed, TestbedOptions, LIRTSS_SPEC};

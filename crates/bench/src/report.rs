@@ -1,0 +1,241 @@
+//! Unified `BENCH_*.json` result documents.
+//!
+//! Every checked-in benchmark result uses one schema so tooling (the
+//! `netqos bench check` regression gate, CI smoke jobs, plotting
+//! scripts) can read any of them without per-bench parsers:
+//!
+//! ```json
+//! {
+//!   "schema": "netqos-bench/v1",
+//!   "bench": "lts",
+//!   "rows": [
+//!     {
+//!       "name": "append",
+//!       "params": { "series": 16, "ticks": 20000 },
+//!       "metrics": { "points_per_sec": 5400000, "ns_per_point": 185.2 }
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Metric-name suffixes carry the comparison direction: `*_per_sec`
+//! means higher is better, `*_ns` and `*_bytes` mean lower is better —
+//! `netqos bench check` keys off exactly these suffixes.
+
+use std::fmt::Write as _;
+
+/// The schema tag stamped into every document.
+pub const BENCH_SCHEMA: &str = "netqos-bench/v1";
+
+/// A parameter or metric value: integers render exactly, floats with
+/// up to three decimals (trailing zeros trimmed).
+#[derive(Debug, Clone, Copy)]
+pub enum Num {
+    /// An exact count.
+    U(u64),
+    /// A measured rate or latency.
+    F(f64),
+}
+
+impl Num {
+    fn render(&self) -> String {
+        match *self {
+            Num::U(v) => v.to_string(),
+            Num::F(v) if !v.is_finite() => "0".into(),
+            Num::F(v) => {
+                let s = format!("{v:.3}");
+                s.trim_end_matches('0').trim_end_matches('.').to_string()
+            }
+        }
+    }
+}
+
+impl From<u64> for Num {
+    fn from(v: u64) -> Self {
+        Num::U(v)
+    }
+}
+impl From<u32> for Num {
+    fn from(v: u32) -> Self {
+        Num::U(v as u64)
+    }
+}
+impl From<usize> for Num {
+    fn from(v: usize) -> Self {
+        Num::U(v as u64)
+    }
+}
+impl From<u128> for Num {
+    fn from(v: u128) -> Self {
+        Num::U(v.min(u64::MAX as u128) as u64)
+    }
+}
+impl From<f64> for Num {
+    fn from(v: f64) -> Self {
+        Num::F(v)
+    }
+}
+
+/// One workload's result: a name, the parameters that shaped it, and
+/// the measured metrics.
+#[derive(Debug, Clone, Default)]
+pub struct BenchRow {
+    name: String,
+    params: Vec<(String, Num)>,
+    metrics: Vec<(String, Num)>,
+}
+
+impl BenchRow {
+    /// An empty row named `name` (unique within the report).
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchRow {
+            name: name.into(),
+            ..BenchRow::default()
+        }
+    }
+
+    /// Adds a workload parameter (input shape, not a measurement).
+    pub fn param(mut self, key: &str, value: impl Into<Num>) -> Self {
+        self.params.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Adds a measured metric. Use the `*_per_sec` / `*_ns` / `*_bytes`
+    /// suffix conventions so regression checks know the direction.
+    pub fn metric(mut self, key: &str, value: impl Into<Num>) -> Self {
+        self.metrics.push((key.to_string(), value.into()));
+        self
+    }
+}
+
+/// A whole benchmark document: the writer behind every `BENCH_*.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    bench: String,
+    rows: Vec<BenchRow>,
+}
+
+impl BenchReport {
+    /// An empty report for benchmark `bench` (`"lts"`, `"query"`,
+    /// `"core"`, ...).
+    pub fn new(bench: impl Into<String>) -> Self {
+        BenchReport {
+            bench: bench.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one workload row.
+    pub fn push(&mut self, row: BenchRow) {
+        self.rows.push(row);
+    }
+
+    /// Renders the document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"{BENCH_SCHEMA}\",");
+        let _ = writeln!(out, "  \"bench\": \"{}\",", self.bench);
+        let _ = writeln!(out, "  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"name\": \"{}\",", row.name);
+            let _ = writeln!(out, "      \"params\": {{");
+            render_pairs(&mut out, &row.params, "        ");
+            let _ = writeln!(out, "      }},");
+            let _ = writeln!(out, "      \"metrics\": {{");
+            render_pairs(&mut out, &row.metrics, "        ");
+            let _ = writeln!(out, "      }}");
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// Prints the document to stdout and writes it to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        let doc = self.to_json();
+        print!("{doc}");
+        std::fs::write(path, &doc)?;
+        eprintln!("wrote {path}");
+        Ok(())
+    }
+}
+
+fn render_pairs(out: &mut String, pairs: &[(String, Num)], indent: &str) {
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        let comma = if i + 1 < pairs.len() { "," } else { "" };
+        let _ = writeln!(out, "{indent}\"{k}\": {}{comma}", v.render());
+    }
+}
+
+/// Latency percentiles over repeated runs of `f`, in nanoseconds, plus
+/// the last run's return value (typically a body-size check).
+pub fn time_iters(iters: u32, mut f: impl FnMut() -> usize) -> (u128, u128, u128, usize) {
+    let mut samples = Vec::with_capacity(iters as usize);
+    let mut bytes = 0;
+    for _ in 0..iters {
+        let start = std::time::Instant::now();
+        bytes = f();
+        samples.push(start.elapsed().as_nanos());
+    }
+    percentiles(&mut samples)
+        .map(|(p50, p99, max)| (p50, p99, max, bytes))
+        .unwrap_or((0, 0, 0, bytes))
+}
+
+/// `(p50, p99, max)` of a sample set (sorted in place); `None` if empty.
+pub fn percentiles(samples: &mut [u128]) -> Option<(u128, u128, u128)> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_unstable();
+    let at = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+    Some((at(0.5), at(0.99), *samples.last().unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_the_unified_schema() {
+        let mut report = BenchReport::new("demo");
+        report.push(
+            BenchRow::new("append")
+                .param("series", 16u64)
+                .metric("points_per_sec", 1_000_000.0_f64)
+                .metric("ns_per_point", 185.25_f64),
+        );
+        report.push(BenchRow::new("query").metric("p50_ns", 4_200u64));
+        let doc = report.to_json();
+        let parsed = netqos_telemetry::parse_json(&doc).expect("valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some(BENCH_SCHEMA)
+        );
+        assert_eq!(parsed.get("bench").and_then(|v| v.as_str()), Some("demo"));
+        let rows = parsed.get("rows").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0]
+                .get("metrics")
+                .and_then(|m| m.get("ns_per_point"))
+                .and_then(|v| v.as_f64()),
+            Some(185.25)
+        );
+        // Floats render trimmed, integers exact.
+        assert!(doc.contains("\"points_per_sec\": 1000000,\n"), "{doc}");
+        assert!(doc.contains("\"p50_ns\": 4200\n"), "{doc}");
+    }
+
+    #[test]
+    fn percentiles_cover_small_samples() {
+        assert_eq!(percentiles(&mut []), None);
+        assert_eq!(percentiles(&mut [7]), Some((7, 7, 7)));
+        let mut s: Vec<u128> = (1..=100).collect();
+        assert_eq!(percentiles(&mut s), Some((50, 99, 100)));
+    }
+}

@@ -27,9 +27,9 @@
 //! can sit behind one merged export surface (`netqos federate`).
 
 use netqos_telemetry::{
-    api_query_response, fields, json_escape, parse_range, EventSink, EventSource, HttpRequest,
-    HttpResponse, HttpRoute, Level, LtsReader, LtsSource, QueryEngine, Registry, RegistrySource,
-    Resolution, Router, SeriesSource, Shard, ShardHealth,
+    api_query_outcome, fields, json_escape, parse_range, profile_response, EventSink, EventSource,
+    HttpRequest, HttpResponse, HttpRoute, Level, LtsReader, LtsSource, ProfileHub, QueryEngine,
+    Registry, RegistrySource, Resolution, Router, SeriesSource, Shard, ShardHealth,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -275,30 +275,31 @@ pub fn query_response(reader: &LtsReader, req: &HttpRequest) -> HttpResponse {
     HttpResponse::json(200, body)
 }
 
-/// A `/api/v1/query` evaluation slower than this is worth a JSONL
-/// event: 50 ms is two orders of magnitude above a typical store scan.
+/// Default slow-query threshold: a `/api/v1/query` evaluation slower
+/// than this is worth a JSONL event and a response warning. 50 ms is two
+/// orders of magnitude above a typical store scan; override it with
+/// `--slow-query-ms`.
 pub const SLOW_QUERY_NS: u64 = 50_000_000;
 
 /// Serves one `/api/v1/query[_range]` request and instruments it:
 /// `netqos_query_requests_total{endpoint,status}` counts outcomes, the
 /// `netqos_query_eval_ns` histogram tracks wall-clock evaluation time,
-/// and evaluations past [`SLOW_QUERY_NS`] emit a `slow_query` event.
+/// and evaluations past `slow_query_ns` (default [`SLOW_QUERY_NS`])
+/// emit a `slow_query` event and carry a `warnings` entry in the
+/// response body. A zero threshold flags every evaluation.
 pub fn instrumented_query_response(
     engine: &QueryEngine,
     registry: &Registry,
     events: Option<&EventSink>,
     req: &HttpRequest,
     range: bool,
+    slow_query_ns: u64,
 ) -> HttpResponse {
     let endpoint = if range { "query_range" } else { "query" };
     let started = Instant::now();
-    let resp = api_query_response(engine, req, range, unix_now_ns() / 1_000_000_000);
+    let outcome = api_query_outcome(engine, req, range, unix_now_ns() / 1_000_000_000);
     let elapsed_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-    let status = if resp.status == 200 {
-        "ok"
-    } else {
-        "bad_request"
-    };
+    let status = if outcome.is_ok() { "ok" } else { "bad_request" };
     registry
         .counter(&format!(
             "netqos_query_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}}"
@@ -307,7 +308,8 @@ pub fn instrumented_query_response(
     registry
         .histogram("netqos_query_eval_ns")
         .record(elapsed_ns);
-    if elapsed_ns > SLOW_QUERY_NS {
+    let slow = elapsed_ns >= slow_query_ns;
+    if slow {
         if let Some(sink) = events {
             sink.emit(
                 Level::Warn,
@@ -317,11 +319,57 @@ pub fn instrumented_query_response(
                     "endpoint" => endpoint,
                     "query" => req.query_param("query").unwrap_or_default(),
                     "eval_ms" => elapsed_ns / 1_000_000,
+                    "threshold_ms" => slow_query_ns / 1_000_000,
                 ],
             );
         }
     }
-    resp
+    match outcome {
+        Ok(mut o) => {
+            if slow {
+                o.warnings.push(format!(
+                    "slow query: evaluation took {} ms (threshold {} ms)",
+                    elapsed_ns / 1_000_000,
+                    slow_query_ns / 1_000_000,
+                ));
+            }
+            HttpResponse::json(200, format!("{}\n", o.to_api_json()))
+        }
+        Err(resp) => resp,
+    }
+}
+
+/// Everything [`build_router_full`] can wire into the export plane.
+/// `registry` and `live` are mandatory; the rest default off.
+pub struct RouterOptions {
+    /// The registry behind `/metrics` and registry-backed queries.
+    pub registry: Arc<Registry>,
+    /// The tick-loop status behind `/healthz` and `/snapshot`.
+    pub live: Arc<LiveStatus>,
+    /// Long-term store behind `/query` (and the `/api/v1` source).
+    pub lts: Option<LtsReader>,
+    /// Event sink for slow-query JSONL events.
+    pub events: Option<Arc<EventSink>>,
+    /// Tick-phase profiler behind `/profile`.
+    pub profile: Option<Arc<ProfileHub>>,
+    /// Slow-query threshold for the `/api/v1` plane, nanoseconds.
+    pub slow_query_ns: u64,
+}
+
+impl RouterOptions {
+    /// The minimal plane: metrics, health, snapshot, alerts, and
+    /// registry-backed `/api/v1` queries at the default slow-query
+    /// threshold.
+    pub fn new(registry: Arc<Registry>, live: Arc<LiveStatus>) -> RouterOptions {
+        RouterOptions {
+            registry,
+            live,
+            lts: None,
+            events: None,
+            profile: None,
+            slow_query_ns: SLOW_QUERY_NS,
+        }
+    }
 }
 
 /// Builds the endpoint router for [`HttpServer::serve`]
@@ -347,10 +395,33 @@ pub fn build_router_with_events(
     lts: Option<LtsReader>,
     events: Option<Arc<EventSink>>,
 ) -> Arc<Router> {
+    build_router_full(RouterOptions {
+        lts,
+        events,
+        ..RouterOptions::new(registry, live)
+    })
+}
+
+/// [`build_router`] with every optional plane explicit: the long-term
+/// store, the slow-query event sink and threshold, and the tick-phase
+/// profiler behind `GET /profile` (JSON phase tree, or folded stacks
+/// with `?format=folded`).
+pub fn build_router_full(opts: RouterOptions) -> Arc<Router> {
+    let RouterOptions {
+        registry,
+        live,
+        lts,
+        events,
+        profile,
+        slow_query_ns,
+    } = opts;
     let index = {
         let mut endpoints = vec!["/metrics", "/healthz", "/snapshot", "/alerts"];
         if lts.is_some() {
             endpoints.push("/query");
+        }
+        if profile.is_some() {
+            endpoints.push("/profile");
         }
         endpoints.push("/api/v1/query");
         endpoints.push("/api/v1/query_range");
@@ -386,11 +457,35 @@ pub fn build_router_with_events(
             )
             .into(),
         }),
+        "/profile" => Some(match &profile {
+            Some(hub) => profile_response(hub, req).into(),
+            None => HttpResponse::json(
+                404,
+                "{\"error\":\"no profiler attached (run with tracing enabled)\"}\n".into(),
+            )
+            .into(),
+        }),
         "/api/v1/query" => Some(
-            instrumented_query_response(&engine, &registry, events.as_deref(), req, false).into(),
+            instrumented_query_response(
+                &engine,
+                &registry,
+                events.as_deref(),
+                req,
+                false,
+                slow_query_ns,
+            )
+            .into(),
         ),
         "/api/v1/query_range" => Some(
-            instrumented_query_response(&engine, &registry, events.as_deref(), req, true).into(),
+            instrumented_query_response(
+                &engine,
+                &registry,
+                events.as_deref(),
+                req,
+                true,
+                slow_query_ns,
+            )
+            .into(),
         ),
         "/" => Some(HttpResponse::json(200, index.clone()).into()),
         _ => None,

@@ -24,10 +24,10 @@ use netqos_sim::Ipv4Addr;
 use netqos_telemetry::{
     builtin_alert_rules, fields, report_flush, to_otlp, transitions_to_json, AdaptiveConfig,
     AlertContext, AlertEngine, AlertRule, AlertScope, CycleTrace, EventSink, FlightRecorder,
-    FlushReport, Level, LtsConfig, LtsCounters, LtsStore, OtlpPusher, PointValue, PushConfig,
-    PushCounters, QuantileBaseline, Registry, RegistrySampler, RetentionPolicy, SampleAnnotation,
-    SampleConfig, SampleDecision, Sampler, SnapshotPaths, Tracer, WebhookNotifier,
-    DEFAULT_FLIGHT_CAPACITY, DEFAULT_WINDOW,
+    FlushReport, Level, LtsConfig, LtsCounters, LtsStore, OtlpPusher, PointValue, ProfileHub,
+    PushConfig, PushCounters, QuantileBaseline, Registry, RegistrySampler, RetentionPolicy,
+    SampleAnnotation, SampleConfig, SampleDecision, Sampler, SnapshotPaths, Tracer,
+    WebhookNotifier, DEFAULT_FLIGHT_CAPACITY, DEFAULT_PROFILE_WINDOW, DEFAULT_WINDOW,
 };
 use netqos_topology::bandwidth::BandwidthRule;
 use netqos_topology::path::CommPath;
@@ -148,6 +148,9 @@ pub struct MonitoringService {
     events: Arc<EventSink>,
     tracer: Tracer,
     flight: FlightRecorder,
+    /// Rolling tick-phase profile aggregated from the tracer's spans
+    /// (populated only while tracing is on; serves `GET /profile`).
+    profile: Arc<ProfileHub>,
     /// Used-bandwidth baseline per qospath (the bottleneck sample the
     /// recorder also tracks), so each tick can be ranked against recent
     /// history.
@@ -298,6 +301,8 @@ impl MonitoringService {
                 }
             }
         }
+        let profile =
+            ProfileHub::with_registry(DEFAULT_PROFILE_WINDOW, telemetry.registry().clone());
         Ok(MonitoringService {
             net,
             monitor,
@@ -311,6 +316,7 @@ impl MonitoringService {
             events: Arc::new(EventSink::null()),
             tracer,
             flight,
+            profile,
             path_baselines,
             snapshots: Vec::new(),
             epoch_unix_ns,
@@ -363,6 +369,12 @@ impl MonitoringService {
     /// The flight-recorder ring of recent cycle traces.
     pub fn flight(&self) -> &FlightRecorder {
         &self.flight
+    }
+
+    /// The rolling tick-phase profile (fed from the tracer's spans while
+    /// tracing is on; share it with the export plane for `/profile`).
+    pub fn profile(&self) -> &Arc<ProfileHub> {
+        &self.profile
     }
 
     /// Flight-recorder snapshots written to disk so far (newest last).
@@ -937,6 +949,10 @@ impl MonitoringService {
                 .trace_head_every
                 .set(self.sampler.head_every().min(i64::MAX as u64) as i64);
             let spans = self.tracer.end_cycle();
+            // Every traced cycle feeds the rolling phase profile, even
+            // ones the sampler drops from the flight ring — profiling
+            // wants the full population, not the kept forensic subset.
+            self.profile.record_spans(&spans);
             if decision.keep() {
                 let cycle = CycleTrace {
                     seq: 0, // assigned by the recorder

@@ -1,0 +1,309 @@
+//! Parameterized ISP-scale topology generation.
+//!
+//! The paper's LIRTSS testbed is a handful of hosts; measuring how the
+//! monitor *scales* needs specs three orders of magnitude larger. This
+//! module emits synthetic-but-realistic specification source in the
+//! shape of an access network:
+//!
+//! ```text
+//! core ──trunk──> site switches ──trunk──> access points ──> hosts
+//! ```
+//!
+//! One 10Gbps core switch fans out to 1Gbps site switches; each site
+//! fans out to 100Mbps access-point switches (every `hub_every`-th AP
+//! is a shared 10Mbps hub instead — the monitor must handle mixed
+//! layer-1/layer-2 gear); each AP serves `hosts_per_ap` subscriber
+//! hosts. Every host is SNMP-capable, and `qos_paths` cross-AP QoS
+//! paths ride on top so path evaluation is exercised, not just device
+//! polling.
+//!
+//! Generation is fully deterministic — same parameters, byte-identical
+//! spec — so generated topologies can anchor benchmarks and regression
+//! baselines.
+
+use std::fmt::Write as _;
+
+/// Parameters for [`generate_spec`]. `Default` is a small smoke-test
+/// topology; scale `hosts` up to 10⁵ for ISP-sized benchmarks.
+#[derive(Debug, Clone)]
+pub struct GenParams {
+    /// Total subscriber hosts (the generator rounds the tree shape
+    /// around this; the exact count is always honored).
+    pub hosts: usize,
+    /// Hosts behind each access point (last AP takes the remainder).
+    /// Clamped to 1..=249 so per-AP /24-style addressing stays valid.
+    pub hosts_per_ap: usize,
+    /// Access points aggregated by each site switch.
+    pub aps_per_site: usize,
+    /// Every n-th access point is a 10Mbps hub instead of a 100Mbps
+    /// switch; `0` disables hubs entirely.
+    pub hub_every: usize,
+    /// Cross-AP QoS paths to declare (capped at what the host count
+    /// supports).
+    pub qos_paths: usize,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            hosts: 100,
+            hosts_per_ap: 25,
+            aps_per_site: 8,
+            hub_every: 4,
+            qos_paths: 8,
+        }
+    }
+}
+
+impl GenParams {
+    fn hosts_per_ap(&self) -> usize {
+        self.hosts_per_ap.clamp(1, 249)
+    }
+
+    /// Access points needed for `hosts`.
+    pub fn ap_count(&self) -> usize {
+        self.hosts.div_ceil(self.hosts_per_ap()).max(1)
+    }
+
+    /// Site switches needed for the access points.
+    pub fn site_count(&self) -> usize {
+        self.ap_count().div_ceil(self.aps_per_site.max(1))
+    }
+
+    /// Total nodes the generated spec declares (hosts + APs + site
+    /// switches + the core).
+    pub fn node_count(&self) -> usize {
+        self.hosts + self.ap_count() + self.site_count() + 1
+    }
+}
+
+/// Whether access point `g` is generated as a shared hub.
+fn is_hub(params: &GenParams, g: usize) -> bool {
+    params.hub_every != 0 && (g + 1).is_multiple_of(params.hub_every)
+}
+
+/// The host name for subscriber `i` of access point `g`.
+fn host_name(g: usize, i: usize) -> String {
+    format!("h{g}-{i}")
+}
+
+/// Emits deterministic specification source for `params`: the full
+/// core→site→access-point→host tree, every connection, and the
+/// cross-AP QoS paths. The output parses and validates with
+/// [`crate::parse_and_validate`].
+pub fn generate_spec(params: &GenParams) -> String {
+    let per_ap = params.hosts_per_ap();
+    let aps = params.ap_count();
+    let sites = params.site_count();
+    let aps_per_site = params.aps_per_site.max(1);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Generated access-network topology: {} hosts, {} access points, {} sites.",
+        params.hosts, aps, sites
+    );
+    let _ = writeln!(
+        out,
+        "# netqos gen-topology --hosts {} --hosts-per-ap {} --aps-per-site {} --hub-every {} --qos-paths {}",
+        params.hosts, per_ap, aps_per_site, params.hub_every, params.qos_paths
+    );
+    out.push('\n');
+
+    // Core: one trunk port per site.
+    let _ = writeln!(out, "device core switch {{");
+    let _ = writeln!(out, "    speed 10Gbps;");
+    for s in 0..sites {
+        let _ = writeln!(out, "    interface t{s};");
+    }
+    let _ = writeln!(out, "}}");
+
+    // Site switches: an uplink plus one port per attached AP.
+    for s in 0..sites {
+        let ap_lo = s * aps_per_site;
+        let ap_hi = (ap_lo + aps_per_site).min(aps);
+        let _ = writeln!(out, "device site{s} switch {{");
+        let _ = writeln!(out, "    speed 1Gbps;");
+        let _ = writeln!(out, "    interface up;");
+        for g in ap_lo..ap_hi {
+            let _ = writeln!(out, "    interface d{g};");
+        }
+        let _ = writeln!(out, "}}");
+    }
+
+    // Access points and their hosts.
+    for g in 0..aps {
+        let lo = g * per_ap;
+        let hi = (lo + per_ap).min(params.hosts);
+        let kind = if is_hub(params, g) { "hub" } else { "switch" };
+        let speed = if is_hub(params, g) {
+            "10Mbps"
+        } else {
+            "100Mbps"
+        };
+        let _ = writeln!(out, "device ap{g} {kind} {{");
+        let _ = writeln!(out, "    speed {speed};");
+        let _ = writeln!(out, "    interface up;");
+        for i in lo..hi {
+            let _ = writeln!(out, "    interface p{};", i - lo);
+        }
+        let _ = writeln!(out, "}}");
+        for i in lo..hi {
+            let _ = writeln!(out, "host {} {{", host_name(g, i - lo));
+            let _ = writeln!(out, "    os \"Linux\";");
+            let _ = writeln!(
+                out,
+                "    address 10.{}.{}.{};",
+                g / 250,
+                g % 250,
+                i - lo + 1
+            );
+            let _ = writeln!(out, "    snmp community \"public\";");
+            let _ = writeln!(out, "    interface eth0 {{ speed {speed}; }}");
+            let _ = writeln!(out, "}}");
+        }
+    }
+    out.push('\n');
+
+    // Trunks, uplinks, subscriber drops.
+    for s in 0..sites {
+        let _ = writeln!(out, "connection core.t{s} <-> site{s}.up;");
+    }
+    for g in 0..aps {
+        let s = g / aps_per_site;
+        let _ = writeln!(out, "connection site{s}.d{g} <-> ap{g}.up;");
+    }
+    for g in 0..aps {
+        let lo = g * per_ap;
+        let hi = (lo + per_ap).min(params.hosts);
+        for i in lo..hi {
+            let _ = writeln!(
+                out,
+                "connection {}.eth0 <-> ap{g}.p{};",
+                host_name(g, i - lo),
+                i - lo
+            );
+        }
+    }
+    out.push('\n');
+
+    // Cross-AP QoS paths: endpoint pairs stride the AP ring so paths
+    // traverse site and core trunks, not just one access switch.
+    let max_paths = if params.hosts >= 2 {
+        params.qos_paths
+    } else {
+        0
+    };
+    for k in 0..max_paths {
+        let from_ap = k % aps;
+        let to_ap = (k + aps / 2 + 1) % aps;
+        let from_i = k % hosts_in_ap(params, from_ap);
+        let to_i = (k + 1) % hosts_in_ap(params, to_ap);
+        let from = host_name(from_ap, from_i);
+        let to = host_name(to_ap, to_i);
+        if from == to {
+            continue;
+        }
+        let _ = writeln!(out, "qospath p{k} from {from} to {to} {{");
+        let _ = writeln!(out, "    min_available 100KBps;");
+        let _ = writeln!(out, "    max_utilization 80%;");
+        let _ = writeln!(out, "}}");
+    }
+    out
+}
+
+/// Hosts actually attached to access point `g` (the last AP may be
+/// partial).
+fn hosts_in_ap(params: &GenParams, g: usize) -> usize {
+    let per_ap = params.hosts_per_ap();
+    let lo = g * per_ap;
+    let hi = (lo + per_ap).min(params.hosts);
+    hi.saturating_sub(lo).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_generate_a_valid_spec() {
+        let params = GenParams::default();
+        let src = generate_spec(&params);
+        let model = crate::parse_and_validate(&src).expect("generated spec must validate");
+        assert_eq!(model.topology.node_count(), params.node_count());
+        assert_eq!(model.qos_paths.len(), params.qos_paths);
+        // Every host is SNMP-capable — the monitor needs agents to poll.
+        assert_eq!(model.snmp_nodes().len(), params.hosts);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = GenParams {
+            hosts: 37,
+            ..GenParams::default()
+        };
+        assert_eq!(generate_spec(&params), generate_spec(&params));
+    }
+
+    #[test]
+    fn mixed_hub_and_switch_layers_appear() {
+        let params = GenParams {
+            hosts: 200,
+            hub_every: 3,
+            ..GenParams::default()
+        };
+        let src = generate_spec(&params);
+        assert!(src.contains(" hub {"), "expected hub APs:\n{src}");
+        assert!(src.contains("device ap0 switch {"), "{src}");
+        crate::parse_and_validate(&src).expect("mixed-layer spec must validate");
+    }
+
+    #[test]
+    fn uneven_host_counts_leave_a_partial_last_ap() {
+        let params = GenParams {
+            hosts: 26,
+            hosts_per_ap: 25,
+            ..GenParams::default()
+        };
+        let src = generate_spec(&params);
+        let model = crate::parse_and_validate(&src).unwrap();
+        assert_eq!(params.ap_count(), 2);
+        assert_eq!(model.snmp_nodes().len(), 26);
+    }
+
+    #[test]
+    fn single_host_topology_drops_qos_paths() {
+        let params = GenParams {
+            hosts: 1,
+            qos_paths: 4,
+            ..GenParams::default()
+        };
+        let model = crate::parse_and_validate(&generate_spec(&params)).unwrap();
+        assert!(model.qos_paths.is_empty());
+    }
+
+    #[test]
+    fn round_trips_through_the_parser_at_1k_hosts() {
+        let params = GenParams {
+            hosts: 1_000,
+            ..GenParams::default()
+        };
+        let src = generate_spec(&params);
+        let model = crate::parse_and_validate(&src).expect("1k-host spec must validate");
+        assert_eq!(model.topology.node_count(), params.node_count());
+        assert_eq!(model.snmp_nodes().len(), 1_000);
+        assert_eq!(model.qos_paths.len(), params.qos_paths);
+    }
+
+    #[test]
+    fn round_trips_through_the_parser_at_10k_hosts() {
+        let params = GenParams {
+            hosts: 10_000,
+            ..GenParams::default()
+        };
+        let src = generate_spec(&params);
+        let model = crate::parse_and_validate(&src).expect("10k-host spec must validate");
+        assert_eq!(model.topology.node_count(), params.node_count());
+        assert_eq!(model.snmp_nodes().len(), 10_000);
+    }
+}

@@ -60,6 +60,7 @@
 
 pub mod ast;
 pub mod error;
+pub mod gen;
 pub mod lexer;
 pub mod model;
 pub mod parser;
@@ -67,6 +68,7 @@ pub mod writer;
 
 pub use ast::SpecFile;
 pub use error::{Span, SpecError};
+pub use gen::{generate_spec, GenParams};
 pub use model::{parse_and_validate, QosPathSpec, SpecModel};
 pub use parser::parse;
 pub use writer::write_spec;

@@ -43,6 +43,9 @@ pub struct ShardHealth {
 /// A shard's `/query` handler: answers long-term stats range reads.
 type QueryHook = Arc<dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync>;
 
+/// A shard's `/profile` handler: renders its tick-phase profile.
+type ProfileHook = Arc<dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync>;
+
 /// A member of the federation: a name, its metrics registry, and the
 /// two read closures the combined endpoints call at scrape time.
 pub struct Shard {
@@ -52,6 +55,7 @@ pub struct Shard {
     snapshot: Arc<dyn Fn() -> String + Send + Sync>,
     alerts: Arc<dyn Fn() -> String + Send + Sync>,
     query: Option<QueryHook>,
+    profile: Option<ProfileHook>,
     promql: Option<Arc<dyn SeriesSource>>,
 }
 
@@ -72,6 +76,7 @@ impl Shard {
             snapshot: Arc::new(snapshot),
             alerts: Arc::new(|| "{}".into()),
             query: None,
+            profile: None,
             promql: None,
         }
     }
@@ -91,6 +96,18 @@ impl Shard {
         query: impl Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
     ) -> Self {
         self.query = Some(Arc::new(query));
+        self
+    }
+
+    /// Attaches the shard's tick-phase `/profile` handler (same
+    /// request contract as the live endpoint, including
+    /// `?format=json|folded`); without it the federated `/profile`
+    /// answers 404 for this shard.
+    pub fn with_profile(
+        mut self,
+        profile: impl Fn(&HttpRequest) -> HttpResponse + Send + Sync + 'static,
+    ) -> Self {
+        self.profile = Some(Arc::new(profile));
         self
     }
 
@@ -240,14 +257,15 @@ impl ShardRegistry {
             let _ = writeln!(out, "{plain} {total}");
         }
         for (name, series) in &histograms {
-            let (name, _) = split_labeled_name(name);
-            let _ = writeln!(out, "# TYPE {name} histogram");
+            let (base, full) = split_labeled_name(name);
+            let labels = crate::embedded_labels(&base, &full);
+            let _ = writeln!(out, "# TYPE {base} histogram");
             let merged = crate::Histogram::new();
             for (shard, h) in series {
-                render_histogram_into(&mut out, &name, Some(shard), h);
+                render_histogram_into(&mut out, &base, Some(shard), labels, h);
                 merged.merge_from(h);
             }
-            render_histogram_into(&mut out, &name, None, &merged);
+            render_histogram_into(&mut out, &base, None, labels, &merged);
         }
         out
     }
@@ -320,6 +338,52 @@ impl ShardRegistry {
                 404,
                 format!(
                     "{{\"error\":\"shard has no long-term store\",\"shard\":{}}}\n",
+                    json_escape(&name)
+                ),
+            ),
+        }
+    }
+
+    /// The federated `/profile`: tick-phase profiles are per-shard, so
+    /// the request must pick one with `shard=<name>`; the rest of the
+    /// query string (`format=json|folded`) is handed to that shard's
+    /// handler unchanged.
+    pub fn profile_dispatch(&self, req: &HttpRequest) -> HttpResponse {
+        let Some(name) = req.query_param("shard") else {
+            let shards = self.shards.read();
+            let with_profile: Vec<&str> = shards
+                .iter()
+                .filter(|s| s.profile.is_some())
+                .map(|s| s.name.as_str())
+                .collect();
+            return HttpResponse::json(
+                400,
+                format!(
+                    "{{\"error\":\"missing shard= parameter\",\"shards\":[{}]}}\n",
+                    with_profile
+                        .iter()
+                        .map(|n| json_escape(n))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                ),
+            );
+        };
+        let shards = self.shards.read();
+        let Some(shard) = shards.iter().find(|s| s.name == name) else {
+            return HttpResponse::json(
+                404,
+                format!(
+                    "{{\"error\":\"unknown shard\",\"shard\":{}}}\n",
+                    json_escape(&name)
+                ),
+            );
+        };
+        match &shard.profile {
+            Some(p) => p(req),
+            None => HttpResponse::json(
+                404,
+                format!(
+                    "{{\"error\":\"shard has no profiler attached\",\"shard\":{}}}\n",
                     json_escape(&name)
                 ),
             ),
@@ -428,6 +492,7 @@ impl ShardRegistry {
             "/alerts" => Some(fed.alerts_response().into()),
             "/snapshot" => Some(fed.snapshot_response().into()),
             "/query" => Some(fed.query_response(req).into()),
+            "/profile" => Some(fed.profile_dispatch(req).into()),
             "/api/v1/query" => Some(fed.promql_response(req, false).into()),
             "/api/v1/query_range" => Some(fed.promql_response(req, true).into()),
             "/" => Some(
@@ -436,7 +501,7 @@ impl ShardRegistry {
                     format!(
                         "{{\"federation\":{{\"shards\":{}}},\
                          \"endpoints\":[\"/metrics\",\"/healthz\",\"/alerts\",\"/snapshot\",\
-                         \"/query\",\"/api/v1/query\",\"/api/v1/query_range\"]}}\n",
+                         \"/query\",\"/profile\",\"/api/v1/query\",\"/api/v1/query_range\"]}}\n",
                         fed.len()
                     ),
                 )
@@ -719,6 +784,48 @@ mod tests {
         // Unknown shard and store-less shard: 404.
         assert_eq!(fed.query_response(&req("shard=zz")).status, 404);
         assert_eq!(fed.query_response(&req("shard=b")).status, 404);
+        // The route is wired into the router.
+        let router = fed.router();
+        assert!(router(&req("shard=a")).is_some());
+    }
+
+    #[test]
+    fn profile_dispatches_to_the_named_shard() {
+        use crate::profile::{profile_response, ProfileHub, SpanView};
+        let hub = ProfileHub::new(16);
+        hub.record_views(&[SpanView {
+            span_id: 1,
+            parent: None,
+            target: "monitor",
+            name: "cycle",
+            dur_ns: 500,
+        }]);
+        let fed = ShardRegistry::new();
+        fed.register(
+            Shard::metrics_only("a", Registry::new())
+                .with_profile(move |req| profile_response(&hub, req)),
+        )
+        .unwrap();
+        fed.register(Shard::metrics_only("b", Registry::new()))
+            .unwrap();
+        let req = |query: &str| HttpRequest {
+            method: "GET".into(),
+            path: "/profile".into(),
+            query: query.into(),
+            accept: String::new(),
+        };
+        // Dispatch reaches the named shard's profiler, format passthrough.
+        let resp = fed.profile_dispatch(&req("shard=a&format=folded"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, "monitor.cycle 500\n");
+        // Missing shard param: 400 listing the shards that can answer.
+        let resp = fed.profile_dispatch(&req("format=json"));
+        assert_eq!(resp.status, 400);
+        assert!(resp.body.contains("\"a\""), "{}", resp.body);
+        assert!(!resp.body.contains("\"b\""), "{}", resp.body);
+        // Unknown shard and profiler-less shard: 404.
+        assert_eq!(fed.profile_dispatch(&req("shard=zz")).status, 404);
+        assert_eq!(fed.profile_dispatch(&req("shard=b")).status, 404);
         // The route is wired into the router.
         let router = fed.router();
         assert!(router(&req("shard=a")).is_some());

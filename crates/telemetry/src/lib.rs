@@ -33,6 +33,7 @@ mod json;
 mod lts;
 mod metrics;
 mod otlp;
+mod profile;
 mod promql;
 mod push;
 mod sample;
@@ -67,10 +68,12 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramState, HistogramSummary, HistogramTimer, BUCKETS,
 };
 pub use otlp::{parsed_to_otlp, to_otlp, validate_otlp, OtlpStats, OTLP_SCOPE, OTLP_SERVICE};
+pub use profile::{profile_response, ProfileHub, SpanView, DEFAULT_PROFILE_WINDOW};
 pub use promql::{
-    api_query_response, fmt_value, parse_duration, parse_series_name, query_error_json,
-    resolution_for_step, LtsSource, MatrixSeries, PromSeries, QueryEngine, QueryOutcome,
-    QueryResult, RegistrySource, Sample, SeriesSource, LOOKBACK_FLOOR_SECS, MAX_RANGE_STEPS,
+    api_query_outcome, api_query_response, fmt_value, parse_duration, parse_series_name,
+    query_error_json, resolution_for_step, LtsSource, MatrixSeries, PromSeries, QueryEngine,
+    QueryOutcome, QueryResult, RegistrySource, Sample, SeriesSource, LOOKBACK_FLOOR_SECS,
+    MAX_RANGE_STEPS,
 };
 pub use push::{
     parse_push_url, parse_webhook_url, OtlpPusher, PushConfig, PushCounters, PushTarget,
@@ -233,9 +236,9 @@ impl Registry {
             let _ = writeln!(out, "{series} {}", g.get());
         }
         for (name, h) in self.histogram_entries() {
-            let name = sanitize_metric_name(&name);
-            let _ = writeln!(out, "# TYPE {name} histogram");
-            render_histogram_into(&mut out, &name, None, &h);
+            let (base, series) = split_labeled_name(&name);
+            let _ = writeln!(out, "# TYPE {base} histogram");
+            render_histogram_into(&mut out, &base, None, embedded_labels(&base, &series), &h);
         }
         out
     }
@@ -243,20 +246,32 @@ impl Registry {
 
 /// Writes one histogram's Prometheus exposition lines (`_bucket`,
 /// `_sum`, `_count`, `_min`, `_max`), optionally stamped with a
-/// `shard="..."` label. The `# TYPE` header is the caller's, so
-/// federated output can group several label sets under one family.
+/// `shard="..."` label and/or the label body embedded in the registry
+/// key (e.g. `phase="monitor.cycle"`). The `# TYPE` header is the
+/// caller's, so federated output can group several label sets under
+/// one family.
 pub(crate) fn render_histogram_into(
     out: &mut String,
     name: &str,
     shard: Option<&str>,
+    labels: &str,
     h: &Histogram,
 ) {
     let label = |extra: &str| -> String {
-        match (shard, extra.is_empty()) {
-            (Some(s), false) => format!("{{shard=\"{}\",{extra}}}", escape_label_value(s)),
-            (Some(s), true) => format!("{{shard=\"{}\"}}", escape_label_value(s)),
-            (None, false) => format!("{{{extra}}}"),
-            (None, true) => String::new(),
+        let mut parts: Vec<String> = Vec::new();
+        if let Some(s) = shard {
+            parts.push(format!("shard=\"{}\"", escape_label_value(s)));
+        }
+        if !labels.is_empty() {
+            parts.push(labels.to_string());
+        }
+        if !extra.is_empty() {
+            parts.push(extra.to_string());
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", parts.join(","))
         }
     };
     let buckets = h.cumulative_buckets();
@@ -304,6 +319,17 @@ pub(crate) fn split_labeled_name(name: &str) -> (String, String) {
     }
     let sanitized = sanitize_metric_name(name);
     (sanitized.clone(), sanitized)
+}
+
+/// The label body embedded in a `split_labeled_name` result —
+/// `phase="monitor.cycle"` from `base{phase="monitor.cycle"}` — or `""`
+/// for plain names.
+pub(crate) fn embedded_labels<'a>(base: &str, series: &'a str) -> &'a str {
+    if series.len() > base.len() {
+        &series[base.len() + 1..series.len() - 1]
+    } else {
+        ""
+    }
 }
 
 /// Replaces characters Prometheus forbids in metric names.

@@ -112,7 +112,7 @@ impl Default for Histogram {
 }
 
 /// Maps a sample to its bucket index.
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     if v < LINEAR {
         v as usize
     } else {
@@ -143,7 +143,7 @@ pub(crate) fn bucket_high(i: usize) -> u64 {
 }
 
 /// The value reported for samples landing in bucket `i` (its midpoint).
-fn bucket_mid(i: usize) -> u64 {
+pub(crate) fn bucket_mid(i: usize) -> u64 {
     if i < LINEAR as usize {
         i as u64
     } else {

@@ -1683,8 +1683,24 @@ pub fn api_query_response(
     range: bool,
     now_unix: u64,
 ) -> HttpResponse {
+    match api_query_outcome(engine, req, range, now_unix) {
+        Ok(o) => HttpResponse::json(200, format!("{}\n", o.to_api_json())),
+        Err(resp) => resp,
+    }
+}
+
+/// The evaluation half of [`api_query_response`]: parses the request and
+/// evaluates it, returning the raw [`QueryOutcome`] so callers can graft
+/// extra warnings on (e.g. the live plane's slow-query annotation)
+/// before rendering, or a ready-made error response.
+pub fn api_query_outcome(
+    engine: &QueryEngine,
+    req: &HttpRequest,
+    range: bool,
+    now_unix: u64,
+) -> Result<QueryOutcome, HttpResponse> {
     let Some(query) = req.query_param("query") else {
-        return bad_request("missing query= parameter");
+        return Err(bad_request("missing query= parameter"));
     };
     let outcome = if range {
         let parse_t = |key: &str| -> Result<u64, HttpResponse> {
@@ -1697,37 +1713,46 @@ pub fn api_query_response(
         };
         let (start, end) = match (parse_t("start"), parse_t("end")) {
             (Ok(s), Ok(e)) => (s, e),
-            (Err(resp), _) | (_, Err(resp)) => return resp,
+            (Err(resp), _) | (_, Err(resp)) => return Err(resp),
         };
         let step = match req.query_param("step") {
             Some(s) => match parse_duration(&s) {
                 Some(d) if d > 0 => d,
-                _ => return bad_request(&format!("step= must be a positive duration (got {s:?})")),
+                _ => {
+                    return Err(bad_request(&format!(
+                        "step= must be a positive duration (got {s:?})"
+                    )))
+                }
             },
-            None => return bad_request("missing step= parameter"),
+            None => return Err(bad_request("missing step= parameter")),
         };
         engine.range(&query, start, end, step)
     } else {
         let t = match req.query_param("time") {
             Some(s) => match s.parse() {
                 Ok(t) => t,
-                Err(_) => return bad_request(&format!("time= must be Unix seconds (got {s:?})")),
+                Err(_) => {
+                    return Err(bad_request(&format!(
+                        "time= must be Unix seconds (got {s:?})"
+                    )))
+                }
             },
             None => engine.newest_t().unwrap_or(now_unix),
         };
         let res = match req.query_param("step") {
             Some(s) => match Resolution::parse(&s) {
                 Some(r) => r,
-                None => return bad_request(&format!("step= must be 1s, 1m, or 1h (got {s:?})")),
+                None => {
+                    return Err(bad_request(&format!(
+                        "step= must be 1s, 1m, or 1h (got {s:?})"
+                    )))
+                }
             },
             None => Resolution::Raw1s,
         };
         engine.instant(&query, t, res)
     };
-    match outcome {
-        Ok(o) => HttpResponse::json(200, format!("{}\n", o.to_api_json())),
-        Err(e) => bad_request(&e),
-    }
+    outcome.map_err(|e| bad_request(&e))
 }
 
 #[cfg(test)]

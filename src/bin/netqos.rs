@@ -40,6 +40,12 @@
 //!                       [--out DIR]
 //! netqos flight  dump PATH [--otlp]          re-emit a snapshot (Chrome or OTLP)
 //! netqos flight  show|check PATH             inspect / validate snapshots
+//! netqos profile --url U | PATH.jsonl        tick-phase profile of a live monitor
+//!                       [--shard NAME]       (or offline over a flight snapshot)
+//!                       [--format json|folded]
+//! netqos gen-topology [--hosts N] ...        emit a synthetic ISP-scale spec
+//! netqos bench   check OLD NEW               gate BENCH_*.json regressions
+//!                       [--tolerance PCT]
 //! ```
 //!
 //! Exit codes: 0 success, 1 usage error, 2 validation/runtime failure.
@@ -55,6 +61,10 @@ use netqos_telemetry::{EventSink, Level};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// Default `/api/v1` slow-query warning threshold, milliseconds
+/// (override with `--slow-query-ms`).
+const DEFAULT_SLOW_QUERY_MS: u64 = 50;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -75,6 +85,9 @@ fn main() -> ExitCode {
         "audit" => cmd_audit(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "flight" => cmd_flight(&args[1..]),
+        "profile" => cmd_profile(&args[1..]),
+        "gen-topology" => cmd_gen_topology(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -130,6 +143,13 @@ const USAGE: &str = "usage:
                                              keeping read amplification flat
                                              on long runs; queries see
                                              byte-identical results across it
+                        [--slow-query-ms MS] flag /api/v1 evaluations slower
+                                             than MS in response warnings and
+                                             the event stream (default 50);
+                                             with tracing on, --serve also
+                                             gains GET /profile (tick-phase
+                                             profile; ?format=folded for
+                                             flamegraph folded stacks)
   netqos federate <spec> <spec>... [--duration N] [--serve ADDR] [--pace-ms MS]
                         [--trace-sample N] [--trace-adaptive] [--alert-rules PATH]
                         [--lts DIR]          per-shard stores under DIR/<shard>;
@@ -180,7 +200,27 @@ const USAGE: &str = "usage:
                         [--format json|prom|csv]   points as JSON (default),
                                              Prometheus text, or CSV rows
                                              print the same JSON GET /query
-                                             serves (SEL takes * wildcards)";
+                                             serves (SEL takes * wildcards)
+  netqos profile --url http://host:port      fetch a live monitor's tick-phase
+                        [--shard NAME]       profile (federations need the shard
+                                             name); the monitor must be tracing
+                                             (--trace-sample/--trace-adaptive)
+  netqos profile PATH.jsonl                  profile a flight-recorder snapshot
+                        [--window N]         offline (rolling window, default
+                                             every cycle in the snapshot)
+                        [--format json|folded]   phase tree as JSON (default) or
+                                             flamegraph-compatible folded stacks
+  netqos gen-topology [--hosts N]            emit a synthetic core/site/access
+                        [--hosts-per-ap N]   topology spec on stdout (10^3-10^5
+                        [--aps-per-site N]   hosts; deterministic for fixed
+                        [--hub-every N]      parameters); every N-th access
+                        [--qos-paths N]      point is a shared hub
+                        [--out FILE]         write the spec to FILE instead
+  netqos bench   check OLD.json NEW.json     compare two netqos-bench/v1 result
+                        [--tolerance PCT]    documents; nonzero exit when any
+                                             metric regresses more than PCT%
+                                             (default 10; *_per_sec up is good,
+                                             *_ns/*_bytes down is good)";
 
 fn read_spec(args: &[String]) -> Result<(String, String), String> {
     let path = args
@@ -289,6 +329,7 @@ struct MonitorOptions {
     baseline_save_ticks: Option<u64>,
     lts: Option<PathBuf>,
     lts_compact: bool,
+    slow_query_ms: u64,
 }
 
 fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
@@ -309,6 +350,7 @@ fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
         baseline_save_ticks: None,
         lts: None,
         lts_compact: false,
+        slow_query_ms: DEFAULT_SLOW_QUERY_MS,
     };
     let mut i = 1;
     while i < args.len() {
@@ -414,6 +456,13 @@ fn parse_monitor_options(args: &[String]) -> Result<MonitorOptions, String> {
             }
             "--lts-compact" => {
                 opts.lts_compact = true;
+            }
+            "--slow-query-ms" => {
+                i += 1;
+                opts.slow_query_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--slow-query-ms needs a number of milliseconds")?;
             }
             other => return Err(format!("unknown option `{other}`\n{USAGE}")),
         }
@@ -566,18 +615,24 @@ fn start_serve_plane(
         _ => None,
     };
     let has_query = reader.is_some();
-    let router = netqos::monitor::live::build_router_with_events(
-        service.registry().clone(),
-        live.clone(),
-        reader,
-        Some(service.event_sink().clone()),
-    );
+    // /profile only answers when spans actually flow into the profiler,
+    // i.e. when tracing is on; otherwise the route 404s with a hint.
+    let profile = wants_tracing(opts).then(|| service.profile().clone());
+    let has_profile = profile.is_some();
+    let router = netqos::monitor::live::build_router_full(netqos::monitor::live::RouterOptions {
+        lts: reader,
+        events: Some(service.event_sink().clone()),
+        profile,
+        slow_query_ns: opts.slow_query_ms.saturating_mul(1_000_000),
+        ..netqos::monitor::live::RouterOptions::new(service.registry().clone(), live.clone())
+    });
     let server = netqos_telemetry::HttpServer::serve(addr.as_str(), router)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     eprintln!(
-        "serving http://{}/ (metrics, healthz, snapshot, alerts{})",
+        "serving http://{}/ (metrics, healthz, snapshot, alerts{}{})",
         server.local_addr(),
-        if has_query { ", query" } else { "" }
+        if has_query { ", query" } else { "" },
+        if has_profile { ", profile" } else { "" }
     );
     Ok(Some(ServePlane { server, live }))
 }
@@ -825,6 +880,7 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
         String,
         Arc<netqos_telemetry::Registry>,
         Arc<netqos::monitor::live::LiveStatus>,
+        Arc<netqos_telemetry::ProfileHub>,
     );
     let (handle_tx, handle_rx) = std::sync::mpsc::channel::<Result<ShardHandles, String>>();
     let mut workers = Vec::new();
@@ -851,6 +907,7 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
             // same layout the federated /query?shard=NAME reads.
             lts: opts.lts.as_ref().map(|d| d.join(&name)),
             lts_compact: opts.lts_compact,
+            slow_query_ms: opts.slow_query_ms,
         };
         let worker = std::thread::Builder::new()
             .name(format!("netqos-shard-{name}"))
@@ -874,7 +931,12 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
                         live.set_stale_after_ns(
                             (shard_opts.pace_ms.saturating_mul(10_000_000)).max(2_000_000_000),
                         );
-                        let _ = tx.send(Ok((name.clone(), service.registry().clone(), live)));
+                        let _ = tx.send(Ok((
+                            name.clone(),
+                            service.registry().clone(),
+                            live,
+                            service.profile().clone(),
+                        )));
                         // Close this worker's sender now: the main
                         // thread serves as soon as every shard has
                         // checked in, not when the runs end.
@@ -911,9 +973,15 @@ fn cmd_federate(args: &[String]) -> Result<(), String> {
     let mut startup_errors = Vec::new();
     for handles in handle_rx {
         match handles {
-            Ok((name, registry, live)) => {
+            Ok((name, registry, live, profile)) => {
                 let mut shard =
                     netqos::monitor::live::shard_for(name.clone(), registry.clone(), live);
+                // /profile?shard=NAME serves this shard's phase tree;
+                // the hub only fills while the shard traces.
+                if wants_tracing(&opts) {
+                    shard = shard
+                        .with_profile(move |req| netqos_telemetry::profile_response(&profile, req));
+                }
                 // The cross-shard /api/v1 engine reads each shard's
                 // store from disk when one exists, else answers instant
                 // queries from the shard's live registry.
@@ -1243,6 +1311,292 @@ fn validate_trace_file(
     src: &str,
 ) -> Result<netqos_telemetry::ChromeTraceStats, String> {
     netqos_telemetry::validate_chrome_trace(src).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Renders a monitor's tick-phase profile: online from a live (or
+/// federated) export plane's `GET /profile`, or offline by folding a
+/// flight-recorder JSONL snapshot through the same profiler the live
+/// endpoint uses — identical span stream, identical document.
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let mut url: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut shard: Option<String> = None;
+    let mut window: Option<usize> = None;
+    let mut format = String::from("json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--url" => {
+                i += 1;
+                url = Some(args.get(i).ok_or("--url needs http://host:port")?.clone());
+            }
+            "--shard" => {
+                i += 1;
+                shard = Some(args.get(i).ok_or("--shard needs a shard name")?.clone());
+            }
+            "--window" => {
+                i += 1;
+                window = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|n| *n > 0)
+                        .ok_or("--window needs a positive cycle count")?,
+                );
+            }
+            "--format" => {
+                i += 1;
+                format = args.get(i).ok_or("--format needs json or folded")?.clone();
+            }
+            other if !other.starts_with("--") && file.is_none() => {
+                file = Some(other.to_string());
+            }
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    if !matches!(format.as_str(), "json" | "folded") {
+        return Err(format!("bad --format `{format}` (expected json or folded)"));
+    }
+    if url.is_some() == file.is_some() {
+        return Err(format!(
+            "profile needs exactly one of --url http://host:port or PATH.jsonl\n{USAGE}"
+        ));
+    }
+
+    if let Some(url) = url {
+        let (host, port) = parse_base_url(&url)?;
+        let mut path = format!("/profile?format={format}");
+        if let Some(name) = &shard {
+            path.push_str(&format!("&shard={}", percent_encode(name)));
+        }
+        let (status, body) = netqos_telemetry::http_get(&host, port, &path)
+            .map_err(|e| format!("{host}:{port}: {e}"))?;
+        if status != 200 {
+            return Err(format!("profile failed (HTTP {status}): {}", body.trim()));
+        }
+        print!("{body}");
+        return Ok(());
+    }
+
+    if shard.is_some() {
+        return Err("--shard only applies with --url (offline snapshots are one shard)".into());
+    }
+    let path = file.unwrap();
+    let src = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let cycles = netqos_telemetry::cycles_from_jsonl(&src).map_err(|e| format!("{path}: {e}"))?;
+    // Default window: the whole snapshot, so offline analysis sees every
+    // recorded cycle (a live hub rolls at DEFAULT_PROFILE_WINDOW).
+    let hub = netqos_telemetry::ProfileHub::new(window.unwrap_or(cycles.len().max(1)));
+    for cycle in &cycles {
+        hub.record_parsed(&cycle.spans);
+    }
+    match format.as_str() {
+        "folded" => print!("{}", hub.to_folded()),
+        _ => print!("{}", hub.to_json()),
+    }
+    Ok(())
+}
+
+/// Emits a synthetic ISP-scale topology spec (see
+/// `netqos_spec::generate_spec`); validated before it leaves the tool
+/// so the output is always monitor-ready.
+fn cmd_gen_topology(args: &[String]) -> Result<(), String> {
+    let mut params = spec::GenParams::default();
+    let mut out: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let parse_n = |args: &[String], i: usize, what: &str| -> Result<usize, String> {
+            args.get(i)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("{what} needs a number"))
+        };
+        match args[i].as_str() {
+            "--hosts" => {
+                i += 1;
+                params.hosts = parse_n(args, i, "--hosts")?;
+                if params.hosts == 0 {
+                    return Err("--hosts needs at least 1".into());
+                }
+            }
+            "--hosts-per-ap" => {
+                i += 1;
+                params.hosts_per_ap = parse_n(args, i, "--hosts-per-ap")?;
+                if !(1..=249).contains(&params.hosts_per_ap) {
+                    return Err("--hosts-per-ap must be 1..=249".into());
+                }
+            }
+            "--aps-per-site" => {
+                i += 1;
+                params.aps_per_site = parse_n(args, i, "--aps-per-site")?;
+                if params.aps_per_site == 0 {
+                    return Err("--aps-per-site needs at least 1".into());
+                }
+            }
+            "--hub-every" => {
+                i += 1;
+                params.hub_every = parse_n(args, i, "--hub-every")?;
+            }
+            "--qos-paths" => {
+                i += 1;
+                params.qos_paths = parse_n(args, i, "--qos-paths")?;
+            }
+            "--out" => {
+                i += 1;
+                out = Some(PathBuf::from(args.get(i).ok_or("--out needs a file path")?));
+            }
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let src = spec::generate_spec(&params);
+    let model = spec::parse_and_validate(&src)
+        .map_err(|e| format!("internal error: generated spec does not validate: {e}"))?;
+    eprintln!(
+        "generated {} node(s): {} host(s), {} access point(s), {} site(s), {} qospath(s)",
+        model.topology.node_count(),
+        params.hosts,
+        params.ap_count(),
+        params.site_count(),
+        model.qos_paths.len()
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &src)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{src}"),
+    }
+    Ok(())
+}
+
+/// Compares two unified `BENCH_*.json` documents and fails when any
+/// shared metric regresses beyond the tolerance. Direction comes from
+/// the metric-name suffix: `*_per_sec` should not drop, `*_ns` and
+/// `*_bytes` should not grow; other metrics are informational.
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let sub = args
+        .first()
+        .ok_or_else(|| format!("missing bench subcommand\n{USAGE}"))?;
+    if sub != "check" {
+        return Err(format!("unknown bench subcommand `{sub}`\n{USAGE}"));
+    }
+    let old_path = args
+        .get(1)
+        .ok_or_else(|| format!("bench check needs OLD.json NEW.json\n{USAGE}"))?;
+    let new_path = args
+        .get(2)
+        .ok_or_else(|| format!("bench check needs OLD.json NEW.json\n{USAGE}"))?;
+    let mut tolerance = 10.0f64;
+    let mut i = 3;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|t: &f64| *t >= 0.0)
+                    .ok_or("--tolerance needs a non-negative percentage")?;
+            }
+            other => return Err(format!("unknown option `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+
+    let load = |path: &str| -> Result<netqos_telemetry::JsonValue, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let doc = netqos_telemetry::parse_json(&text).map_err(|e| format!("{path}: {e}"))?;
+        match doc.get("schema").and_then(|v| v.as_str()) {
+            Some("netqos-bench/v1") => Ok(doc),
+            Some(other) => Err(format!("{path}: unsupported schema `{other}`")),
+            None => Err(format!(
+                "{path}: not a netqos-bench/v1 document (missing \"schema\")"
+            )),
+        }
+    };
+    let old_doc = load(old_path)?;
+    let new_doc = load(new_path)?;
+
+    // Row name -> metric name -> value.
+    let rows_of = |doc: &netqos_telemetry::JsonValue| -> Vec<(String, Vec<(String, f64)>)> {
+        let mut rows = Vec::new();
+        for row in doc
+            .get("rows")
+            .and_then(|v| v.as_array())
+            .unwrap_or_default()
+        {
+            let Some(name) = row.get("name").and_then(|v| v.as_str()) else {
+                continue;
+            };
+            let mut metrics = Vec::new();
+            if let Some(netqos_telemetry::JsonValue::Object(m)) = row.get("metrics") {
+                for (k, v) in m {
+                    if let Some(x) = v.as_f64() {
+                        metrics.push((k.clone(), x));
+                    }
+                }
+            }
+            rows.push((name.to_string(), metrics));
+        }
+        rows
+    };
+    let old_rows = rows_of(&old_doc);
+    let new_rows = rows_of(&new_doc);
+
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for (name, old_metrics) in &old_rows {
+        let Some((_, new_metrics)) = new_rows.iter().find(|(n, _)| n == name) else {
+            println!("{name}: only in {old_path}, skipped");
+            continue;
+        };
+        for (metric, old_v) in old_metrics {
+            let Some((_, new_v)) = new_metrics.iter().find(|(m, _)| m == metric) else {
+                println!("{name}/{metric}: only in {old_path}, skipped");
+                continue;
+            };
+            let higher_better = metric.ends_with("_per_sec");
+            let lower_better = metric.ends_with("_ns") || metric.ends_with("_bytes");
+            if !higher_better && !lower_better {
+                continue;
+            }
+            compared += 1;
+            let change_pct = if *old_v != 0.0 {
+                (new_v - old_v) / old_v * 100.0
+            } else {
+                0.0
+            };
+            let regressed = if higher_better {
+                *new_v < old_v * (1.0 - tolerance / 100.0)
+            } else {
+                *new_v > old_v * (1.0 + tolerance / 100.0)
+            };
+            let verdict = if regressed { "REGRESSION" } else { "ok" };
+            println!("{name}/{metric}: {old_v:.0} -> {new_v:.0} ({change_pct:+.1}%) {verdict}");
+            if regressed {
+                regressions.push(format!("{name}/{metric} ({change_pct:+.1}%)"));
+            }
+        }
+    }
+    for (name, _) in &new_rows {
+        if !old_rows.iter().any(|(n, _)| n == name) {
+            println!("{name}: only in {new_path}, skipped");
+        }
+    }
+    if compared == 0 {
+        return Err("no comparable metrics between the two documents".into());
+    }
+    if regressions.is_empty() {
+        println!("bench check: OK — {compared} metric(s) within {tolerance}% of {old_path}");
+        Ok(())
+    } else {
+        Err(format!(
+            "bench check: {} regression(s) beyond {tolerance}%: {}",
+            regressions.len(),
+            regressions.join(", ")
+        ))
+    }
 }
 
 /// Offline tools for a long-term stats store: `info` summarizes it,
