@@ -7,7 +7,10 @@
 //! `cargo run --release -p netqos-bench --bin lts_bench`.
 
 use netqos_bench::{time_iters, BenchReport, BenchRow};
-use netqos_telemetry::{LtsConfig, LtsCounters, LtsReader, LtsStore, PointValue, Resolution};
+use netqos_telemetry::{
+    compact_store_to, LtsConfig, LtsCounters, LtsReader, LtsStore, PointValue, Resolution,
+    SegmentCodec,
+};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -76,6 +79,52 @@ fn main() {
     });
     std::fs::remove_dir_all(&dir).ok();
 
+    // Segment-codec footprint: the same corpus sealed under JSONL (v1)
+    // and delta-varint binary (v2) segments. Sealing via compaction puts
+    // every point into sealed segments, so the comparison measures the
+    // codecs, not the (always-JSONL) open tails.
+    let mut codec_bytes = [0u64; 2];
+    for (slot, codec) in [SegmentCodec::Jsonl, SegmentCodec::Binary]
+        .iter()
+        .enumerate()
+    {
+        let dir = fresh_dir("codec");
+        let config = LtsConfig {
+            codec: *codec,
+            ..LtsConfig::default()
+        };
+        let mut store = LtsStore::open(&dir, config, LtsCounters::detached()).expect("open");
+        for t in 0..QUERY_TICKS {
+            for name in &names {
+                store.append(name, t, PointValue::Counter(t % 17));
+            }
+        }
+        store.flush().expect("flush");
+        compact_store_to(&dir, *codec).expect("seal");
+        fn dir_bytes(d: &std::path::Path) -> u64 {
+            let mut total = 0;
+            if let Ok(entries) = std::fs::read_dir(d) {
+                for e in entries.flatten() {
+                    let p = e.path();
+                    if p.is_dir() {
+                        total += dir_bytes(&p);
+                    } else {
+                        total += e.metadata().map(|m| m.len()).unwrap_or(0);
+                    }
+                }
+            }
+            total
+        }
+        codec_bytes[slot] = dir_bytes(&dir);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    let [jsonl_bytes, binary_bytes] = codec_bytes;
+    let shrink = jsonl_bytes as f64 / binary_bytes.max(1) as f64;
+    assert!(
+        shrink >= 3.0,
+        "binary codec must cut bytes_on_disk >= 3x vs JSONL (got {shrink:.2}x: {jsonl_bytes} -> {binary_bytes})"
+    );
+
     let mut report = BenchReport::new("lts");
     report.push(
         BenchRow::new("append")
@@ -103,6 +152,21 @@ fn main() {
             .metric("p50_ns", all_p50)
             .metric("p99_ns", all_p99)
             .metric("max_ns", all_max),
+    );
+    report.push(
+        BenchRow::new("codec-jsonl-sealed")
+            .param("series", SERIES)
+            .param("ticks", QUERY_TICKS)
+            .param("points", QUERY_TICKS * SERIES as u64)
+            .metric("bytes_on_disk_bytes", jsonl_bytes),
+    );
+    report.push(
+        BenchRow::new("codec-binary-sealed")
+            .param("series", SERIES)
+            .param("ticks", QUERY_TICKS)
+            .param("points", QUERY_TICKS * SERIES as u64)
+            .param("shrink_x_vs_jsonl", shrink)
+            .metric("bytes_on_disk_bytes", binary_bytes),
     );
     report
         .write("BENCH_lts.json")

@@ -10,8 +10,8 @@
 
 use netqos_bench::{time_iters, BenchReport, BenchRow};
 use netqos_telemetry::{
-    HttpRequest, LtsConfig, LtsCounters, LtsReader, LtsSource, LtsStore, PointValue, QueryEngine,
-    Resolution, SeriesSource, Shard, ShardRegistry,
+    compact_store_to, HttpRequest, LtsConfig, LtsCounters, LtsReader, LtsSource, LtsStore,
+    PointValue, QueryEngine, Resolution, SegmentCodec, SeriesSource, Shard, ShardRegistry,
 };
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -81,6 +81,68 @@ fn main() {
     });
     std::fs::remove_dir_all(&dir).ok();
 
+    // Pushdown: the same full-window rate over a compacted binary store,
+    // where every sealed segment folds from its header stats instead of
+    // materializing 3600 points per eval. Evaluated at the newest stored
+    // instant so the window covers the sealed segment entirely (a window
+    // edge inside a segment falls back to decoding it). The range path
+    // on the same store is the materializing baseline.
+    let dir = loaded_store("pushdown");
+    compact_store_to(&dir, SegmentCodec::Binary).expect("seal binary");
+    let engine = QueryEngine::new().with_source(
+        None,
+        Arc::new(LtsSource::new(LtsReader::open(&dir))) as Arc<dyn SeriesSource>,
+    );
+    let probe = engine
+        .instant(
+            "rate(bench_series_0_total[3600])",
+            STORE_TICKS - 1,
+            Resolution::Raw1s,
+        )
+        .expect("pushdown eval");
+    assert!(
+        probe.stats.pushdown_evals > 0 && probe.stats.segments_folded > 0,
+        "full-window rate over sealed binary segments must fold: {:?}",
+        probe.stats
+    );
+    let start = Instant::now();
+    for _ in 0..RATE_ITERS {
+        engine
+            .instant(
+                "rate(bench_series_0_total[3600])",
+                STORE_TICKS - 1,
+                Resolution::Raw1s,
+            )
+            .expect("pushdown eval");
+    }
+    let pushdown_evals_per_sec = RATE_ITERS as f64 / start.elapsed().as_secs_f64();
+    let (push_p50, push_p99, push_max, _) = time_iters(RATE_ITERS, || {
+        engine
+            .instant(
+                "rate(bench_series_0_total[3600])",
+                STORE_TICKS - 1,
+                Resolution::Raw1s,
+            )
+            .expect("pushdown eval")
+            .to_api_json()
+            .len()
+    });
+    // Materializing baseline on the identical store: a one-step range
+    // evaluation fetches and scans the full point vector.
+    let start = Instant::now();
+    for _ in 0..RATE_ITERS {
+        engine
+            .range(
+                "rate(bench_series_0_total[3600])",
+                STORE_TICKS - 1,
+                STORE_TICKS - 1,
+                1,
+            )
+            .expect("scan eval");
+    }
+    let scan_evals_per_sec = RATE_ITERS as f64 / start.elapsed().as_secs_f64();
+    std::fs::remove_dir_all(&dir).ok();
+
     // Cross-shard query_range through the federation engine: two shards,
     // each backed by its own store, rate() at step 60 over the hour.
     let dirs = [loaded_store("shard-a"), loaded_store("shard-b")];
@@ -115,6 +177,19 @@ fn main() {
             .metric("p50_ns", rate_p50)
             .metric("p99_ns", rate_p99)
             .metric("max_ns", rate_max),
+    );
+    report.push(
+        BenchRow::new("rate-instant-pushdown-sealed-1h")
+            .param("store_ticks", STORE_TICKS)
+            .param("series", SERIES)
+            .param("iters", RATE_ITERS)
+            .param("points_scanned", probe.stats.points_scanned)
+            .param("segments_folded", probe.stats.segments_folded)
+            .param("scan_baseline_evals_per_sec", scan_evals_per_sec)
+            .metric("evals_per_sec", pushdown_evals_per_sec)
+            .metric("p50_ns", push_p50)
+            .metric("p99_ns", push_p99)
+            .metric("max_ns", push_max),
     );
     report.push(
         BenchRow::new("cross-shard-query-range-step60")

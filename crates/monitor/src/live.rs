@@ -27,9 +27,9 @@
 //! can sit behind one merged export surface (`netqos federate`).
 
 use netqos_telemetry::{
-    api_query_outcome, fields, json_escape, parse_range, profile_response, EventSink, EventSource,
-    HttpRequest, HttpResponse, HttpRoute, Level, LtsReader, LtsSource, ProfileHub, QueryEngine,
-    Registry, RegistrySource, Resolution, Router, SeriesSource, Shard, ShardHealth,
+    api_query_outcome, fields, json_escape, parse_range, profile_response, wants_stats, EventSink,
+    EventSource, HttpRequest, HttpResponse, HttpRoute, Level, LtsReader, LtsSource, ProfileHub,
+    QueryEngine, Registry, RegistrySource, Resolution, Router, SeriesSource, Shard, ShardHealth,
 };
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -310,6 +310,9 @@ pub fn instrumented_query_response(
         .record(elapsed_ns);
     let slow = elapsed_ns >= slow_query_ns;
     if slow {
+        // Stats come from the evaluation itself; a rejected request
+        // touched nothing, so its stats stay zero.
+        let stats = outcome.as_ref().map(|o| o.stats).unwrap_or_default();
         if let Some(sink) = events {
             sink.emit(
                 Level::Warn,
@@ -320,6 +323,9 @@ pub fn instrumented_query_response(
                     "query" => req.query_param("query").unwrap_or_default(),
                     "eval_ms" => elapsed_ns / 1_000_000,
                     "threshold_ms" => slow_query_ns / 1_000_000,
+                    "series" => stats.series,
+                    "points_scanned" => stats.points_scanned,
+                    "pushdown_evals" => stats.pushdown_evals,
                 ],
             );
         }
@@ -328,12 +334,16 @@ pub fn instrumented_query_response(
         Ok(mut o) => {
             if slow {
                 o.warnings.push(format!(
-                    "slow query: evaluation took {} ms (threshold {} ms)",
+                    "slow query: `{}` took {} ms (threshold {} ms); {} series, {} points scanned, {} pushdown evals",
+                    req.query_param("query").unwrap_or_default(),
                     elapsed_ns / 1_000_000,
                     slow_query_ns / 1_000_000,
+                    o.stats.series,
+                    o.stats.points_scanned,
+                    o.stats.pushdown_evals,
                 ));
             }
-            HttpResponse::json(200, format!("{}\n", o.to_api_json()))
+            HttpResponse::json(200, format!("{}\n", o.to_api_json_with(wants_stats(req))))
         }
         Err(resp) => resp,
     }

@@ -24,10 +24,11 @@ use netqos_sim::Ipv4Addr;
 use netqos_telemetry::{
     builtin_alert_rules, fields, report_flush, to_otlp, transitions_to_json, AdaptiveConfig,
     AlertContext, AlertEngine, AlertRule, AlertScope, CycleTrace, EventSink, FlightRecorder,
-    FlushReport, Level, LtsConfig, LtsCounters, LtsStore, OtlpPusher, PointValue, ProfileHub,
-    PushConfig, PushCounters, QuantileBaseline, Registry, RegistrySampler, RetentionPolicy,
-    SampleAnnotation, SampleConfig, SampleDecision, Sampler, SnapshotPaths, Tracer,
-    WebhookNotifier, DEFAULT_FLIGHT_CAPACITY, DEFAULT_PROFILE_WINDOW, DEFAULT_WINDOW,
+    FlushReport, Level, LtsConfig, LtsCounters, LtsReader, LtsSource, LtsStore, OtlpPusher,
+    PointValue, ProfileHub, PushConfig, PushCounters, QuantileBaseline, QueryEngine, RecordRule,
+    RecordingCounters, Registry, RegistrySampler, RetentionPolicy, SampleAnnotation, SampleConfig,
+    SampleDecision, Sampler, SnapshotPaths, Tracer, WebhookNotifier, DEFAULT_FLIGHT_CAPACITY,
+    DEFAULT_PROFILE_WINDOW, DEFAULT_WINDOW,
 };
 use netqos_topology::bandwidth::BandwidthRule;
 use netqos_topology::path::CommPath;
@@ -108,6 +109,11 @@ pub struct ServiceConfig {
     /// runs. Queries are unaffected — readers canonicalize, so results
     /// are byte-identical across a compaction.
     pub lts_compact: bool,
+    /// Recording rules evaluated against the long-term store on every
+    /// save tick (after the flush, so each pass sees its own tick's
+    /// data). Results append back as first-class derived gauge series.
+    /// Requires `lts_dir`.
+    pub record_rules: Vec<RecordRule>,
 }
 
 impl Default for ServiceConfig {
@@ -130,6 +136,7 @@ impl Default for ServiceConfig {
             lts_retention: netqos_telemetry::LtsRetention::default(),
             baseline_save_ticks: 60,
             lts_compact: false,
+            record_rules: Vec::new(),
         }
     }
 }
@@ -189,6 +196,9 @@ pub struct MonitoringService {
     /// Why opening `lts_dir` failed, if it did (the service runs without
     /// durable stats rather than refusing to start).
     lts_open_warning: Option<String>,
+    /// Self-metrics for the recording-rule engine (registered only when
+    /// rules are configured).
+    record_counters: RecordingCounters,
 }
 
 impl MonitoringService {
@@ -301,6 +311,11 @@ impl MonitoringService {
                 }
             }
         }
+        let record_counters = if config.record_rules.is_empty() {
+            RecordingCounters::detached()
+        } else {
+            RecordingCounters::register_in(telemetry.registry())
+        };
         let profile =
             ProfileHub::with_registry(DEFAULT_PROFILE_WINDOW, telemetry.registry().clone());
         Ok(MonitoringService {
@@ -332,6 +347,7 @@ impl MonitoringService {
             lts,
             lts_sampler: RegistrySampler::new(),
             lts_open_warning,
+            record_counters,
         })
     }
 
@@ -569,6 +585,60 @@ impl MonitoringService {
                 None
             }
         }
+    }
+
+    /// Evaluates the configured recording rules against the long-term
+    /// store and appends the results as derived gauge series, then
+    /// flushes so the derived points are durable and queryable
+    /// immediately. Runs on the save-tick cadence, after the regular
+    /// flush, so each pass sees the data of its own tick. The pass is
+    /// traced (`record.rules/evaluate`), counted
+    /// (`netqos_recording_rules_{evals,failures}_total`), and reported
+    /// as a `record_rules` JSONL event with one `record_rule_failed`
+    /// warning per broken rule. A failed rule never stops the rest.
+    pub fn run_record_rules(&mut self) -> Option<netqos_telemetry::RecordReport> {
+        if self.config.record_rules.is_empty() {
+            return None;
+        }
+        let store = self.lts.as_mut()?;
+        let reader = LtsReader::open(store.dir());
+        // Evaluate at the newest stored instant, not the wall clock:
+        // derived points then line up with the data they summarize.
+        let t = reader.newest_t()?;
+        let engine = QueryEngine::new().with_source(None, Arc::new(LtsSource::new(reader)));
+        let mut span = self.tracer.span("record.rules", "evaluate");
+        let report = netqos_telemetry::evaluate_record_rules(
+            &self.config.record_rules,
+            &engine,
+            store,
+            t,
+            &self.record_counters,
+        );
+        span.set_attr("rules", report.evals);
+        span.set_attr("points", report.points);
+        span.set_attr("failures", report.failures);
+        drop(span);
+        for (rule, error) in &report.errors {
+            self.events.emit(
+                Level::Warn,
+                "monitor.record",
+                "record_rule_failed",
+                fields!["rule" => rule.as_str(), "error" => error.as_str()],
+            );
+        }
+        self.events.emit(
+            Level::Info,
+            "monitor.record",
+            "record_rules",
+            fields![
+                "t" => t,
+                "rules" => report.evals,
+                "points" => report.points,
+                "failures" => report.failures,
+            ],
+        );
+        self.flush_lts();
+        Some(report)
     }
 
     /// Saves the per-path baselines to `config.baseline_state` (atomic
@@ -909,6 +979,62 @@ impl MonitoringService {
             );
         }
 
+        // Long-term stats: one sample per tick at 1s resolution, placed
+        // at sim-anchored Unix seconds so a restarted run extends the
+        // same series instead of starting a parallel timeline.
+        if let Some(store) = self.lts.as_mut() {
+            let t_unix = self.epoch_unix_ns / 1_000_000_000 + t_s as u64;
+            for (name, used, avail, rank, _count, p50, p99) in &path_status {
+                let as_i64 = |v: u64| v.min(i64::MAX as u64) as i64;
+                store.append(
+                    &format!("netqos_path_used_bps{{path=\"{name}\"}}"),
+                    t_unix,
+                    PointValue::Gauge(as_i64(*used)),
+                );
+                store.append(
+                    &format!("netqos_path_available_bps{{path=\"{name}\"}}"),
+                    t_unix,
+                    PointValue::Gauge(as_i64(*avail)),
+                );
+                store.append(
+                    &format!("netqos_path_used_rank_permille{{path=\"{name}\"}}"),
+                    t_unix,
+                    PointValue::Gauge((rank * 1000.0) as i64),
+                );
+                store.append(
+                    &format!("netqos_path_baseline_p50_bps{{path=\"{name}\"}}"),
+                    t_unix,
+                    PointValue::Gauge(as_i64(*p50)),
+                );
+                store.append(
+                    &format!("netqos_path_baseline_p99_bps{{path=\"{name}\"}}"),
+                    t_unix,
+                    PointValue::Gauge(as_i64(*p99)),
+                );
+            }
+            self.lts_sampler
+                .sample(self.telemetry.registry(), store, t_unix);
+        }
+        let save_every = self.config.baseline_save_ticks.max(1);
+        let on_save_tick = self.telemetry.ticks.get().is_multiple_of(save_every);
+        if self.config.baseline_state.is_some() && on_save_tick {
+            if let Err(e) = self.persist_baselines() {
+                self.events.emit(
+                    Level::Warn,
+                    "monitor.baseline",
+                    "persist_failed",
+                    fields!["error" => e.to_string()],
+                );
+            }
+        }
+        if on_save_tick {
+            if self.config.lts_compact {
+                self.compact_lts();
+            } else {
+                self.flush_lts();
+            }
+            self.run_record_rules();
+        }
         drop(cycle_span);
         if tracing {
             let cycle_end_ns = self.tracer.now_ns();
@@ -1053,61 +1179,6 @@ impl MonitoringService {
             self.epoch_unix_ns.saturating_add(self.tracer.now_ns()),
             status,
         );
-        // Long-term stats: one sample per tick at 1s resolution, placed
-        // at sim-anchored Unix seconds so a restarted run extends the
-        // same series instead of starting a parallel timeline.
-        if let Some(store) = self.lts.as_mut() {
-            let t_unix = self.epoch_unix_ns / 1_000_000_000 + t_s as u64;
-            for (name, used, avail, rank, _count, p50, p99) in &path_status {
-                let as_i64 = |v: u64| v.min(i64::MAX as u64) as i64;
-                store.append(
-                    &format!("netqos_path_used_bps{{path=\"{name}\"}}"),
-                    t_unix,
-                    PointValue::Gauge(as_i64(*used)),
-                );
-                store.append(
-                    &format!("netqos_path_available_bps{{path=\"{name}\"}}"),
-                    t_unix,
-                    PointValue::Gauge(as_i64(*avail)),
-                );
-                store.append(
-                    &format!("netqos_path_used_rank_permille{{path=\"{name}\"}}"),
-                    t_unix,
-                    PointValue::Gauge((rank * 1000.0) as i64),
-                );
-                store.append(
-                    &format!("netqos_path_baseline_p50_bps{{path=\"{name}\"}}"),
-                    t_unix,
-                    PointValue::Gauge(as_i64(*p50)),
-                );
-                store.append(
-                    &format!("netqos_path_baseline_p99_bps{{path=\"{name}\"}}"),
-                    t_unix,
-                    PointValue::Gauge(as_i64(*p99)),
-                );
-            }
-            self.lts_sampler
-                .sample(self.telemetry.registry(), store, t_unix);
-        }
-        let save_every = self.config.baseline_save_ticks.max(1);
-        let on_save_tick = self.telemetry.ticks.get().is_multiple_of(save_every);
-        if self.config.baseline_state.is_some() && on_save_tick {
-            if let Err(e) = self.persist_baselines() {
-                self.events.emit(
-                    Level::Warn,
-                    "monitor.baseline",
-                    "persist_failed",
-                    fields!["error" => e.to_string()],
-                );
-            }
-        }
-        if on_save_tick {
-            if self.config.lts_compact {
-                self.compact_lts();
-            } else {
-                self.flush_lts();
-            }
-        }
         self.events.emit(
             Level::Debug,
             "monitor.tick",

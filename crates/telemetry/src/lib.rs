@@ -36,6 +36,7 @@ mod otlp;
 mod profile;
 mod promql;
 mod push;
+mod record;
 mod sample;
 mod trace;
 
@@ -59,10 +60,12 @@ pub use flight::{
 pub use http::{http_get, EventSource, HttpRequest, HttpResponse, HttpRoute, HttpServer, Router};
 pub use json::{parse_json, JsonError, JsonValue};
 pub use lts::{
-    compact_store, downsample, hist_delta, json_escape, parse_range, report_flush,
-    selector_matches, verify_store, CompactReport, FlushReport, LtsConfig, LtsCounters, LtsReader,
-    LtsRetention, LtsStore, Point, PointValue, RegistrySampler, Resolution, RetentionDeletion,
-    SeriesInfo, SeriesKind, VerifyReport,
+    compact_store, compact_store_to, decode_segment_v2, decode_segment_v2_header, downsample,
+    encode_segment_v2, fold_series_range, hist_delta, json_escape, migrate_store, parse_range,
+    report_flush, selector_matches, store_stats, verify_store, CompactReport, FlushReport,
+    LtsConfig, LtsCounters, LtsReader, LtsRetention, LtsStore, MigrateReport, Point, PointValue,
+    RangeFold, RegistrySampler, Resolution, ResolutionStat, RetentionDeletion, SegmentCodec,
+    SegmentHeader, SegmentStat, SegmentStats, SeriesInfo, SeriesKind, StoreStats, VerifyReport,
 };
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramState, HistogramSummary, HistogramTimer, BUCKETS,
@@ -70,13 +73,16 @@ pub use metrics::{
 pub use otlp::{parsed_to_otlp, to_otlp, validate_otlp, OtlpStats, OTLP_SCOPE, OTLP_SERVICE};
 pub use profile::{profile_response, ProfileHub, SpanView, DEFAULT_PROFILE_WINDOW};
 pub use promql::{
-    api_query_outcome, api_query_response, fmt_value, parse_duration, parse_series_name,
-    query_error_json, resolution_for_step, LtsSource, MatrixSeries, PromSeries, QueryEngine,
-    QueryOutcome, QueryResult, RegistrySource, Sample, SeriesSource, LOOKBACK_FLOOR_SECS,
-    MAX_RANGE_STEPS,
+    api_query_outcome, api_query_response, check_query, fmt_value, parse_duration,
+    parse_series_name, query_error_json, resolution_for_step, wants_stats, LtsSource, MatrixSeries,
+    PromSeries, QueryEngine, QueryOutcome, QueryResult, QueryStats, RegistrySource, Sample,
+    SeriesSource, LOOKBACK_FLOOR_SECS, MAX_RANGE_STEPS,
 };
 pub use push::{
     parse_push_url, parse_webhook_url, OtlpPusher, PushConfig, PushCounters, PushTarget,
+};
+pub use record::{
+    evaluate_record_rules, parse_record_rules, RecordReport, RecordRule, RecordingCounters,
 };
 pub use sample::{AdaptiveConfig, SampleConfig, SampleDecision, Sampler};
 pub use trace::{SpanGuard, SpanId, SpanRecord, TraceId, Tracer};

@@ -30,10 +30,14 @@
 //! - Vector-to-vector binary operations are not in the subset.
 
 use crate::http::{HttpRequest, HttpResponse};
-use crate::lts::{downsample, json_escape, selector_matches, LtsReader, Point, PointValue};
+use crate::lts::{
+    downsample, fold_series_range, json_escape, selector_matches, LtsReader, Point, PointValue,
+    RangeFold,
+};
 use crate::lts::{Resolution, SeriesKind};
 use crate::metrics::Histogram;
 use crate::Registry;
+use std::cell::RefCell;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
@@ -813,6 +817,13 @@ fn parse_query(src: &str) -> Result<Expr, String> {
     }
 }
 
+/// Parses `query` and reports its first syntax error without evaluating
+/// anything — the hook linters (e.g. `netqos record lint`) use to
+/// validate expressions against the engine's actual grammar.
+pub fn check_query(query: &str) -> Result<(), String> {
+    parse_query(query).map(|_| ())
+}
+
 /// A scalar-typed expression yields `resultType: "scalar"`; anything
 /// touching a selector yields a vector (or matrix over a range).
 fn expr_is_scalar(e: &Expr) -> bool {
@@ -851,6 +862,10 @@ pub struct PromSeries {
     pub labels: Vec<(String, String)>,
     /// Counter, gauge, or histogram.
     pub kind: SeriesKind,
+    /// Source-scoped key handed back to [`SeriesSource::fold_range`]
+    /// (the store slug for [`LtsSource`]; sources without a fold path
+    /// can use any identifier).
+    pub key: String,
     /// Fetches points in `[start, end]` at the given resolution.
     #[allow(clippy::type_complexity)]
     pub fetch: Arc<dyn Fn(Resolution, u64, u64) -> Vec<Point> + Send + Sync>,
@@ -866,6 +881,21 @@ pub trait SeriesSource: Send + Sync {
     /// Newest point timestamp across the source, if cheaply known —
     /// used as the default evaluation time for instant queries.
     fn newest_t(&self) -> Option<u64> {
+        None
+    }
+
+    /// Folds the counter series behind `key` over `(after, upto]`
+    /// without materializing its points, if the source can do so with
+    /// answers identical to a canonical scan. `None` sends the engine
+    /// down the general fetch-and-materialize path.
+    fn fold_range(
+        &self,
+        _key: &str,
+        _kind: SeriesKind,
+        _res: Resolution,
+        _after: Option<u64>,
+        _upto: u64,
+    ) -> Option<RangeFold> {
         None
     }
 }
@@ -898,10 +928,12 @@ impl SeriesSource for LtsSource {
                 let (base, labels) = parse_series_name(&info.name);
                 let reader = self.reader.clone();
                 let kind = info.kind;
+                let key = info.slug.clone();
                 PromSeries {
                     base,
                     labels,
                     kind,
+                    key,
                     fetch: Arc::new(move |res, start, end| {
                         reader.series_points(&info, res, start, end)
                     }),
@@ -912,6 +944,17 @@ impl SeriesSource for LtsSource {
 
     fn newest_t(&self) -> Option<u64> {
         self.reader.newest_t()
+    }
+
+    fn fold_range(
+        &self,
+        key: &str,
+        kind: SeriesKind,
+        res: Resolution,
+        after: Option<u64>,
+        upto: u64,
+    ) -> Option<RangeFold> {
+        fold_series_range(self.reader.dir(), key, kind, res, after, upto)
     }
 }
 
@@ -939,6 +982,7 @@ impl SeriesSource for RegistrySource {
                 base,
                 labels,
                 kind: SeriesKind::Counter,
+                key: name.clone(),
                 fetch: Arc::new(move |_res, _start, end| {
                     vec![Point {
                         t: end,
@@ -953,6 +997,7 @@ impl SeriesSource for RegistrySource {
                 base,
                 labels,
                 kind: SeriesKind::Gauge,
+                key: name.clone(),
                 fetch: Arc::new(move |_res, _start, end| {
                     vec![Point {
                         t: end,
@@ -967,6 +1012,7 @@ impl SeriesSource for RegistrySource {
                 base,
                 labels,
                 kind: SeriesKind::Histogram,
+                key: name.clone(),
                 fetch: Arc::new(move |_res, _start, end| {
                     vec![Point {
                         t: end,
@@ -983,21 +1029,77 @@ impl SeriesSource for RegistrySource {
 // Engine
 // ---------------------------------------------------------------------
 
-/// Per-query view of one matched series: points fetched once, with a
-/// prefix-sum over counter deltas so every evaluation step is a binary
-/// search.
+/// Per-query view of one matched series. Points are materialized
+/// lazily: an instant evaluation whose windows the source can fold
+/// ([`SeriesSource::fold_range`]) never fetches the vector at all; the
+/// first evaluation that needs points fetches once and builds a
+/// prefix-sum over counter deltas so later steps are a binary search.
 struct SeriesData {
     base: String,
     labels: Vec<(String, String)>,
     kind: SeriesKind,
-    pts: Vec<Point>,
-    /// `cum[i]` = sum of counter deltas `pts[0..=i]` (counters only).
-    cum: Vec<f64>,
+    key: String,
+    source: Arc<dyn SeriesSource>,
+    #[allow(clippy::type_complexity)]
+    fetch: Arc<dyn Fn(Resolution, u64, u64) -> Vec<Point> + Send + Sync>,
+    /// `(pts, cum)` where `cum[i]` = sum of counter deltas
+    /// `pts[0..=i]` (counters only). `None` until first needed.
+    #[allow(clippy::type_complexity)]
+    data: RefCell<Option<(Vec<Point>, Vec<f64>)>>,
+}
+
+impl SeriesData {
+    /// Materializes (once) the point vector and counter prefix sums.
+    fn ensure(&self, ctx: &Ctx) -> std::cell::Ref<'_, (Vec<Point>, Vec<f64>)> {
+        if self.data.borrow().is_none() {
+            let pts = (self.fetch)(ctx.res, 0, ctx.fetch_end);
+            ctx.stats.borrow_mut().points_scanned += pts.len() as u64;
+            let cum = if self.kind == SeriesKind::Counter {
+                let mut acc = 0.0;
+                pts.iter()
+                    .map(|p| {
+                        if let PointValue::Counter(v) = &p.value {
+                            acc += *v as f64;
+                        }
+                        acc
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            *self.data.borrow_mut() = Some((pts, cum));
+        }
+        std::cell::Ref::map(self.data.borrow(), |d| d.as_ref().unwrap())
+    }
+
+    /// The pushdown fast path: a whole-window counter fold from the
+    /// source. Taken only on instant evaluations (a range query reuses
+    /// one materialization across all its steps) and only while the
+    /// series is still unmaterialized.
+    fn fold(&self, ctx: &Ctx, after: Option<u64>, upto: u64) -> Option<RangeFold> {
+        if !ctx.allow_fold || self.data.borrow().is_some() {
+            return None;
+        }
+        let f = self
+            .source
+            .fold_range(&self.key, self.kind, ctx.res, after, upto)?;
+        let mut st = ctx.stats.borrow_mut();
+        st.pushdown_evals += 1;
+        st.points_scanned += f.points_scanned;
+        st.segments_folded += f.segments_folded;
+        Some(f)
+    }
 }
 
 struct Ctx {
     series: Vec<SeriesData>,
     lookback: u64,
+    res: Resolution,
+    fetch_end: u64,
+    /// Instant queries may answer counter windows via
+    /// [`SeriesSource::fold_range`]; range queries always materialize.
+    allow_fold: bool,
+    stats: RefCell<QueryStats>,
 }
 
 /// An intermediate vector element (timestamp implied by the step).
@@ -1054,7 +1156,13 @@ impl QueryEngine {
         self.sources.iter().filter_map(|(_, s)| s.newest_t()).max()
     }
 
-    fn build_ctx(&self, ast: &Expr, res: Resolution, fetch_end: u64) -> (Ctx, Vec<String>) {
+    fn build_ctx(
+        &self,
+        ast: &Expr,
+        res: Resolution,
+        fetch_end: u64,
+        allow_fold: bool,
+    ) -> (Ctx, Vec<String>) {
         let mut selectors = Vec::new();
         collect_selectors(ast, &mut selectors);
         let mut warnings = self.extra_warnings.clone();
@@ -1083,42 +1191,48 @@ impl QueryEngine {
                 {
                     continue;
                 }
-                let pts = (meta.fetch)(res, 0, fetch_end);
-                let cum = if meta.kind == SeriesKind::Counter {
-                    let mut acc = 0.0;
-                    pts.iter()
-                        .map(|p| {
-                            if let PointValue::Counter(v) = &p.value {
-                                acc += *v as f64;
-                            }
-                            acc
-                        })
-                        .collect()
-                } else {
-                    Vec::new()
-                };
                 series.push(SeriesData {
                     base: meta.base,
                     labels,
                     kind: meta.kind,
-                    pts,
-                    cum,
+                    key: meta.key,
+                    source: source.clone(),
+                    fetch: meta.fetch,
+                    data: RefCell::new(None),
                 });
             }
         }
         let lookback = LOOKBACK_FLOOR_SECS.max(2 * res.window_secs());
-        (Ctx { series, lookback }, warnings)
+        let stats = RefCell::new(QueryStats {
+            series: series.len() as u64,
+            ..QueryStats::default()
+        });
+        (
+            Ctx {
+                series,
+                lookback,
+                res,
+                fetch_end,
+                allow_fold,
+                stats,
+            },
+            warnings,
+        )
     }
 
     /// Evaluates `query` at time `t` against data at resolution `res`.
     pub fn instant(&self, query: &str, t: u64, res: Resolution) -> Result<QueryOutcome, String> {
         let ast = parse_query(query)?;
-        let (ctx, warnings) = self.build_ctx(&ast, res, t);
+        let (ctx, warnings) = self.build_ctx(&ast, res, t, true);
         let result = match eval(&ast, &ctx, t)? {
             Val::Scalar(v) => QueryResult::Scalar { t, v },
             Val::Vector(samples) => QueryResult::Vector(sorted_samples(samples, t)),
         };
-        Ok(QueryOutcome { result, warnings })
+        Ok(QueryOutcome {
+            result,
+            warnings,
+            stats: ctx.stats.into_inner(),
+        })
     }
 
     /// Evaluates `query` at each step in `[start, end]`. The data
@@ -1144,7 +1258,7 @@ impl QueryEngine {
         }
         let res = resolution_for_step(step);
         let ast = parse_query(query)?;
-        let (ctx, warnings) = self.build_ctx(&ast, res, end);
+        let (ctx, warnings) = self.build_ctx(&ast, res, end, false);
         let result = if expr_is_scalar(&ast) {
             let mut values = Vec::new();
             let mut t = start;
@@ -1192,7 +1306,11 @@ impl QueryEngine {
                     .collect(),
             )
         };
-        Ok(QueryOutcome { result, warnings })
+        Ok(QueryOutcome {
+            result,
+            warnings,
+            stats: ctx.stats.into_inner(),
+        })
     }
 }
 
@@ -1277,18 +1395,36 @@ fn eval(e: &Expr, ctx: &Ctx, t: u64) -> Result<Val, String> {
                 if !sel_matches(sel, &sd.base, &sd.labels) || sd.kind == SeriesKind::Histogram {
                     continue;
                 }
-                let (_, hi) = window_indices(&sd.pts, None, t);
+                if sd.kind == SeriesKind::Counter {
+                    // Pushdown: a bare counter's instant value is the
+                    // running total, i.e. the fold of every delta ≤ t.
+                    if let Some(fold) = sd.fold(ctx, None, t) {
+                        let Some(last) = fold.last_t else { continue };
+                        if t.saturating_sub(last) >= ctx.lookback {
+                            continue;
+                        }
+                        out.push(VSample {
+                            name: sd.base.clone(),
+                            labels: sd.labels.clone(),
+                            v: fold.sum as f64,
+                        });
+                        continue;
+                    }
+                }
+                let d = sd.ensure(ctx);
+                let (pts, cum) = (&d.0, &d.1);
+                let (_, hi) = window_indices(pts, None, t);
                 if hi == 0 {
                     continue;
                 }
-                let last = &sd.pts[hi - 1];
+                let last = &pts[hi - 1];
                 if t.saturating_sub(last.t) >= ctx.lookback {
                     continue;
                 }
                 let v = match sd.kind {
                     // Counters are stored as per-interval deltas; the
                     // instant value is the running total.
-                    SeriesKind::Counter => sd.cum[hi - 1],
+                    SeriesKind::Counter => cum[hi - 1],
                     SeriesKind::Gauge => gauge_value(last),
                     SeriesKind::Histogram => continue,
                 };
@@ -1309,11 +1445,33 @@ fn eval(e: &Expr, ctx: &Ctx, t: u64) -> Result<Val, String> {
                 }
                 match (f, sd.kind) {
                     (RangeFn::Rate | RangeFn::Increase, SeriesKind::Counter) => {
-                        let (lo, hi) = window_indices(&sd.pts, after, t);
+                        // Pushdown: rate/increase need only the delta
+                        // sum over (t-window, t], which the source can
+                        // fold segment-by-segment.
+                        if let Some(fold) = sd.fold(ctx, after, t) {
+                            if fold.count == 0 {
+                                continue;
+                            }
+                            let sum = fold.sum as f64;
+                            let v = if *f == RangeFn::Rate {
+                                sum / *window as f64
+                            } else {
+                                sum
+                            };
+                            out.push(VSample {
+                                name: String::new(),
+                                labels: sd.labels.clone(),
+                                v,
+                            });
+                            continue;
+                        }
+                        let d = sd.ensure(ctx);
+                        let (pts, cum) = (&d.0, &d.1);
+                        let (lo, hi) = window_indices(pts, after, t);
                         if lo >= hi {
                             continue;
                         }
-                        let sum = sd.cum[hi - 1] - if lo > 0 { sd.cum[lo - 1] } else { 0.0 };
+                        let sum = cum[hi - 1] - if lo > 0 { cum[lo - 1] } else { 0.0 };
                         let v = if *f == RangeFn::Rate {
                             sum / *window as f64
                         } else {
@@ -1326,11 +1484,13 @@ fn eval(e: &Expr, ctx: &Ctx, t: u64) -> Result<Val, String> {
                         });
                     }
                     (RangeFn::Delta, SeriesKind::Gauge) => {
-                        let (lo, hi) = window_indices(&sd.pts, after, t);
+                        let d = sd.ensure(ctx);
+                        let pts = &d.0;
+                        let (lo, hi) = window_indices(pts, after, t);
                         if hi.saturating_sub(lo) < 2 {
                             continue;
                         }
-                        let v = gauge_value(&sd.pts[hi - 1]) - gauge_value(&sd.pts[lo]);
+                        let v = gauge_value(&pts[hi - 1]) - gauge_value(&pts[lo]);
                         out.push(VSample {
                             name: String::new(),
                             labels: sd.labels.clone(),
@@ -1350,20 +1510,22 @@ fn eval(e: &Expr, ctx: &Ctx, t: u64) -> Result<Val, String> {
                 if !sel_matches(sel, &sd.base, &sd.labels) || sd.kind != SeriesKind::Histogram {
                     continue;
                 }
+                let d = sd.ensure(ctx);
+                let pts = &d.0;
                 let merged = match window {
                     Some(w) => {
-                        let (lo, hi) = window_indices(&sd.pts, t.checked_sub(*w), t);
+                        let (lo, hi) = window_indices(pts, t.checked_sub(*w), t);
                         if lo >= hi {
                             continue;
                         }
-                        downsample(SeriesKind::Histogram, &sd.pts[lo..hi])
+                        downsample(SeriesKind::Histogram, &pts[lo..hi])
                     }
                     None => {
-                        let (_, hi) = window_indices(&sd.pts, None, t);
-                        if hi == 0 || t.saturating_sub(sd.pts[hi - 1].t) >= ctx.lookback {
+                        let (_, hi) = window_indices(pts, None, t);
+                        if hi == 0 || t.saturating_sub(pts[hi - 1].t) >= ctx.lookback {
                             continue;
                         }
-                        Some(sd.pts[hi - 1].value.clone())
+                        Some(pts[hi - 1].value.clone())
                     }
                 };
                 let Some(PointValue::Histogram(state)) = merged else {
@@ -1547,6 +1709,21 @@ pub enum QueryResult {
     Matrix(Vec<MatrixSeries>),
 }
 
+/// Evaluation work counters, carried on every [`QueryOutcome`] and
+/// rendered into the API body only when the request asks (`stats=`) —
+/// the default response bytes stay pinned.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Series matched by the query's selectors.
+    pub series: u64,
+    /// Points materialized or stream-decoded.
+    pub points_scanned: u64,
+    /// Window evaluations answered by [`SeriesSource::fold_range`].
+    pub pushdown_evals: u64,
+    /// Sealed segments folded from header stats alone (no decode).
+    pub segments_folded: u64,
+}
+
 /// A query result plus any per-shard warnings gathered on the way.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryOutcome {
@@ -1554,6 +1731,8 @@ pub struct QueryOutcome {
     pub result: QueryResult,
     /// Warnings (unreadable shard stores, shards without stores).
     pub warnings: Vec<String>,
+    /// How much work the evaluation did.
+    pub stats: QueryStats,
 }
 
 /// Prometheus-style sample value formatting: integers bare, floats in
@@ -1592,6 +1771,14 @@ impl QueryOutcome {
     /// `{"status":"success","data":{"resultType":...,"result":...}}`,
     /// with a `"warnings"` array when any shard degraded.
     pub fn to_api_json(&self) -> String {
+        self.to_api_json_with(false)
+    }
+
+    /// [`QueryOutcome::to_api_json`], optionally appending the
+    /// evaluation's [`QueryStats`] as a `"stats"` object inside
+    /// `"data"`. Off by default so existing response bytes stay
+    /// unchanged.
+    pub fn to_api_json_with(&self, include_stats: bool) -> String {
         let mut out = String::from("{\"status\":\"success\",\"data\":{\"resultType\":");
         match &self.result {
             QueryResult::Scalar { t, v } => {
@@ -1639,6 +1826,14 @@ impl QueryOutcome {
                 out.push(']');
             }
         }
+        if include_stats {
+            let s = &self.stats;
+            let _ = write!(
+                out,
+                ",\"stats\":{{\"series\":{},\"pointsScanned\":{},\"pushdownEvals\":{},\"segmentsFolded\":{}}}",
+                s.series, s.points_scanned, s.pushdown_evals, s.segments_folded
+            );
+        }
         out.push('}');
         if !self.warnings.is_empty() {
             out.push_str(",\"warnings\":[");
@@ -1684,9 +1879,16 @@ pub fn api_query_response(
     now_unix: u64,
 ) -> HttpResponse {
     match api_query_outcome(engine, req, range, now_unix) {
-        Ok(o) => HttpResponse::json(200, format!("{}\n", o.to_api_json())),
+        Ok(o) => HttpResponse::json(200, format!("{}\n", o.to_api_json_with(wants_stats(req)))),
         Err(resp) => resp,
     }
+}
+
+/// Whether the request opted into the `"stats"` object
+/// (`stats=` anything but `false`/empty, Prometheus-style `stats=all`).
+pub fn wants_stats(req: &HttpRequest) -> bool {
+    req.query_param("stats")
+        .is_some_and(|s| !s.is_empty() && s != "false" && s != "0")
 }
 
 /// The evaluation half of [`api_query_response`]: parses the request and
@@ -1774,6 +1976,7 @@ mod tests {
                     let (base, labels) = parse_series_name(name);
                     let pts = pts.clone();
                     PromSeries {
+                        key: name.clone(),
                         base,
                         labels,
                         kind: *kind,
@@ -2223,5 +2426,122 @@ mod tests {
             .instant("histogram_quantile(0.5, lat_ns)", 100, Resolution::Raw1s)
             .unwrap();
         assert!(vector_of(&out)[0].v > 0.0);
+    }
+
+    #[test]
+    fn check_query_lints_without_evaluating() {
+        assert!(check_query("rate(reqs_total[5m])").is_ok());
+        assert!(check_query("sum(a) / sum(b)").is_ok());
+        assert!(check_query("rate(").is_err());
+        assert!(check_query("").is_err());
+    }
+
+    fn store_backed_engine(tag: &str) -> (std::path::PathBuf, QueryEngine, Vec<Point>) {
+        use crate::lts::{LtsConfig, LtsCounters, LtsStore, SegmentCodec};
+        let dir = std::env::temp_dir().join(format!("netqos-promql-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = LtsConfig {
+            codec: SegmentCodec::Binary,
+            seal_points: 64,
+            ..LtsConfig::default()
+        };
+        let mut store = LtsStore::open(&dir, config, LtsCounters::detached()).unwrap();
+        let mut pts = Vec::new();
+        for t in 0..300u64 {
+            store.append("c_total", t, PointValue::Counter(t % 5));
+            pts.push(Point {
+                t,
+                value: PointValue::Counter(t % 5),
+            });
+            if t % 70 == 69 {
+                store.flush().unwrap();
+            }
+        }
+        store.flush().unwrap();
+        let eng =
+            QueryEngine::new().with_source(None, Arc::new(LtsSource::new(LtsReader::open(&dir))));
+        (dir, eng, pts)
+    }
+
+    #[test]
+    fn pushdown_matches_materialized_evaluation() {
+        let (dir, eng, pts) = store_backed_engine("pushdown");
+        // The same data behind a source with no fold path: every
+        // evaluation takes the general, materializing path.
+        let slow = QueryEngine::new().with_source(
+            None,
+            Arc::new(VecSource {
+                series: vec![("c_total".into(), SeriesKind::Counter, pts)],
+            }),
+        );
+        for query in [
+            "c_total",
+            "rate(c_total[100s])",
+            "rate(c_total[299s])",
+            "increase(c_total[250s])",
+            "sum(rate(c_total[200s]))",
+        ] {
+            let fast = eng.instant(query, 299, Resolution::Raw1s).unwrap();
+            let general = slow.instant(query, 299, Resolution::Raw1s).unwrap();
+            assert_eq!(
+                vector_of(&fast)
+                    .iter()
+                    .map(|s| (s.name.clone(), s.v))
+                    .collect::<Vec<_>>(),
+                vector_of(&general)
+                    .iter()
+                    .map(|s| (s.name.clone(), s.v))
+                    .collect::<Vec<_>>(),
+                "{query}"
+            );
+            assert!(fast.stats.pushdown_evals > 0, "{query}: {:?}", fast.stats);
+            assert_eq!(general.stats.pushdown_evals, 0);
+            assert!(general.stats.points_scanned > 0);
+        }
+        // Sealed segments fully inside the window fold from header
+        // stats, so the fast path touches far fewer points.
+        let fast = eng
+            .instant("rate(c_total[299s])", 299, Resolution::Raw1s)
+            .unwrap();
+        assert!(fast.stats.segments_folded > 0, "{:?}", fast.stats);
+        assert!(fast.stats.points_scanned < 300, "{:?}", fast.stats);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn range_queries_materialize_once_not_per_step() {
+        let (dir, eng, _) = store_backed_engine("range-stats");
+        let out = eng.range("rate(c_total[60s])", 100, 280, 10).unwrap();
+        assert!(matches!(out.result, QueryResult::Matrix(_)));
+        // No fold on the range path; the per-series fetch happens once.
+        assert_eq!(out.stats.pushdown_evals, 0);
+        assert_eq!(out.stats.series, 1);
+        assert!(out.stats.points_scanned <= 300, "{:?}", out.stats);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_render_only_when_asked() {
+        let (dir, eng, _) = store_backed_engine("stats-json");
+        let out = eng.instant("c_total", 299, Resolution::Raw1s).unwrap();
+        let plain = out.to_api_json();
+        assert!(!plain.contains("\"stats\""));
+        let with = out.to_api_json_with(true);
+        assert!(with.contains("\"stats\":{\"series\":1,"), "{with}");
+        assert!(with.contains("\"pushdownEvals\""), "{with}");
+        // Identical payload otherwise: stripping the stats object from
+        // the verbose form yields the plain form.
+        let req = |q: &str| HttpRequest {
+            method: "GET".into(),
+            path: "/api/v1/query".into(),
+            query: q.into(),
+            accept: String::new(),
+        };
+        assert!(!wants_stats(&req("query=c_total")));
+        assert!(!wants_stats(&req("query=c_total&stats=false")));
+        assert!(!wants_stats(&req("query=c_total&stats=0")));
+        assert!(wants_stats(&req("query=c_total&stats=true")));
+        assert!(wants_stats(&req("query=c_total&stats=all")));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -494,6 +494,7 @@ impl SeriesSource for MultiResSource {
     fn series(&self) -> Result<Vec<PromSeries>, String> {
         let (raw, min, hour) = (self.raw.clone(), self.min.clone(), self.hour.clone());
         Ok(vec![PromSeries {
+            key: self.name.clone(),
             base: self.name.clone(),
             labels: Vec::new(),
             kind: self.kind,
@@ -629,5 +630,95 @@ proptest! {
         let hour_json = engine.instant(&expr, t, Resolution::Hour1).unwrap().to_api_json();
         prop_assert_eq!(&raw_json, &min_json, "1m diverged");
         prop_assert_eq!(&raw_json, &hour_json, "1h diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The segment codec is invisible to every read surface: the same
+    /// appends stored under JSONL (v1) and binary (v2) segments answer
+    /// `/query` and `/api/v1/query_range` byte-identically — and stay
+    /// identical across `lts migrate` (both directions) and compaction.
+    #[test]
+    fn codec_choice_never_changes_query_bytes(
+        per_tick in prop::collection::vec(
+            (0u64..40, -50i64..50, prop::collection::vec(1u64..1_000_000, 0..3)),
+            80..160,
+        ),
+        flush_every in 17u64..53,
+    ) {
+        use netqos_telemetry::{
+            compact_store_to, migrate_store, LtsConfig, LtsCounters, LtsReader, LtsRetention,
+            LtsSource, LtsStore, SegmentCodec,
+        };
+        use std::sync::Arc;
+
+        let base = std::env::temp_dir().join(format!(
+            "netqos-prop-codec-{}-{}",
+            std::process::id(),
+            per_tick.len() * 1000 + flush_every as usize,
+        ));
+        let dir_v1 = base.join("v1");
+        let dir_v2 = base.join("v2");
+        let _ = std::fs::remove_dir_all(&base);
+
+        let build = |dir: &std::path::Path, codec: SegmentCodec| {
+            let config = LtsConfig {
+                codec,
+                seal_points: 32,
+                retention: LtsRetention { max_age_secs: 0, max_bytes: 0 },
+            };
+            let mut store = LtsStore::open(dir, config, LtsCounters::detached()).unwrap();
+            for (t, (c, g, hist)) in per_tick.iter().enumerate() {
+                let t = t as u64;
+                store.append("c_total", t, PointValue::Counter(*c));
+                store.append("depth", t, PointValue::Gauge(*g));
+                let h = Histogram::new();
+                for &v in hist {
+                    h.record(v);
+                }
+                store.append("lat_ns", t, PointValue::Histogram(h.to_state()));
+                if t % flush_every == flush_every - 1 {
+                    store.flush().unwrap();
+                }
+            }
+            store.flush().unwrap();
+        };
+        build(&dir_v1, SegmentCodec::Jsonl);
+        build(&dir_v2, SegmentCodec::Binary);
+
+        let read_all = |dir: &std::path::Path| -> String {
+            let reader = LtsReader::open(dir);
+            let mut out = String::new();
+            for res in [Resolution::Raw1s, Resolution::Min1, Resolution::Hour1] {
+                out.push_str(&reader.query("*", 0, u64::MAX, res));
+                out.push('\n');
+            }
+            let engine = QueryEngine::new()
+                .with_source(None, Arc::new(LtsSource::new(LtsReader::open(dir))));
+            let end = per_tick.len() as u64 - 1;
+            for expr in ["rate(c_total[20s])", "depth", "sum(increase(c_total[45s]))"] {
+                out.push_str(
+                    &engine.range(expr, 10, end, 7).unwrap().to_api_json(),
+                );
+                out.push('\n');
+            }
+            out
+        };
+
+        let reference = read_all(&dir_v1);
+        prop_assert_eq!(&read_all(&dir_v2), &reference, "binary store diverged");
+
+        // v1 -> v2 migration, then compaction, then v2 -> v1: every
+        // intermediate state answers identically.
+        migrate_store(&dir_v1, SegmentCodec::Binary).unwrap();
+        prop_assert_eq!(&read_all(&dir_v1), &reference, "migrated store diverged");
+        compact_store_to(&dir_v1, SegmentCodec::Binary).unwrap();
+        prop_assert_eq!(&read_all(&dir_v1), &reference, "compacted store diverged");
+        migrate_store(&dir_v1, SegmentCodec::Jsonl).unwrap();
+        prop_assert_eq!(&read_all(&dir_v1), &reference, "downgraded store diverged");
+
+        let _ = std::fs::remove_dir_all(&base);
     }
 }

@@ -452,3 +452,150 @@ fn lts_subcommand_round_trip() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn record_lints_rules_files() {
+    // The shipped example parses; each stanza echoes back canonically.
+    let out = run(&["record", "lint", "specs/record.rules"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("record: path:used_bps:sum"), "{stdout}");
+    assert!(
+        stdout.contains("expr: sum(netqos_path_used_bps)"),
+        "{stdout}"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("4 rule(s) OK"));
+
+    // Broken files fail with line context and a nonzero exit.
+    let bad = std::env::temp_dir().join(format!("netqos-bad-{}.record", std::process::id()));
+    std::fs::write(&bad, "record: orphaned\n").unwrap();
+    let out = run(&["record", "lint", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 1"), "{stderr}");
+    assert!(stderr.contains("has no expr"), "{stderr}");
+
+    std::fs::write(&bad, "record: x\nexpr: rate(\n").unwrap();
+    let out = run(&["record", "lint", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("line 2"),
+        "{out:?}"
+    );
+    std::fs::remove_file(&bad).ok();
+}
+
+#[test]
+fn monitor_record_rules_produce_queryable_derived_series() {
+    let dir = std::env::temp_dir().join(format!("netqos-cli-record-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("store");
+
+    // --record-rules without --lts is refused up front.
+    let out = run(&[
+        "monitor",
+        "specs/two-switch.spec",
+        "--duration",
+        "4",
+        "--record-rules",
+        "specs/record.rules",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("needs --lts"),
+        "{out:?}"
+    );
+
+    // A short run with a save tick inside it evaluates the rules and
+    // appends derived series into the same store.
+    let out = run(&[
+        "monitor",
+        "specs/two-switch.spec",
+        "--duration",
+        "12",
+        "--lts",
+        store.to_str().unwrap(),
+        "--record-rules",
+        "specs/record.rules",
+        "--baseline-save-ticks",
+        "5",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    // The derived series answers offline queries like any sampled one.
+    let out = run(&[
+        "query",
+        "path:used_bps:sum",
+        "--lts",
+        store.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("path:used_bps:sum"), "{stdout}");
+
+    // And `lts info` lists it with the per-resolution codec breakdown.
+    let out = run(&["lts", "info", store.to_str().unwrap(), "--segments"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("path:used_bps:sum"), "{stdout}");
+    assert!(stdout.contains("open tail(s)"), "{stdout}");
+    assert!(stdout.contains("1s "), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lts_migrate_round_trips_on_disk() {
+    let dir = std::env::temp_dir().join(format!("netqos-cli-migrate-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("store");
+
+    let out = run(&[
+        "monitor",
+        "specs/two-switch.spec",
+        "--duration",
+        "10",
+        "--lts",
+        store.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    // Seal the open tails so migration has segments to convert.
+    let out = run(&["lts", "compact", store.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+
+    let query = |store: &str| -> String {
+        let out = run(&["lts", "query", store, "--series", "*", "--step", "1s"]);
+        assert!(out.status.success(), "{out:?}");
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let before = query(store.to_str().unwrap());
+
+    // Binary -> JSONL -> binary: byte-identical answers, verify clean,
+    // and both conversions are reported.
+    let out = run(&[
+        "lts",
+        "migrate",
+        store.to_str().unwrap(),
+        "--codec",
+        "jsonl",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("converted to v1"), "{report}");
+    assert_eq!(query(store.to_str().unwrap()), before);
+
+    let out = run(&["lts", "migrate", store.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("converted to v2"),
+        "{out:?}"
+    );
+    assert_eq!(query(store.to_str().unwrap()), before);
+
+    let out = run(&["lts", "verify", store.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -201,3 +201,66 @@ fn router_serves_query_and_rejects_bad_params() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn query_is_identical_across_codec_migration() {
+    let dir = tmpdir("migrate");
+    let mut svc = service_with_lts(&dir);
+    svc.run_ticks(17).unwrap();
+    svc.flush_lts().expect("final flush");
+    drop(svc);
+
+    // Seal everything into segments first (short runs live entirely in
+    // open tails, which migration leaves alone by design).
+    compact_store(&dir).unwrap();
+
+    let queries = [
+        "series=*&range=:&step=1s",
+        "series=netqos_monitor_ticks_total&range=:&step=1s",
+        "series=*&range=:&step=1m",
+    ];
+    let reader = LtsReader::open(&dir);
+    let before: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            let (status, body) = get_query(&reader, q);
+            assert_eq!(status, 200, "{q}: {body}");
+            body
+        })
+        .collect();
+
+    // Downgrade to JSONL (v1), then back to binary (v2): every response
+    // byte must survive both conversions, and the binary form must be
+    // the smaller one.
+    let down =
+        netqos_telemetry::migrate_store(&dir, netqos_telemetry::SegmentCodec::Jsonl).unwrap();
+    assert!(down.segments_converted > 0, "{down:?}");
+    let reader = LtsReader::open(&dir);
+    for (q, b) in queries.iter().zip(&before) {
+        let (status, body) = get_query(&reader, q);
+        assert_eq!(status, 200);
+        assert_eq!(&body, b, "{q} diverged after downgrade to v1");
+    }
+    assert!(verify_store(&dir).unwrap().issues.is_empty());
+
+    let up = netqos_telemetry::migrate_store(&dir, netqos_telemetry::SegmentCodec::Binary).unwrap();
+    assert_eq!(up.segments_converted, down.segments_converted);
+    assert!(
+        up.bytes_after < up.bytes_before,
+        "binary must shrink the sealed segments: {up:?}"
+    );
+    let reader = LtsReader::open(&dir);
+    for (q, b) in queries.iter().zip(&before) {
+        let (status, body) = get_query(&reader, q);
+        assert_eq!(status, 200);
+        assert_eq!(&body, b, "{q} diverged after upgrade to v2");
+    }
+    assert!(verify_store(&dir).unwrap().issues.is_empty());
+
+    // The per-codec breakdown sees only v2 segments after the upgrade.
+    let stats = netqos_telemetry::store_stats(&dir).unwrap();
+    assert!(stats.resolutions[0].v2_segments > 0);
+    assert_eq!(stats.resolutions[0].v1_segments, 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

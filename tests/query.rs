@@ -294,3 +294,54 @@ fn federation_cross_shard_sum_matches_hand_merged_answers() {
     std::fs::remove_dir_all(&dir_a).ok();
     std::fs::remove_dir_all(&dir_b).ok();
 }
+
+#[test]
+fn stats_param_exposes_pushdown_through_router() {
+    let dir = tmpdir("stats");
+    let mut svc = service_with_lts(&dir, false);
+    svc.run_ticks(12).unwrap();
+    svc.flush_lts().expect("final flush");
+
+    let router = build_router(
+        svc.registry().clone(),
+        svc.live().clone(),
+        Some(LtsReader::open(&dir)),
+    );
+    let t = LtsReader::open(&dir).newest_t().expect("store has points");
+    let expr = format!("query=increase(netqos_monitor_ticks_total[10])&time={t}");
+
+    // Without stats= the body is exactly the pinned Prometheus shape.
+    let (status, plain) = get(&*router, "/api/v1/query", &expr);
+    assert_eq!(status, 200, "{plain}");
+    assert!(!plain.contains("\"stats\""), "{plain}");
+
+    // With stats=1 the data object grows a stats member; the result is
+    // otherwise identical, and the full-window counter evaluation took
+    // the segment-fold fast path.
+    let (status, with) = get(&*router, "/api/v1/query", &format!("{expr}&stats=1"));
+    assert_eq!(status, 200, "{with}");
+    let doc = parse_json(&with).unwrap();
+    let stats = doc
+        .get("data")
+        .and_then(|d| d.get("stats"))
+        .expect("stats object present");
+    let num = |k: &str| -> u64 {
+        stats
+            .get(k)
+            .and_then(JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("{k} missing: {with}")) as u64
+    };
+    assert!(num("series") >= 1, "{with}");
+    assert!(
+        num("pushdownEvals") >= 1,
+        "full-window increase must fold, not materialize: {with}"
+    );
+    // Stripping the stats member restores the plain body byte-for-byte.
+    let result_part = with.split(",\"stats\":").next().unwrap();
+    assert!(
+        plain.starts_with(result_part),
+        "result payload diverged:\n{plain}\n{with}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
